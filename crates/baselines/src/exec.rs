@@ -1,0 +1,266 @@
+//! A shared BGP executor for the baseline stores.
+//!
+//! Both baselines answer the same parsed [`se_sparql::Query`] AST as
+//! SuccinctEdge, through the [`TripleSource`] abstraction: a store exposes
+//! dictionary lookups plus one `triples_matching` access path and the
+//! executor does greedy most-bound-first ordering with binding
+//! propagation. No LiteMat, no intervals — reasoning for these systems is
+//! the UNION rewriting of [`crate::rewrite`] (as the paper did manually,
+//! §7.3.5).
+
+use se_rdf::Term;
+use se_sparql::ast::{GroupPattern, Query, TermPattern};
+use se_sparql::exec::ResultSet;
+use se_sparql::expr::{eval, Env, EvalValue};
+use se_sparql::QueryError;
+use std::collections::{HashMap, HashSet};
+
+/// The access interface a baseline store exposes to the executor.
+pub trait TripleSource {
+    /// Id of a term, if present.
+    fn resolve(&self, term: &Term) -> Option<u64>;
+    /// Term of an id.
+    fn decode(&self, id: u64) -> Option<Term>;
+    /// All `(s, p, o)` id-triples matching the given bound positions.
+    fn triples_matching(
+        &self,
+        s: Option<u64>,
+        p: Option<u64>,
+        o: Option<u64>,
+    ) -> Vec<(u64, u64, u64)>;
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Id(u64),
+    Term(Term),
+}
+
+type Row = Vec<Option<Slot>>;
+
+/// Executes a parsed query against a baseline store.
+pub fn execute<S: TripleSource>(store: &S, query: &Query) -> Result<ResultSet, QueryError> {
+    let out_vars = query.output_variables();
+    let mut rows: Vec<Vec<Option<Term>>> = Vec::new();
+    for group in &query.groups {
+        let (var_index, group_rows) = execute_group(store, group)?;
+        for row in group_rows {
+            let projected = out_vars
+                .iter()
+                .map(|v| {
+                    var_index
+                        .get(v.as_str())
+                        .and_then(|&i| row[i].as_ref())
+                        .map(|slot| slot_term(store, slot))
+                })
+                .collect();
+            rows.push(projected);
+        }
+    }
+    if query.distinct {
+        let mut seen = HashSet::new();
+        rows.retain(|r| seen.insert(format!("{r:?}")));
+    }
+    if let Some(limit) = query.limit {
+        rows.truncate(limit);
+    }
+    Ok(ResultSet {
+        variables: out_vars,
+        rows,
+    })
+}
+
+fn slot_term<S: TripleSource>(store: &S, slot: &Slot) -> Term {
+    match slot {
+        Slot::Id(id) => store
+            .decode(*id)
+            .unwrap_or_else(|| Term::literal("<dangling>")),
+        Slot::Term(t) => t.clone(),
+    }
+}
+
+fn execute_group<'a, S: TripleSource>(
+    store: &S,
+    group: &'a GroupPattern,
+) -> Result<(HashMap<&'a str, usize>, Vec<Row>), QueryError> {
+    let mut var_index: HashMap<&str, usize> = HashMap::new();
+    for tp in &group.patterns {
+        for v in tp.variables() {
+            let next = var_index.len();
+            var_index.entry(v).or_insert(next);
+        }
+    }
+    for b in &group.binds {
+        let next = var_index.len();
+        var_index.entry(b.var.as_str()).or_insert(next);
+    }
+    let n_cols = var_index.len();
+    let mut rows: Vec<Row> = vec![vec![None; n_cols]];
+
+    // Greedy most-bound-first ordering (a standard baseline heuristic).
+    let mut remaining: Vec<usize> = (0..group.patterns.len()).collect();
+    let mut bound: HashSet<&str> = HashSet::new();
+    while !remaining.is_empty() {
+        let boundness = |i: usize| {
+            let tp = &group.patterns[i];
+            let count = |p: &TermPattern| match p {
+                TermPattern::Term(_) => 1,
+                TermPattern::Var(v) => usize::from(bound.contains(v.as_str())),
+            };
+            count(&tp.subject) + count(&tp.predicate) + count(&tp.object)
+        };
+        let pick = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| boundness(i))
+            .map(|(k, _)| k)
+            .expect("remaining nonempty");
+        let tp_idx = remaining.swap_remove(pick);
+        let tp = &group.patterns[tp_idx];
+        rows = eval_tp(store, tp, rows, &var_index)?;
+        bound.extend(tp.variables());
+        if rows.is_empty() {
+            break;
+        }
+    }
+
+    // BINDs, then FILTERs.
+    if !group.binds.is_empty() {
+        for row in &mut rows {
+            for b in &group.binds {
+                let env = row_env(store, row, &var_index);
+                if let Ok(v) = eval(&b.expr, &env) {
+                    let col = var_index[b.var.as_str()];
+                    row[col] = Some(Slot::Term(v.into_term()));
+                }
+            }
+        }
+    }
+    for f in &group.filters {
+        rows.retain(|row| {
+            let env = row_env(store, row, &var_index);
+            eval(f, &env).and_then(|v| v.truthy()).unwrap_or(false)
+        });
+    }
+    Ok((var_index, rows))
+}
+
+fn row_env<'a, S: TripleSource>(
+    store: &S,
+    row: &Row,
+    var_index: &HashMap<&'a str, usize>,
+) -> Env<'a> {
+    let mut env = Env::new();
+    for (&var, &col) in var_index {
+        if let Some(slot) = &row[col] {
+            env.insert(var, EvalValue::Term(slot_term(store, slot)));
+        }
+    }
+    env
+}
+
+fn eval_tp<S: TripleSource>(
+    store: &S,
+    tp: &se_sparql::TriplePattern,
+    rows: Vec<Row>,
+    vars: &HashMap<&str, usize>,
+) -> Result<Vec<Row>, QueryError> {
+    enum P {
+        Bound(u64),
+        Free(usize),
+        NoMatch,
+    }
+    let resolve = |pat: &TermPattern, row: &Row| -> P {
+        match pat {
+            TermPattern::Term(t) => match store.resolve(t) {
+                Some(id) => P::Bound(id),
+                None => P::NoMatch,
+            },
+            TermPattern::Var(v) => {
+                let col = vars[v.as_str()];
+                match &row[col] {
+                    Some(Slot::Id(id)) => P::Bound(*id),
+                    Some(Slot::Term(t)) => match store.resolve(t) {
+                        Some(id) => P::Bound(id),
+                        None => P::NoMatch,
+                    },
+                    None => P::Free(col),
+                }
+            }
+        }
+    };
+    let mut out = Vec::new();
+    for row in rows {
+        let s = resolve(&tp.subject, &row);
+        let p = resolve(&tp.predicate, &row);
+        let o = resolve(&tp.object, &row);
+        if matches!(s, P::NoMatch) || matches!(p, P::NoMatch) || matches!(o, P::NoMatch) {
+            continue;
+        }
+        let opt = |x: &P| match x {
+            P::Bound(id) => Some(*id),
+            _ => None,
+        };
+        let matches = store.triples_matching(opt(&s), opt(&p), opt(&o));
+        for (ms, mp, mo) in matches {
+            let mut new_row = row.clone();
+            let mut ok = true;
+            let mut bind = |pos: &P, id: u64, new_row: &mut Row| {
+                if let P::Free(col) = pos {
+                    match &new_row[*col] {
+                        None => new_row[*col] = Some(Slot::Id(id)),
+                        Some(Slot::Id(existing)) if *existing == id => {}
+                        _ => ok = false,
+                    }
+                }
+            };
+            bind(&s, ms, &mut new_row);
+            bind(&p, mp, &mut new_row);
+            bind(&o, mo, &mut new_row);
+            if ok {
+                out.push(new_row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MultiIndexStore;
+    use se_rdf::{Graph, Triple};
+    use se_sparql::parse_query;
+
+    fn store() -> MultiIndexStore {
+        let mut g = Graph::new();
+        let iri = |s: &str| Term::iri(format!("http://x/{s}"));
+        g.extend([
+            Triple::new(iri("a"), iri("p"), iri("b")),
+            Triple::new(iri("b"), iri("p"), iri("c")),
+            Triple::new(iri("a"), iri("q"), Term::literal("1")),
+        ]);
+        MultiIndexStore::build(&g)
+    }
+
+    #[test]
+    fn variable_predicate_is_supported_in_baselines() {
+        // Unlike SuccinctEdge, classic stores answer ?p patterns.
+        let st = store();
+        let q = parse_query("SELECT ?p WHERE { <http://x/a> ?p ?o }").unwrap();
+        let rs = execute(&st, &q).unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn same_variable_twice_in_tp() {
+        let mut g = Graph::new();
+        let iri = |s: &str| Term::iri(format!("http://x/{s}"));
+        g.insert(Triple::new(iri("a"), iri("p"), iri("a")));
+        g.insert(Triple::new(iri("a"), iri("p"), iri("b")));
+        let st = MultiIndexStore::build(&g);
+        let q = parse_query("SELECT ?x WHERE { ?x <http://x/p> ?x }").unwrap();
+        let rs = execute(&st, &q).unwrap();
+        assert_eq!(rs.len(), 1, "only the self-loop matches");
+    }
+}

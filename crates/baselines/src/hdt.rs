@@ -1,0 +1,245 @@
+//! An HDT-style Bitmap-Triples store (related work, paper §6).
+//!
+//! Header-Dictionary-Triples (Martínez-Prieto et al., ESWC 2012) stores
+//! triples sorted **SPO** as "a forest of RDF trees, each tree rooted with
+//! a given subject value", with bit sequences connecting the layers — the
+//! same structural idea as SuccinctEdge but anchored on the *subject*
+//! instead of the predicate.
+//!
+//! The layout is realized by reusing [`se_core::layer::TripleLayer`], which
+//! is order-agnostic: feeding it `(s, p, o)` keys instead of `(p, s, o)`
+//! yields exactly HDT's Bitmap-Triples (`WT` of subjects, bitmap to the
+//! predicate runs, bitmap to the object runs).
+//!
+//! The consequence the paper's §6 discussion hinges on: an SPO anchor makes
+//! subject-bound patterns cheap but `(?s, p, ?o)` — the typical IoT query
+//! shape — requires touching *every subject tree*, whereas SuccinctEdge's
+//! PSO anchor resolves it with one predicate lookup. `benches/ablation.rs`
+//! measures this trade-off directly.
+
+use crate::dict::TermDict;
+use crate::exec::TripleSource;
+use se_core::layer::TripleLayer;
+use se_rdf::{Graph, Term};
+use se_sds::{HeapSize, Serialize};
+use se_sparql::exec::ResultSet;
+use se_sparql::{Query, QueryError};
+
+/// An HDT-style (SPO Bitmap-Triples) store.
+#[derive(Debug, Clone)]
+pub struct HdtStyleStore {
+    dict: TermDict,
+    /// The Bitmap-Triples layer, keyed `(s, p, o)`.
+    layer: TripleLayer,
+}
+
+impl HdtStyleStore {
+    /// Builds the store from a graph.
+    pub fn build(graph: &Graph) -> Self {
+        let mut dict = TermDict::new();
+        let mut triples: Vec<(u64, u64, u64)> = graph
+            .iter()
+            .map(|t| {
+                (
+                    dict.get_or_insert(&t.subject),
+                    dict.get_or_insert(&t.predicate),
+                    dict.get_or_insert(&t.object),
+                )
+            })
+            .collect();
+        triples.sort_unstable();
+        triples.dedup();
+        Self {
+            dict,
+            layer: TripleLayer::build(&triples),
+        }
+    }
+
+    /// Number of distinct triples.
+    pub fn len(&self) -> usize {
+        self.layer.len()
+    }
+
+    /// `true` if the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.layer.is_empty()
+    }
+
+    /// Executes a parsed query through the shared baseline executor.
+    pub fn query(&self, query: &Query) -> Result<ResultSet, QueryError> {
+        crate::exec::execute(self, query)
+    }
+
+    /// Parses and executes a query string.
+    pub fn query_str(&self, text: &str) -> Result<ResultSet, QueryError> {
+        let parsed = se_sparql::parse_query(text)?;
+        self.query(&parsed)
+    }
+
+    /// The term dictionary.
+    pub fn dictionary(&self) -> &TermDict {
+        &self.dict
+    }
+
+    /// Heap bytes of the triple layer plus the dictionary.
+    pub fn memory_footprint(&self) -> usize {
+        self.layer.heap_size() + self.dict.heap_size()
+    }
+
+    /// Serialized size of the Bitmap-Triples component (no dictionary).
+    pub fn triple_serialized_size(&self) -> usize {
+        self.layer.serialized_size()
+    }
+
+    /// `(p, o)` pairs of one subject — the access path HDT is built for.
+    pub fn pairs_of_subject(&self, s: u64) -> Vec<(u64, u64)> {
+        // In the reused layer the "predicate" axis holds subjects.
+        self.layer.scan_predicate(s)
+    }
+}
+
+impl TripleSource for HdtStyleStore {
+    fn resolve(&self, term: &Term) -> Option<u64> {
+        self.dict.id(term)
+    }
+
+    fn decode(&self, id: u64) -> Option<Term> {
+        self.dict.term(id).cloned()
+    }
+
+    fn triples_matching(
+        &self,
+        s: Option<u64>,
+        p: Option<u64>,
+        o: Option<u64>,
+    ) -> Vec<(u64, u64, u64)> {
+        // Remember: the layer's axes are (subject, predicate, object).
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.layer.contains(s, p, o) {
+                    vec![(s, p, o)]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), Some(p), None) => self
+                .layer
+                .objects(s, p)
+                .into_iter()
+                .map(|o| (s, p, o))
+                .collect(),
+            (Some(s), None, Some(o)) => self
+                .layer
+                .subjects(s, o) // "subjects" of the layer = predicates here
+                .into_iter()
+                .map(|p| (s, p, o))
+                .collect(),
+            (Some(s), None, None) => self
+                .layer
+                .scan_predicate(s)
+                .into_iter()
+                .map(|(p, o)| (s, p, o))
+                .collect(),
+            // Unbound subject: the SPO anchor has no direct access path —
+            // every subject tree is visited (the §6 trade-off).
+            (None, p, o) => self
+                .layer
+                .iter()
+                .filter(|&(_, tp, to)| p.is_none_or(|p| tp == p) && o.is_none_or(|o| to == o))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_rdf::Triple;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(format!("http://x/{s}"))
+    }
+
+    fn sample() -> HdtStyleStore {
+        let mut g = Graph::new();
+        g.extend([
+            Triple::new(iri("a"), iri("p"), iri("b")),
+            Triple::new(iri("a"), iri("p"), iri("c")),
+            Triple::new(iri("a"), iri("q"), iri("b")),
+            Triple::new(iri("b"), iri("p"), iri("c")),
+        ]);
+        HdtStyleStore::build(&g)
+    }
+
+    #[test]
+    fn subject_anchored_access() {
+        let st = sample();
+        let a = st.resolve(&iri("a")).unwrap();
+        let p = st.resolve(&iri("p")).unwrap();
+        assert_eq!(st.triples_matching(Some(a), Some(p), None).len(), 2);
+        assert_eq!(st.triples_matching(Some(a), None, None).len(), 3);
+        assert_eq!(st.pairs_of_subject(a).len(), 3);
+    }
+
+    #[test]
+    fn unbound_subject_falls_back_to_scan() {
+        let st = sample();
+        let p = st.resolve(&iri("p")).unwrap();
+        let c = st.resolve(&iri("c")).unwrap();
+        assert_eq!(st.triples_matching(None, Some(p), None).len(), 3);
+        assert_eq!(st.triples_matching(None, Some(p), Some(c)).len(), 2);
+        assert_eq!(st.triples_matching(None, None, Some(c)).len(), 2);
+        assert_eq!(st.triples_matching(None, None, None).len(), 4);
+    }
+
+    #[test]
+    fn queries_agree_with_multi_index() {
+        let mut g = Graph::new();
+        for i in 0..200 {
+            g.insert(Triple::new(
+                iri(&format!("s{}", i % 20)),
+                iri(&format!("p{}", i % 4)),
+                iri(&format!("o{}", i % 10)),
+            ));
+        }
+        let hdt = HdtStyleStore::build(&g);
+        let mem = crate::memory::MultiIndexStore::build(&g);
+        for q in [
+            "SELECT ?o WHERE { <http://x/s3> <http://x/p3> ?o }",
+            "SELECT ?s WHERE { ?s <http://x/p1> <http://x/o5> }",
+            "SELECT ?s ?o WHERE { ?s <http://x/p2> ?o }",
+            "SELECT ?x ?y WHERE { <http://x/s1> ?x ?y }",
+        ] {
+            let mut a = hdt.query_str(q).unwrap().rows;
+            let mut b = mem.query_str(q).unwrap().rows;
+            a.sort_by_key(|r| format!("{r:?}"));
+            b.sort_by_key(|r| format!("{r:?}"));
+            assert_eq!(a, b, "query {q}");
+        }
+    }
+
+    #[test]
+    fn empty_store() {
+        let st = HdtStyleStore::build(&Graph::new());
+        assert!(st.is_empty());
+        assert!(st.triples_matching(None, None, None).is_empty());
+    }
+
+    #[test]
+    fn sizes_are_smaller_than_three_indexes() {
+        let mut g = Graph::new();
+        for i in 0..500 {
+            g.insert(Triple::new(
+                iri(&format!("s{}", i % 50)),
+                iri(&format!("p{}", i % 5)),
+                iri(&format!("o{i}")),
+            ));
+        }
+        let hdt = HdtStyleStore::build(&g);
+        let mem = crate::memory::MultiIndexStore::build(&g);
+        assert!(
+            hdt.triple_serialized_size() < mem.triple_serialized_size(),
+            "one succinct SPO layout beats three raw permutations"
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! Page-based file storage with a buffer pool.
+//!
+//! The substrate of the disk-resident baseline ([`crate::DiskStore`]):
+//! fixed-size 4 KiB pages in a backing file, cached by a clock-eviction
+//! buffer pool of bounded capacity. This reproduces the structural cost
+//! the paper attributes to Jena TDB and RDF4Led — "loading data from disk
+//! takes a non-negligible time" (§7.3.3) — without emulating a JVM.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Page size in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// A page identifier.
+pub type PageId = u64;
+
+/// The backing file: allocate, read and write whole pages.
+#[derive(Debug)]
+pub struct Pager {
+    file: File,
+    n_pages: u64,
+    /// Total page reads that actually hit the file (buffer-pool misses).
+    pub disk_reads: u64,
+    /// Total page writes to the file.
+    pub disk_writes: u64,
+}
+
+impl Pager {
+    /// Creates (truncating) a pager over `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            file,
+            n_pages: 0,
+            disk_reads: 0,
+            disk_writes: 0,
+        })
+    }
+
+    /// Number of allocated pages.
+    pub fn n_pages(&self) -> u64 {
+        self.n_pages
+    }
+
+    /// Allocates a fresh zeroed page.
+    pub fn allocate(&mut self) -> io::Result<PageId> {
+        let id = self.n_pages;
+        self.n_pages += 1;
+        self.write_page(id, &[0u8; PAGE_SIZE])?;
+        Ok(id)
+    }
+
+    /// Reads a page from the file.
+    pub fn read_page(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        self.file.read_exact(buf)?;
+        self.disk_reads += 1;
+        Ok(())
+    }
+
+    /// Writes a page to the file.
+    pub fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        self.file.write_all(buf)?;
+        self.disk_writes += 1;
+        Ok(())
+    }
+
+    /// Flushes the file to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// On-disk size in bytes.
+    pub fn file_size(&self) -> u64 {
+        self.n_pages * PAGE_SIZE as u64
+    }
+}
+
+struct Frame {
+    page_id: PageId,
+    data: Box<[u8; PAGE_SIZE]>,
+    dirty: bool,
+    referenced: bool,
+}
+
+struct PoolInner {
+    pager: Pager,
+    frames: Vec<Frame>,
+    page_table: HashMap<PageId, usize>,
+    clock_hand: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// A clock-eviction buffer pool over a [`Pager`].
+pub struct BufferPool {
+    inner: Mutex<PoolInner>,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("BufferPool")
+            .field("capacity", &inner.capacity)
+            .field("cached", &inner.frames.len())
+            .field("hits", &inner.hits)
+            .field("misses", &inner.misses)
+            .finish()
+    }
+}
+
+/// Buffer pool statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub disk_reads: u64,
+    pub disk_writes: u64,
+    pub n_pages: u64,
+}
+
+impl BufferPool {
+    /// Wraps `pager` with a pool of `capacity` frames (≥ 1).
+    pub fn new(pager: Pager, capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(PoolInner {
+                pager,
+                frames: Vec::new(),
+                page_table: HashMap::new(),
+                clock_hand: 0,
+                capacity: capacity.max(1),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Allocates a fresh page.
+    pub fn allocate(&self) -> io::Result<PageId> {
+        self.inner.lock().pager.allocate()
+    }
+
+    /// Runs `f` over the (read-only) contents of `page`.
+    pub fn with_page<R>(&self, page: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> io::Result<R> {
+        let mut inner = self.inner.lock();
+        let idx = inner.load(page)?;
+        Ok(f(&inner.frames[idx].data))
+    }
+
+    /// Runs `f` over the mutable contents of `page`, marking it dirty.
+    pub fn with_page_mut<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> io::Result<R> {
+        let mut inner = self.inner.lock();
+        let idx = inner.load(page)?;
+        inner.frames[idx].dirty = true;
+        Ok(f(&mut inner.frames[idx].data))
+    }
+
+    /// Writes all dirty frames back and syncs the file.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        for i in 0..inner.frames.len() {
+            if inner.frames[i].dirty {
+                let id = inner.frames[i].page_id;
+                let data = *inner.frames[i].data;
+                inner.pager.write_page(id, &data)?;
+                inner.frames[i].dirty = false;
+            }
+        }
+        inner.pager.sync()
+    }
+
+    /// Pool and pager statistics.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.inner.lock();
+        PoolStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            disk_reads: inner.pager.disk_reads,
+            disk_writes: inner.pager.disk_writes,
+            n_pages: inner.pager.n_pages(),
+        }
+    }
+
+    /// On-disk size in bytes.
+    pub fn file_size(&self) -> u64 {
+        self.inner.lock().pager.file_size()
+    }
+}
+
+impl PoolInner {
+    /// Ensures `page` is cached and returns its frame index.
+    fn load(&mut self, page: PageId) -> io::Result<usize> {
+        if let Some(&idx) = self.page_table.get(&page) {
+            self.hits += 1;
+            self.frames[idx].referenced = true;
+            return Ok(idx);
+        }
+        self.misses += 1;
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        self.pager.read_page(page, &mut data)?;
+        let idx = if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                page_id: page,
+                data,
+                dirty: false,
+                referenced: true,
+            });
+            self.frames.len() - 1
+        } else {
+            let victim = self.pick_victim();
+            let old = &mut self.frames[victim];
+            if old.dirty {
+                let id = old.page_id;
+                let bytes = *old.data;
+                self.pager.write_page(id, &bytes)?;
+            }
+            let old = &mut self.frames[victim];
+            self.page_table.remove(&old.page_id);
+            old.page_id = page;
+            old.data = data;
+            old.dirty = false;
+            old.referenced = true;
+            victim
+        };
+        self.page_table.insert(page, idx);
+        Ok(idx)
+    }
+
+    /// Clock (second-chance) eviction.
+    fn pick_victim(&mut self) -> usize {
+        loop {
+            let idx = self.clock_hand;
+            self.clock_hand = (self.clock_hand + 1) % self.frames.len();
+            if self.frames[idx].referenced {
+                self.frames[idx].referenced = false;
+            } else {
+                return idx;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("se-pager-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn pager_roundtrip() {
+        let path = temp_path("roundtrip");
+        let mut pager = Pager::create(&path).unwrap();
+        let p0 = pager.allocate().unwrap();
+        let p1 = pager.allocate().unwrap();
+        assert_eq!((p0, p1), (0, 1));
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0] = 0xAB;
+        buf[PAGE_SIZE - 1] = 0xCD;
+        pager.write_page(p1, &buf).unwrap();
+        let mut back = [0u8; PAGE_SIZE];
+        pager.read_page(p1, &mut back).unwrap();
+        assert_eq!(back[0], 0xAB);
+        assert_eq!(back[PAGE_SIZE - 1], 0xCD);
+        pager.read_page(p0, &mut back).unwrap();
+        assert_eq!(back[0], 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pool_caches_pages() {
+        let path = temp_path("cache");
+        let pool = BufferPool::new(Pager::create(&path).unwrap(), 4);
+        let p = pool.allocate().unwrap();
+        pool.with_page_mut(p, |data| data[7] = 42).unwrap();
+        // Repeated reads hit the cache.
+        for _ in 0..10 {
+            let v = pool.with_page(p, |data| data[7]).unwrap();
+            assert_eq!(v, 42);
+        }
+        let stats = pool.stats();
+        assert!(stats.hits >= 10);
+        assert_eq!(stats.misses, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eviction_and_writeback() {
+        let path = temp_path("evict");
+        let pool = BufferPool::new(Pager::create(&path).unwrap(), 2);
+        let pages: Vec<PageId> = (0..6).map(|_| pool.allocate().unwrap()).collect();
+        for (i, &p) in pages.iter().enumerate() {
+            pool.with_page_mut(p, |data| data[0] = i as u8).unwrap();
+        }
+        // Every page still holds its value after churn through a 2-frame pool.
+        for (i, &p) in pages.iter().enumerate() {
+            let v = pool.with_page(p, |data| data[0]).unwrap();
+            assert_eq!(v, i as u8, "page {p}");
+        }
+        let stats = pool.stats();
+        assert!(stats.misses > 2, "pool too small to cache everything");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_persists_dirty_pages() {
+        let path = temp_path("flush");
+        {
+            let pool = BufferPool::new(Pager::create(&path).unwrap(), 8);
+            let p = pool.allocate().unwrap();
+            pool.with_page_mut(p, |data| data[100] = 9).unwrap();
+            pool.flush().unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes[100], 9);
+        std::fs::remove_file(&path).ok();
+    }
+}

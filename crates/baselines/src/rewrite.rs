@@ -1,0 +1,184 @@
+//! UNION query rewriting — reasoning for systems without LiteMat.
+//!
+//! The paper gives the baselines reasoning support by manually rewriting
+//! "each query as the union of all the possible sub-queries" (§7.3.5).
+//! This module automates that: every constant concept in an `rdf:type` TP
+//! and every constant property with a non-trivial sub-hierarchy is
+//! replaced, in turn, by each of its sub-terms; the query becomes the
+//! UNION of all substitution combinations.
+//!
+//! A query with `k` reasoning positions of fan-outs `n₁..n_k` explodes
+//! into `∏ nᵢ` branches — exactly the cost LiteMat's interval encoding
+//! avoids, and the effect the Figure 14 experiment measures ("the more
+//! entailments the query requires, the more efficient SuccinctEdge is").
+
+use se_litemat::Dictionaries;
+use se_rdf::Term;
+use se_sparql::ast::{GroupPattern, Query, TermPattern};
+
+/// Maximum number of UNION branches a rewriting may produce.
+pub const MAX_BRANCHES: usize = 65_536;
+
+/// Rewrites `query` into its reasoning-complete UNION form with respect to
+/// the hierarchies in `dicts`. Returns the number of branches produced
+/// alongside the rewritten query.
+///
+/// Returns an error string if the rewriting would exceed [`MAX_BRANCHES`].
+pub fn rewrite_with_ontology(
+    query: &Query,
+    dicts: &Dictionaries,
+) -> Result<(Query, usize), String> {
+    let mut groups = Vec::new();
+    for group in &query.groups {
+        groups.extend(rewrite_group(group, dicts)?);
+        if groups.len() > MAX_BRANCHES {
+            return Err(format!(
+                "UNION rewriting exceeds {MAX_BRANCHES} branches"
+            ));
+        }
+    }
+    let n = groups.len();
+    // Branches may overlap: an instance typed with two sub-concepts of the
+    // same reasoning position matches two branches and would be reported
+    // twice. The rewriting reconstructs the *certain-answer set* of the
+    // entailment-aware query, so the result is marked DISTINCT.
+    Ok((
+        Query {
+            select: query.select.clone(),
+            distinct: true,
+            limit: query.limit,
+            groups,
+        },
+        n,
+    ))
+}
+
+fn rewrite_group(group: &GroupPattern, dicts: &Dictionaries) -> Result<Vec<GroupPattern>, String> {
+    // For each TP, the list of alternative TPs it expands into.
+    let mut alternatives: Vec<Vec<se_sparql::TriplePattern>> = Vec::new();
+    for tp in &group.patterns {
+        let mut alts = Vec::new();
+        if tp.is_type_pattern() {
+            if let TermPattern::Term(Term::Iri(c)) = &tp.object {
+                if let Some(iv) = dicts.concepts.interval(c) {
+                    for sub in dicts.concepts.encoding().terms_in_interval(iv) {
+                        let mut t = tp.clone();
+                        t.object = TermPattern::Term(Term::iri(sub.to_string()));
+                        alts.push(t);
+                    }
+                }
+            }
+        } else if let TermPattern::Term(Term::Iri(p)) = &tp.predicate {
+            if let Some(iv) = dicts.properties.interval(p) {
+                for sub in dicts.properties.encoding().terms_in_interval(iv) {
+                    let mut t = tp.clone();
+                    t.predicate = TermPattern::Term(Term::iri(sub.to_string()));
+                    alts.push(t);
+                }
+            }
+        }
+        if alts.is_empty() {
+            alts.push(tp.clone()); // unknown term: keep as-is
+        }
+        alternatives.push(alts);
+    }
+    // Cartesian product of alternatives.
+    let total: usize = alternatives.iter().map(Vec::len).product();
+    if total > MAX_BRANCHES {
+        return Err(format!(
+            "UNION rewriting of one group needs {total} branches (cap {MAX_BRANCHES})"
+        ));
+    }
+    let mut branches: Vec<Vec<se_sparql::TriplePattern>> = vec![Vec::new()];
+    for alts in &alternatives {
+        let mut next = Vec::with_capacity(branches.len() * alts.len());
+        for branch in &branches {
+            for alt in alts {
+                let mut b = branch.clone();
+                b.push(alt.clone());
+                next.push(b);
+            }
+        }
+        branches = next;
+    }
+    Ok(branches
+        .into_iter()
+        .map(|patterns| GroupPattern {
+            patterns,
+            binds: group.binds.clone(),
+            filters: group.filters.clone(),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_ontology::Ontology;
+    use se_sparql::parse_query;
+
+    fn dicts() -> Dictionaries {
+        let mut o = Ontology::new();
+        o.add_class("http://x/B", "http://x/A");
+        o.add_class("http://x/C", "http://x/A");
+        o.add_property("http://x/worksFor", "http://x/memberOf");
+        o.add_property("http://x/headOf", "http://x/worksFor");
+        o.encode().unwrap()
+    }
+
+    #[test]
+    fn concept_expansion() {
+        let q = parse_query("PREFIX e: <http://x/> SELECT ?s WHERE { ?s a e:A }").unwrap();
+        let (rw, n) = rewrite_with_ontology(&q, &dicts()).unwrap();
+        assert_eq!(n, 3, "A, B, C");
+        assert_eq!(rw.groups.len(), 3);
+    }
+
+    #[test]
+    fn property_expansion() {
+        let q =
+            parse_query("PREFIX e: <http://x/> SELECT ?s WHERE { ?s e:memberOf ?o }").unwrap();
+        let (_, n) = rewrite_with_ontology(&q, &dicts()).unwrap();
+        assert_eq!(n, 3, "memberOf, worksFor, headOf");
+        let q = parse_query("PREFIX e: <http://x/> SELECT ?s WHERE { ?s e:worksFor ?o }").unwrap();
+        let (_, n) = rewrite_with_ontology(&q, &dicts()).unwrap();
+        assert_eq!(n, 2, "worksFor, headOf");
+    }
+
+    #[test]
+    fn leaf_terms_do_not_expand() {
+        let q = parse_query("PREFIX e: <http://x/> SELECT ?s WHERE { ?s a e:B . ?s e:headOf ?o }")
+            .unwrap();
+        let (_, n) = rewrite_with_ontology(&q, &dicts()).unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn combined_expansion_is_a_product() {
+        let q = parse_query(
+            "PREFIX e: <http://x/> SELECT ?s WHERE { ?s a e:A . ?s e:memberOf ?o }",
+        )
+        .unwrap();
+        let (rw, n) = rewrite_with_ontology(&q, &dicts()).unwrap();
+        assert_eq!(n, 9, "3 concepts × 3 properties");
+        // Filters and binds are preserved per branch.
+        assert!(rw.groups.iter().all(|g| g.patterns.len() == 2));
+    }
+
+    #[test]
+    fn unknown_terms_kept_verbatim() {
+        let q = parse_query("PREFIX e: <http://x/> SELECT ?s WHERE { ?s a e:Zzz }").unwrap();
+        let (_, n) = rewrite_with_ontology(&q, &dicts()).unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn filters_survive_rewriting() {
+        let q = parse_query(
+            "PREFIX e: <http://x/> SELECT ?s WHERE { ?s a e:A . ?s e:v ?x . FILTER(?x > 3) }",
+        )
+        .unwrap();
+        let (rw, _) = rewrite_with_ontology(&q, &dicts()).unwrap();
+        assert!(rw.groups.iter().all(|g| g.filters.len() == 1));
+    }
+}

@@ -1,0 +1,107 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. LiteMat intervals vs UNION rewriting *on the same SuccinctEdge store*
+//!    (isolates the encoding benefit from the store benefit);
+//! 2. merge join vs nested-loop-only joins on star BGPs;
+//! 3. Algorithm-1 join ordering vs textual order;
+//! 4. rangeSearch-based TP evaluation vs RDFType red-black access path;
+//! 5. PSO anchor (SuccinctEdge) vs SPO anchor (HDT-style Bitmap-Triples)
+//!    on the IoT-typical `(?s, P, ?o)` pattern vs subject-bound patterns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use se_baselines::exec::TripleSource;
+use se_core::SuccinctEdgeStore;
+use se_datagen::{lubm, workload};
+use se_ontology::lubm_ontology;
+use se_sparql::{execute_query, QueryOptions};
+
+fn ablations(c: &mut Criterion) {
+    let graph = lubm::generate(1, 42);
+    let onto = lubm_ontology();
+    let dicts = onto.encode().unwrap();
+    let store = SuccinctEdgeStore::build(&onto, &graph).unwrap();
+
+    // 1. LiteMat vs UNION rewriting on the same store.
+    let r2 = workload::r_queries(&graph)
+        .into_iter()
+        .find(|q| q.id == "R2")
+        .unwrap();
+    let rewritten = {
+        let parsed = se_sparql::parse_query(&r2.text).unwrap();
+        se_baselines::rewrite_with_ontology(&parsed, &dicts).unwrap().0
+    };
+    let mut group = c.benchmark_group("ablation_reasoning_mode");
+    group.sample_size(10);
+    group.bench_function("litemat_intervals", |b| {
+        b.iter(|| execute_query(&store, &r2.text, &QueryOptions::default()).unwrap())
+    });
+    group.bench_function("union_rewriting_same_store", |b| {
+        b.iter(|| se_sparql::exec::execute(&store, &rewritten, &QueryOptions::without_reasoning()).unwrap())
+    });
+    group.finish();
+
+    // 2. merge join vs nested loop on a star query (M1).
+    let m1 = workload::m_queries(&graph)
+        .into_iter()
+        .find(|q| q.id == "M1")
+        .unwrap();
+    let mut group = c.benchmark_group("ablation_join_strategy");
+    group.sample_size(10);
+    group.bench_function("merge_join", |b| {
+        b.iter(|| execute_query(&store, &m1.text, &QueryOptions::default()).unwrap())
+    });
+    group.bench_function("nested_loop_only", |b| {
+        let opts = QueryOptions { merge_join: false, ..QueryOptions::default() };
+        b.iter(|| execute_query(&store, &m1.text, &opts).unwrap())
+    });
+    group.finish();
+
+    // 3. Algorithm 1 vs textual TP order (M3: order matters).
+    let m3 = workload::m_queries(&graph)
+        .into_iter()
+        .find(|q| q.id == "M3")
+        .unwrap();
+    let mut group = c.benchmark_group("ablation_optimizer");
+    group.sample_size(10);
+    group.bench_function("algorithm1", |b| {
+        b.iter(|| execute_query(&store, &m3.text, &QueryOptions::default()).unwrap())
+    });
+    group.bench_function("textual_order", |b| {
+        let opts = QueryOptions { optimize: false, ..QueryOptions::default() };
+        b.iter(|| execute_query(&store, &m3.text, &opts).unwrap())
+    });
+    group.finish();
+
+    // 4. RDFType store vs evaluating the same lookup through the SDS layers:
+    //    subjects of a concept via the red-black CS path.
+    let student = se_rdf::vocab::lubm::iri("UndergraduateStudent");
+    let iv = store.concept_interval(&student).unwrap();
+    let mut group = c.benchmark_group("ablation_rdftype_store");
+    group.sample_size(10);
+    group.bench_function("rbtree_interval_scan", |b| {
+        b.iter(|| store.subjects_of_concept_interval(iv))
+    });
+    group.finish();
+
+    // 5. PSO vs SPO anchoring (§6): the same succinct layer structure,
+    //    anchored on predicates (SuccinctEdge) vs subjects (HDT-style).
+    let hdt = se_baselines::HdtStyleStore::build(&graph);
+    let works_for = se_rdf::vocab::lubm::iri("worksFor");
+    let p_id_se = store.property_id(&works_for).unwrap();
+    let p_id_hdt = hdt
+        .resolve(&se_rdf::Term::iri(works_for.clone()))
+        .expect("worksFor in the HDT dictionary");
+    let mut group = c.benchmark_group("ablation_layout_anchor");
+    group.sample_size(10);
+    group.bench_function("pso_scan_predicate", |b| {
+        b.iter(|| store.scan_predicate(p_id_se))
+    });
+    group.bench_function("spo_scan_predicate", |b| {
+        b.iter(|| hdt.triples_matching(None, Some(p_id_hdt), None))
+    });
+    group.finish();
+}
+
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 8 — back-end construction time vs dataset size, per system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use se_baselines::{DiskStore, MultiIndexStore};
+use se_bench::{ontology_for, paper_datasets, DISK_POOL_PAGES};
+use se_core::SuccinctEdgeStore;
+
+fn construction(c: &mut Criterion) {
+    let ds = paper_datasets();
+    let mut group = c.benchmark_group("fig8_construction");
+    group.sample_size(10);
+    for (label, graph) in &ds.graphs {
+        if graph.len() > 25_000 {
+            continue; // criterion covers the small/medium range; `tables` covers all
+        }
+        let onto = ontology_for(label);
+        group.bench_with_input(
+            BenchmarkId::new("succinct_edge", label),
+            graph,
+            |b, g| b.iter(|| SuccinctEdgeStore::build(&onto, g).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("multi_index_mem", label),
+            graph,
+            |b, g| b.iter(|| MultiIndexStore::build(g)),
+        );
+        group.bench_with_input(BenchmarkId::new("disk_store", label), graph, |b, g| {
+            b.iter(|| DiskStore::build_temp(g, DISK_POOL_PAGES).unwrap().destroy().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 14 — RDFS-reasoning query latencies: LiteMat intervals
+//! (SuccinctEdge) vs UNION rewriting (baselines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use se_bench::{BuiltSystem, System};
+use se_datagen::{lubm, workload};
+use se_ontology::lubm_ontology;
+
+fn reasoning(c: &mut Criterion) {
+    let graph = lubm::generate(1, 42);
+    let onto = lubm_ontology();
+    let dicts = onto.encode().unwrap();
+    let se = BuiltSystem::build(System::SuccinctEdge, &onto, &graph);
+    let mem = BuiltSystem::build(System::MemoryBaseline, &onto, &graph);
+    let disk = BuiltSystem::build(System::DiskBaseline, &onto, &graph);
+
+    let mut group = c.benchmark_group("fig14_reasoning");
+    group.sample_size(10);
+    for wq in workload::r_queries(&graph) {
+        for (sys, sys_name) in [(&se, "succinct_edge"), (&mem, "multi_index_mem"), (&disk, "disk_store")] {
+            group.bench_with_input(
+                BenchmarkId::new(sys_name, &wq.id),
+                &wq.text,
+                |b, text| b.iter(|| sys.run(text, wq.reasoning, &dicts)),
+            );
+        }
+    }
+    group.finish();
+    disk.destroy();
+    se.destroy();
+    mem.destroy();
+}
+
+criterion_group!(benches, reasoning);
+criterion_main!(benches);

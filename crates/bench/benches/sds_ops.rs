@@ -1,0 +1,66 @@
+//! Microbenchmarks of the SDS substrate: the access/rank/select/rangeSearch
+//! operations every triple pattern compiles into (§3.3, §5.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use se_sds::{RsBitVec, WaveletTree};
+
+fn sds_ops(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    let bm = RsBitVec::from_bits(bits.iter().copied());
+    let values: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 1024).collect();
+    let wt = WaveletTree::new(&values);
+
+    let mut group = c.benchmark_group("sds_bitmap");
+    group.bench_function("rank1", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 99_991) % n;
+            bm.rank1(i)
+        })
+    });
+    group.bench_function("select1", |b| {
+        let ones = bm.count_ones();
+        let mut k = 1usize;
+        b.iter(|| {
+            k = k % ones + 1;
+            bm.select1(k)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("sds_wavelet_tree");
+    group.bench_function("access", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 99_991) % n;
+            wt.access(i)
+        })
+    });
+    group.bench_function("rank", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 99_991) % n;
+            wt.rank(i, 512)
+        })
+    });
+    group.bench_function("select", |b| {
+        let total = wt.rank(n, 512);
+        let mut k = 1usize;
+        b.iter(|| {
+            k = k % total + 1;
+            wt.select(k, 512)
+        })
+    });
+    group.bench_function("range_search_narrow", |b| {
+        let mut a = 0usize;
+        b.iter(|| {
+            a = (a + 99_991) % (n - 4096);
+            wt.range_search(a, a + 4096, 512)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sds_ops);
+criterion_main!(benches);

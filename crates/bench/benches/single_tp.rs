@@ -1,0 +1,42 @@
+//! Tables 1–2 and Figure 12 — single-triple-pattern latencies per system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use se_bench::{BuiltSystem, System};
+use se_datagen::{lubm, workload};
+use se_ontology::lubm_ontology;
+
+fn single_tp(c: &mut Criterion) {
+    let mut graph = lubm::generate(1, 42);
+    graph.truncate(100_000);
+    let onto = lubm_ontology();
+    let dicts = onto.encode().unwrap();
+    let se = BuiltSystem::build(System::SuccinctEdge, &onto, &graph);
+    let mem = BuiltSystem::build(System::MemoryBaseline, &onto, &graph);
+    let disk = BuiltSystem::build(System::DiskBaseline, &onto, &graph);
+
+    let run_group = |name: &str, queries: Vec<workload::WorkloadQuery>, c: &mut Criterion| {
+        let mut group = c.benchmark_group(name);
+        group.sample_size(10);
+        for wq in &queries {
+            for (sys, sys_name) in [(&se, "succinct_edge"), (&mem, "multi_index_mem"), (&disk, "disk_store")] {
+                group.bench_with_input(
+                    BenchmarkId::new(sys_name, &wq.id),
+                    &wq.text,
+                    |b, text| b.iter(|| sys.run(text, wq.reasoning, &dicts)),
+                );
+            }
+        }
+        group.finish();
+    };
+
+    run_group("table1_spo", workload::spo_queries(&graph), c);
+    run_group("table2_pso", workload::po_queries(&graph), c);
+    run_group("fig12_p_scan", workload::p_queries(), c);
+
+    disk.destroy();
+    se.destroy();
+    mem.destroy();
+}
+
+criterion_group!(benches, single_tp);
+criterion_main!(benches);

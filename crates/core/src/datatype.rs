@@ -1,0 +1,433 @@
+//! The datatype-triple store (paper §4).
+//!
+//! Triples whose object is a literal get their own predicate/subject SDS
+//! layers, but their objects live in a *flat literal store*: "we prefer to
+//! store the values as they have been sent by sensors, possibly with some
+//! redundancy, in order to prevent a complex and costly individual
+//! dictionary management." A literal is addressed by its position in the
+//! store, which — because triples are sorted `(p, s)` and literals appended
+//! in triple order — coincides with the triple's position in the layer.
+
+use se_rdf::Literal;
+use se_sds::{HeapSize, RsBitVec, Serialize, WaveletTree};
+use std::io;
+
+/// SDS predicate/subject layers over literal-object triples plus the flat
+/// literal store.
+#[derive(Debug, Clone)]
+pub struct DatatypeLayer {
+    wt_p: WaveletTree,
+    bm_ps: RsBitVec,
+    wt_s: WaveletTree,
+    bm_so: RsBitVec,
+    literals: Vec<Literal>,
+}
+
+impl DatatypeLayer {
+    /// Builds from triples sorted ascending by `(p, s)` (ties in literal
+    /// order are fine but not required); `triples[i].2` becomes literal
+    /// index `i`.
+    pub fn build(triples: &[(u64, u64, Literal)]) -> Self {
+        debug_assert!(
+            triples.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)),
+            "DatatypeLayer input must be sorted by (p, s)"
+        );
+        let mut preds = Vec::new();
+        let mut ps_bits = Vec::new();
+        let mut subjects = Vec::new();
+        let mut so_bits = Vec::with_capacity(triples.len());
+        let mut literals = Vec::with_capacity(triples.len());
+        let mut last_p: Option<u64> = None;
+        let mut last_ps: Option<(u64, u64)> = None;
+        for (p, s, lit) in triples {
+            let new_pair = last_ps != Some((*p, *s));
+            if new_pair {
+                let new_pred = last_p != Some(*p);
+                if new_pred {
+                    preds.push(*p);
+                    last_p = Some(*p);
+                }
+                ps_bits.push(new_pred);
+                subjects.push(*s);
+                last_ps = Some((*p, *s));
+            }
+            so_bits.push(new_pair);
+            literals.push(lit.clone());
+        }
+        Self {
+            wt_p: WaveletTree::new(&preds),
+            bm_ps: RsBitVec::from_bits(ps_bits),
+            wt_s: WaveletTree::new(&subjects),
+            bm_so: RsBitVec::from_bits(so_bits),
+            literals,
+        }
+    }
+
+    /// Number of datatype triples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// `true` if no datatype triples are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// The literal at store position `idx`.
+    #[inline]
+    pub fn literal(&self, idx: u64) -> Option<&Literal> {
+        self.literals.get(idx as usize)
+    }
+
+    /// Position of predicate `p` in this layer's `WT_p`.
+    pub fn predicate_index(&self, p: u64) -> Option<usize> {
+        self.wt_p.select(1, p)
+    }
+
+    /// Contiguous `WT_p` index run of predicates in `[lo, hi)` (LiteMat
+    /// reasoning over datatype-property hierarchies).
+    pub fn predicate_range(&self, lo: u64, hi: u64) -> std::ops::Range<usize> {
+        let n = self.wt_p.len();
+        let partition = |pred: &dyn Fn(u64) -> bool| {
+            let (mut l, mut h) = (0usize, n);
+            while l < h {
+                let mid = (l + h) / 2;
+                if pred(self.wt_p.access(mid)) {
+                    l = mid + 1;
+                } else {
+                    h = mid;
+                }
+            }
+            l
+        };
+        let lower = partition(&|v| v < lo);
+        let upper = partition(&|v| v < hi);
+        lower..upper
+    }
+
+    /// The predicate at `WT_p` position `k`.
+    pub fn predicate_at(&self, k: usize) -> u64 {
+        self.wt_p.access(k)
+    }
+
+    fn subject_bounds(&self, index_p: usize) -> (usize, usize) {
+        let begin = self
+            .bm_ps
+            .select1(index_p + 1)
+            .expect("predicate index within bounds");
+        let end = self
+            .bm_ps
+            .select1(index_p + 2)
+            .unwrap_or_else(|| self.wt_s.len());
+        (begin, end)
+    }
+
+    fn literal_bounds(&self, index_s: usize) -> (usize, usize) {
+        let begin = self
+            .bm_so
+            .select1(index_s + 1)
+            .expect("pair index within bounds");
+        let end = self
+            .bm_so
+            .select1(index_s + 2)
+            .unwrap_or(self.literals.len());
+        (begin, end)
+    }
+
+    /// `(s, p, ?o)`: literal-store indices of the objects of `(p, s)`.
+    pub fn literal_indices(&self, p: u64, s: u64) -> Vec<u64> {
+        let Some(index_p) = self.predicate_index(p) else {
+            return Vec::new();
+        };
+        let (s_begin, s_end) = self.subject_bounds(index_p);
+        let mut res = Vec::new();
+        for index_s in self.wt_s.range_search(s_begin, s_end, s) {
+            let (begin, end) = self.literal_bounds(index_s);
+            res.extend((begin..end).map(|i| i as u64));
+        }
+        res
+    }
+
+    /// `(?s, p, o)` with a literal object: subjects whose `(p, s)` object
+    /// run contains a literal equal to `o`. The flat store has no index on
+    /// literal values (§4), so the predicate's runs are scanned.
+    pub fn subjects_by_literal(&self, p: u64, o: &Literal) -> Vec<u64> {
+        let Some(index_p) = self.predicate_index(p) else {
+            return Vec::new();
+        };
+        let (s_begin, s_end) = self.subject_bounds(index_p);
+        let mut res = Vec::new();
+        for index_s in s_begin..s_end {
+            let (begin, end) = self.literal_bounds(index_s);
+            if self.literals[begin..end].iter().any(|l| l == o) {
+                res.push(self.wt_s.access(index_s));
+            }
+        }
+        res
+    }
+
+    /// `(?s, p, ?o)`: every `(subject, literal index)` pair of predicate
+    /// `p`, in `(s, store-order)` order.
+    pub fn scan_predicate(&self, p: u64) -> Vec<(u64, u64)> {
+        let Some(index_p) = self.predicate_index(p) else {
+            return Vec::new();
+        };
+        self.scan_predicate_index(index_p)
+    }
+
+    /// Like [`DatatypeLayer::scan_predicate`], addressed by `WT_p` position.
+    pub fn scan_predicate_index(&self, index_p: usize) -> Vec<(u64, u64)> {
+        let (s_begin, s_end) = self.subject_bounds(index_p);
+        let mut res = Vec::new();
+        for index_s in s_begin..s_end {
+            let s = self.wt_s.access(index_s);
+            let (begin, end) = self.literal_bounds(index_s);
+            res.extend((begin..end).map(|i| (s, i as u64)));
+        }
+        res
+    }
+
+    /// Number of triples with predicate `p` (Algorithm 2 on this layer).
+    pub fn count_predicate(&self, p: u64) -> usize {
+        let Some(index_p) = self.predicate_index(p) else {
+            return 0;
+        };
+        let (s_begin, s_end) = self.subject_bounds(index_p);
+        let begin = self
+            .bm_so
+            .select1(s_begin + 1)
+            .expect("pair start within bounds");
+        let end = self
+            .bm_so
+            .select1(s_end + 1)
+            .unwrap_or(self.literals.len());
+        end - begin
+    }
+
+    /// Iterates `(p, s, literal index)` in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        (0..self.wt_p.len()).flat_map(move |index_p| {
+            let p = self.wt_p.access(index_p);
+            let (s_begin, s_end) = self.subject_bounds(index_p);
+            (s_begin..s_end).flat_map(move |index_s| {
+                let s = self.wt_s.access(index_s);
+                let (begin, end) = self.literal_bounds(index_s);
+                (begin..end).map(move |i| (p, s, i as u64))
+            })
+        })
+    }
+}
+
+impl HeapSize for DatatypeLayer {
+    fn heap_size(&self) -> usize {
+        self.wt_p.heap_size()
+            + self.bm_ps.heap_size()
+            + self.wt_s.heap_size()
+            + self.bm_so.heap_size()
+            + self.literals.capacity() * std::mem::size_of::<Literal>()
+            + self
+                .literals
+                .iter()
+                .map(|l| {
+                    l.value.len()
+                        + l.datatype.as_ref().map_or(0, |d| d.len())
+                        + l.language.as_ref().map_or(0, |d| d.len())
+                })
+                .sum::<usize>()
+    }
+}
+
+impl Serialize for DatatypeLayer {
+    fn serialize<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        use se_sds::WriteBin;
+        self.wt_p.serialize(w)?;
+        self.bm_ps.serialize(w)?;
+        self.wt_s.serialize(w)?;
+        self.bm_so.serialize(w)?;
+        w.write_u64(self.literals.len() as u64)?;
+        for lit in &self.literals {
+            w.write_str(&lit.value)?;
+            match (&lit.datatype, &lit.language) {
+                (Some(dt), _) => {
+                    w.write_u8(1)?;
+                    w.write_str(dt)?;
+                }
+                (None, Some(lang)) => {
+                    w.write_u8(2)?;
+                    w.write_str(lang)?;
+                }
+                (None, None) => w.write_u8(0)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn deserialize<R: io::Read>(r: &mut R) -> io::Result<Self> {
+        use se_sds::ReadBin;
+        let wt_p = WaveletTree::deserialize(r)?;
+        let bm_ps = RsBitVec::deserialize(r)?;
+        let wt_s = WaveletTree::deserialize(r)?;
+        let bm_so = RsBitVec::deserialize(r)?;
+        let n = r.read_u64()? as usize;
+        let mut literals = Vec::with_capacity(n);
+        for _ in 0..n {
+            let value = r.read_str()?;
+            let lit = match r.read_u8()? {
+                1 => Literal::typed(value, r.read_str()?),
+                2 => Literal::lang(value, r.read_str()?),
+                0 => Literal::string(value),
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad literal tag {other}"),
+                    ))
+                }
+            };
+            literals.push(lit);
+        }
+        Ok(Self {
+            wt_p,
+            bm_ps,
+            wt_s,
+            bm_so,
+            literals,
+        })
+    }
+
+    fn serialized_size(&self) -> usize {
+        let lits: usize = self
+            .literals
+            .iter()
+            .map(|l| {
+                8 + l.value.len()
+                    + 1
+                    + match (&l.datatype, &l.language) {
+                        (Some(dt), _) => 8 + dt.len(),
+                        (None, Some(lang)) => 8 + lang.len(),
+                        (None, None) => 0,
+                    }
+            })
+            .sum();
+        self.wt_p.serialized_size()
+            + self.bm_ps.serialized_size()
+            + self.wt_s.serialized_size()
+            + self.bm_so.serialized_size()
+            + 8
+            + lits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: &str) -> Literal {
+        Literal::string(v)
+    }
+
+    fn sample() -> Vec<(u64, u64, Literal)> {
+        vec![
+            (1, 1, lit("a")),
+            (1, 1, lit("b")),
+            (1, 2, lit("a")),
+            (2, 1, lit("x")),
+            (2, 3, lit("y")),
+        ]
+    }
+
+    #[test]
+    fn literal_indices_match_positions() {
+        let layer = DatatypeLayer::build(&sample());
+        assert_eq!(layer.len(), 5);
+        assert_eq!(layer.literal_indices(1, 1), vec![0, 1]);
+        assert_eq!(layer.literal_indices(1, 2), vec![2]);
+        assert_eq!(layer.literal_indices(2, 1), vec![3]);
+        assert_eq!(layer.literal_indices(2, 3), vec![4]);
+        assert_eq!(layer.literal_indices(1, 9), Vec::<u64>::new());
+        assert_eq!(layer.literal_indices(9, 1), Vec::<u64>::new());
+        assert_eq!(layer.literal(0), Some(&lit("a")));
+        assert_eq!(layer.literal(4), Some(&lit("y")));
+        assert_eq!(layer.literal(5), None);
+    }
+
+    #[test]
+    fn subjects_by_literal() {
+        let layer = DatatypeLayer::build(&sample());
+        assert_eq!(layer.subjects_by_literal(1, &lit("a")), vec![1, 2]);
+        assert_eq!(layer.subjects_by_literal(1, &lit("b")), vec![1]);
+        assert_eq!(layer.subjects_by_literal(2, &lit("y")), vec![3]);
+        assert_eq!(layer.subjects_by_literal(1, &lit("zzz")), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn typed_literals_distinguished() {
+        let triples = vec![
+            (1, 1, Literal::typed("1", "http://x/int")),
+            (1, 2, Literal::string("1")),
+        ];
+        let layer = DatatypeLayer::build(&triples);
+        assert_eq!(
+            layer.subjects_by_literal(1, &Literal::typed("1", "http://x/int")),
+            vec![1]
+        );
+        assert_eq!(layer.subjects_by_literal(1, &Literal::string("1")), vec![2]);
+    }
+
+    #[test]
+    fn scan_predicate() {
+        let layer = DatatypeLayer::build(&sample());
+        assert_eq!(layer.scan_predicate(1), vec![(1, 0), (1, 1), (2, 2)]);
+        assert_eq!(layer.scan_predicate(2), vec![(1, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn count_predicate() {
+        let layer = DatatypeLayer::build(&sample());
+        assert_eq!(layer.count_predicate(1), 3);
+        assert_eq!(layer.count_predicate(2), 2);
+        assert_eq!(layer.count_predicate(3), 0);
+    }
+
+    #[test]
+    fn redundant_literals_are_kept() {
+        // The flat store keeps duplicates — that is the design trade-off of §4.
+        let triples = vec![(1, 1, lit("3.14")), (1, 2, lit("3.14")), (1, 3, lit("3.14"))];
+        let layer = DatatypeLayer::build(&triples);
+        assert_eq!(layer.len(), 3);
+        assert_eq!(layer.subjects_by_literal(1, &lit("3.14")), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_layer() {
+        let layer = DatatypeLayer::build(&[]);
+        assert!(layer.is_empty());
+        assert_eq!(layer.literal_indices(1, 1), Vec::<u64>::new());
+        assert_eq!(layer.iter().count(), 0);
+    }
+
+    #[test]
+    fn iter_roundtrips() {
+        let layer = DatatypeLayer::build(&sample());
+        let triples: Vec<(u64, u64, u64)> =
+            vec![(1, 1, 0), (1, 1, 1), (1, 2, 2), (2, 1, 3), (2, 3, 4)];
+        assert_eq!(layer.iter().collect::<Vec<_>>(), triples);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let triples = vec![
+            (1, 1, Literal::string("plain")),
+            (1, 2, Literal::typed("3.5", "http://www.w3.org/2001/XMLSchema#double")),
+            (2, 1, Literal::lang("bonjour", "fr")),
+        ];
+        let layer = DatatypeLayer::build(&triples);
+        let buf = layer.to_bytes();
+        assert_eq!(buf.len(), layer.serialized_size());
+        let back = DatatypeLayer::from_bytes(&buf).unwrap();
+        assert_eq!(back.literal(0), Some(&Literal::string("plain")));
+        assert_eq!(back.literal(2), Some(&Literal::lang("bonjour", "fr")));
+        assert_eq!(back.literal_indices(1, 2), vec![1]);
+    }
+}

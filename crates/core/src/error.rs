@@ -1,0 +1,35 @@
+//! Store construction errors.
+
+use se_litemat::EncodingError;
+use std::fmt;
+
+/// An error raised while building a [`crate::SuccinctEdgeStore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The LiteMat encoding of the (data-augmented) ontology failed.
+    Encoding(EncodingError),
+    /// A triple uses a literal subject or non-IRI predicate.
+    MalformedTriple(String),
+    /// An `rdf:type` triple has a literal or blank object.
+    MalformedTypeObject(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Encoding(e) => write!(f, "ontology encoding failed: {e}"),
+            BuildError::MalformedTriple(t) => write!(f, "malformed triple: {t}"),
+            BuildError::MalformedTypeObject(t) => {
+                write!(f, "rdf:type object must be an IRI: {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<EncodingError> for BuildError {
+    fn from(e: EncodingError) -> Self {
+        BuildError::Encoding(e)
+    }
+}

@@ -1,0 +1,87 @@
+//! Typed encoded values.
+//!
+//! SuccinctEdge keeps three identifier spaces (paper §4): instances (dense
+//! arbitrary integers), concepts and properties (sparse LiteMat prefix
+//! codes), and literals (positions in the flat literal store of the
+//! Datatype-triple layer). A [`Value`] tags an identifier with its space so
+//! the query engine never confuses, say, instance 5 with concept 5.
+
+use std::fmt;
+
+/// An encoded RDF term: an identifier tagged with its identifier space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An entry of the instance dictionary.
+    Instance(u64),
+    /// A LiteMat concept identifier.
+    Concept(u64),
+    /// A LiteMat property identifier.
+    Property(u64),
+    /// An index into the flat literal store.
+    Literal(u64),
+}
+
+impl Value {
+    /// The raw identifier, whatever the space.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        match self {
+            Value::Instance(v) | Value::Concept(v) | Value::Property(v) | Value::Literal(v) => v,
+        }
+    }
+
+    /// `true` for [`Value::Literal`].
+    #[inline]
+    pub fn is_literal(self) -> bool {
+        matches!(self, Value::Literal(_))
+    }
+
+    /// `true` for [`Value::Instance`].
+    #[inline]
+    pub fn is_instance(self) -> bool {
+        matches!(self, Value::Instance(_))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Instance(v) => write!(f, "i{v}"),
+            Value::Concept(v) => write!(f, "c{v}"),
+            Value::Property(v) => write!(f, "p{v}"),
+            Value::Literal(v) => write!(f, "l{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn different_spaces_never_equal() {
+        assert_ne!(Value::Instance(5), Value::Concept(5));
+        assert_ne!(Value::Concept(5), Value::Property(5));
+        assert_ne!(Value::Instance(5), Value::Literal(5));
+        assert_eq!(Value::Instance(5), Value::Instance(5));
+    }
+
+    #[test]
+    fn raw_extracts_id() {
+        assert_eq!(Value::Instance(7).raw(), 7);
+        assert_eq!(Value::Literal(9).raw(), 9);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Value::Literal(0).is_literal());
+        assert!(!Value::Instance(0).is_literal());
+        assert!(Value::Instance(0).is_instance());
+    }
+
+    #[test]
+    fn display_is_tagged() {
+        assert_eq!(Value::Instance(3).to_string(), "i3");
+        assert_eq!(Value::Concept(4).to_string(), "c4");
+    }
+}

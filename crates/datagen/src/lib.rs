@@ -1,0 +1,25 @@
+//! # se-datagen — synthetic datasets and the paper's query workload
+//!
+//! The evaluation (§7.2) uses two dataset families:
+//!
+//! * **LUBM** — the Lehigh University Benchmark. The paper generates one
+//!   university (>100.000 triples) and carves 1K/5K/10K/25K/50K subsets out
+//!   of it. [`lubm::generate`] reimplements the univ-bench generator with
+//!   the same entity types, property shapes and rough cardinalities.
+//! * **ENGIE water distribution** — proprietary 250- and 500-triple graphs
+//!   from a building's potable-water management system. [`water::generate`]
+//!   synthesizes graphs of the same shape (SOSA observations, QUDT units,
+//!   two station profiles with *different* annotations, §2), which
+//!   preserves the code paths the real data exercises: rdf:type-heavy
+//!   graphs, datatype literals, and hierarchy-spanning unit annotations.
+//!
+//! [`workload`] reconstructs the 26-query workload of Appendix A
+//! (S1–S15 single-TP, M1–M5 multi-TP, R1–R6 reasoning) plus the motivating
+//! anomaly query of §2.
+
+pub mod lubm;
+pub mod water;
+pub mod workload;
+
+pub use lubm::generate as generate_lubm;
+pub use water::generate as generate_water;

@@ -1,0 +1,366 @@
+//! A LUBM (univ-bench) data generator.
+//!
+//! Follows the published LUBM profile closely enough that the paper's
+//! queries retrieve structurally similar answer sets: universities contain
+//! 15–25 departments; each department hosts full/associate/assistant
+//! professors, lecturers, undergraduate and graduate students, courses,
+//! research groups and publications, wired with the univ-bench object and
+//! datatype properties. One university yields on the order of 100.000
+//! triples (the paper's "LUBM1 / 100K" dataset).
+//!
+//! Generation is deterministic for a given seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use se_rdf::vocab::{lubm, rdf};
+use se_rdf::{Graph, Literal, Term, Triple};
+
+/// Deterministically generates `universities` LUBM universities.
+pub fn generate(universities: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    for u in 0..universities {
+        generate_university(&mut g, u, &mut rng);
+    }
+    g
+}
+
+fn class(name: &str) -> Term {
+    Term::iri(lubm::iri(name))
+}
+
+fn prop(name: &str) -> Term {
+    Term::iri(lubm::iri(name))
+}
+
+fn a(g: &mut Graph, s: &Term, c: &str) {
+    g.insert(Triple::new(s.clone(), Term::iri(rdf::TYPE), class(c)));
+}
+
+fn rel(g: &mut Graph, s: &Term, p: &str, o: &Term) {
+    g.insert(Triple::new(s.clone(), prop(p), o.clone()));
+}
+
+fn lit(g: &mut Graph, s: &Term, p: &str, v: impl Into<std::sync::Arc<str>>) {
+    g.insert(Triple::new(
+        s.clone(),
+        prop(p),
+        Term::Literal(Literal::string(v)),
+    ));
+}
+
+fn generate_university(g: &mut Graph, u: usize, rng: &mut StdRng) {
+    let univ = Term::iri(format!("http://www.University{u}.edu"));
+    a(g, &univ, "University");
+    lit(g, &univ, "name", format!("University{u}"));
+    let n_depts = rng.random_range(15..=20);
+    for d in 0..n_depts {
+        generate_department(g, &univ, u, d, rng);
+    }
+}
+
+struct DeptContext {
+    dept: Term,
+    ns: String,
+    courses: Vec<Term>,
+    grad_courses: Vec<Term>,
+    faculty: Vec<Term>,
+}
+
+fn generate_department(g: &mut Graph, univ: &Term, u: usize, d: usize, rng: &mut StdRng) {
+    let ns = format!("http://www.Department{d}.University{u}.edu");
+    let dept = Term::iri(ns.clone());
+    a(g, &dept, "Department");
+    lit(g, &dept, "name", format!("Department{d}"));
+    rel(g, &dept, "subOrganizationOf", univ);
+
+    let mut ctx = DeptContext {
+        dept: dept.clone(),
+        ns,
+        courses: Vec::new(),
+        grad_courses: Vec::new(),
+        faculty: Vec::new(),
+    };
+
+    // Research groups.
+    for r in 0..rng.random_range(10..=20) {
+        let group = Term::iri(format!("{}/ResearchGroup{r}", ctx.ns));
+        a(g, &group, "ResearchGroup");
+        rel(g, &group, "subOrganizationOf", &dept);
+    }
+
+    // Courses (created on demand by faculty, pre-seeded here).
+    for c in 0..rng.random_range(25..=35) {
+        let course = Term::iri(format!("{}/Course{c}", ctx.ns));
+        a(g, &course, "Course");
+        lit(g, &course, "name", format!("Course{c}"));
+        ctx.courses.push(course);
+    }
+    for c in 0..rng.random_range(15..=25) {
+        let course = Term::iri(format!("{}/GraduateCourse{c}", ctx.ns));
+        a(g, &course, "GraduateCourse");
+        lit(g, &course, "name", format!("GraduateCourse{c}"));
+        ctx.grad_courses.push(course);
+    }
+
+    // Faculty.
+    let n_full = rng.random_range(7..=10);
+    let n_assoc = rng.random_range(10..=14);
+    let n_assist = rng.random_range(8..=11);
+    let n_lect = rng.random_range(5..=7);
+    for i in 0..n_full {
+        generate_faculty(g, &mut ctx, "FullProfessor", i, u, rng);
+    }
+    for i in 0..n_assoc {
+        generate_faculty(g, &mut ctx, "AssociateProfessor", i, u, rng);
+    }
+    for i in 0..n_assist {
+        generate_faculty(g, &mut ctx, "AssistantProfessor", i, u, rng);
+    }
+    for i in 0..n_lect {
+        generate_faculty(g, &mut ctx, "Lecturer", i, u, rng);
+    }
+    // The department head is a full professor.
+    let head = Term::iri(format!("{}/FullProfessor0", ctx.ns));
+    rel(g, &head, "headOf", &dept);
+
+    // Students.
+    let n_faculty = ctx.faculty.len();
+    let n_undergrad = n_faculty * rng.random_range(8..=14);
+    let n_grad = n_faculty * rng.random_range(3..=4);
+    for i in 0..n_undergrad {
+        let s = Term::iri(format!("{}/UndergraduateStudent{i}", ctx.ns));
+        a(g, &s, "UndergraduateStudent");
+        lit(g, &s, "name", format!("UndergraduateStudent{i}"));
+        rel(g, &s, "memberOf", &dept);
+        for _ in 0..rng.random_range(2..=4) {
+            let c = &ctx.courses[rng.random_range(0..ctx.courses.len())];
+            rel(g, &s, "takesCourse", c);
+        }
+        if rng.random_range(0..5) == 0 {
+            let adv = &ctx.faculty[rng.random_range(0..n_faculty)];
+            rel(g, &s, "advisor", adv);
+        }
+    }
+    for i in 0..n_grad {
+        let s = Term::iri(format!("{}/GraduateStudent{i}", ctx.ns));
+        a(g, &s, "GraduateStudent");
+        lit(g, &s, "name", format!("GraduateStudent{i}"));
+        lit(g, &s, "emailAddress", format!("GraduateStudent{i}@Department{d}.University{u}.edu"));
+        rel(g, &s, "memberOf", &dept);
+        let ug_univ = Term::iri(format!("http://www.University{}.edu", rng.random_range(0..=u.max(4))));
+        rel(g, &s, "undergraduateDegreeFrom", &ug_univ);
+        for _ in 0..rng.random_range(1..=3) {
+            let c = &ctx.grad_courses[rng.random_range(0..ctx.grad_courses.len())];
+            rel(g, &s, "takesCourse", c);
+        }
+        let adv = &ctx.faculty[rng.random_range(0..n_faculty)];
+        rel(g, &s, "advisor", adv);
+        if rng.random_range(0..4) == 0 {
+            a(g, &s, "TeachingAssistant");
+        }
+    }
+
+    // Collaborative publications (departmental reports): publications with
+    // many authors. These provide the high-fanout (s, publicationAuthor, ?o)
+    // pairs behind the paper's Table 1 selectivity series (answer sets up
+    // to ~513 objects for a single subject/predicate pair).
+    let mut population: Vec<Term> = ctx.faculty.clone();
+    for i in 0..n_grad {
+        population.push(Term::iri(format!("{}/GraduateStudent{i}", ctx.ns)));
+    }
+    for i in 0..n_undergrad {
+        population.push(Term::iri(format!("{}/UndergraduateStudent{i}", ctx.ns)));
+    }
+    for (r, target_authors) in [4usize, 66, 129, 257, 513].into_iter().enumerate() {
+        let report = Term::iri(format!("{}/CollaborativeReport{r}", ctx.ns));
+        a(g, &report, "Publication");
+        lit(g, &report, "name", format!("CollaborativeReport{r}"));
+        let n_authors = target_authors.min(population.len());
+        for author in population.iter().take(n_authors) {
+            rel(g, &report, "publicationAuthor", author);
+        }
+    }
+}
+
+fn generate_faculty(
+    g: &mut Graph,
+    ctx: &mut DeptContext,
+    kind: &str,
+    i: usize,
+    u: usize,
+    rng: &mut StdRng,
+) {
+    let f = Term::iri(format!("{}/{kind}{i}", ctx.ns));
+    a(g, &f, kind);
+    lit(g, &f, "name", format!("{kind}{i}"));
+    lit(
+        g,
+        &f,
+        "emailAddress",
+        format!("{kind}{i}@{}", ctx.ns.trim_start_matches("http://www.")),
+    );
+    lit(g, &f, "telephone", format!("xxx-xxx-{:04}", rng.random_range(0..10_000)));
+    rel(g, &f, "worksFor", &ctx.dept);
+    // Degrees from random universities (a small closed world keeps the
+    // ?s,P,O selectivities realistic).
+    let deg = |rng: &mut StdRng| {
+        Term::iri(format!("http://www.University{}.edu", rng.random_range(0..=u.max(4))))
+    };
+    let d0 = deg(rng);
+    rel(g, &f, "undergraduateDegreeFrom", &d0);
+    let d1 = deg(rng);
+    rel(g, &f, "mastersDegreeFrom", &d1);
+    let d2 = deg(rng);
+    rel(g, &f, "doctoralDegreeFrom", &d2);
+    // Teaching.
+    if kind == "Lecturer" {
+        for _ in 0..rng.random_range(1..=2) {
+            let c = ctx.courses[rng.random_range(0..ctx.courses.len())].clone();
+            rel(g, &f, "teacherOf", &c);
+        }
+    } else {
+        let c = ctx.courses[rng.random_range(0..ctx.courses.len())].clone();
+        rel(g, &f, "teacherOf", &c);
+        let gc = ctx.grad_courses[rng.random_range(0..ctx.grad_courses.len())].clone();
+        rel(g, &f, "teacherOf", &gc);
+    }
+    // Publications authored by this faculty member.
+    let n_pubs = match kind {
+        "FullProfessor" => rng.random_range(15..=20),
+        "AssociateProfessor" => rng.random_range(10..=18),
+        "AssistantProfessor" => rng.random_range(5..=10),
+        _ => rng.random_range(0..=5),
+    };
+    for p in 0..n_pubs {
+        let pb = Term::iri(format!("{}/{kind}{i}/Publication{p}", ctx.ns));
+        a(g, &pb, "Publication");
+        lit(g, &pb, "name", format!("Publication{p}"));
+        rel(g, &pb, "publicationAuthor", &f);
+    }
+    ctx.faculty.push(f);
+}
+
+/// The dataset sizes of the paper's experiments (§7.2): 250 and 500 come
+/// from the water generator; the rest are LUBM subsets.
+pub const PAPER_SIZES: [usize; 8] = [250, 500, 1_000, 5_000, 10_000, 25_000, 50_000, 100_000];
+
+/// Carves the paper's `1K..50K` subsets out of a generated graph, plus the
+/// full graph itself (denoted `100K`).
+pub fn subsets(full: &Graph, sizes: &[usize]) -> Vec<(usize, Graph)> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut g = full.clone();
+            g.truncate(n.min(full.len()));
+            (n, g)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_university_is_about_100k_triples() {
+        let g = generate(1, 42);
+        assert!(
+            g.len() > 90_000 && g.len() < 220_000,
+            "unexpected size {}",
+            g.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate(1, 7);
+        let b = generate(1, 7);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.triples()[..100], b.triples()[..100]);
+        let c = generate(1, 8);
+        assert_ne!(a.triples()[..100], c.triples()[..100]);
+    }
+
+    #[test]
+    fn contains_expected_entity_types() {
+        let g = generate(1, 42);
+        let has_type = |c: &str| {
+            let cls = lubm::iri(c);
+            g.iter().any(|t| {
+                t.is_type_triple() && t.object.as_iri() == Some(cls.as_str())
+            })
+        };
+        for c in [
+            "University",
+            "Department",
+            "FullProfessor",
+            "AssociateProfessor",
+            "AssistantProfessor",
+            "Lecturer",
+            "UndergraduateStudent",
+            "GraduateStudent",
+            "Course",
+            "GraduateCourse",
+            "ResearchGroup",
+            "Publication",
+            "TeachingAssistant",
+        ] {
+            assert!(has_type(c), "missing type {c}");
+        }
+    }
+
+    #[test]
+    fn contains_expected_properties() {
+        let g = generate(1, 42);
+        let has_prop = |p: &str| {
+            let iri = lubm::iri(p);
+            g.iter().any(|t| t.predicate.as_iri() == Some(iri.as_str()))
+        };
+        for p in [
+            "worksFor",
+            "headOf",
+            "memberOf",
+            "subOrganizationOf",
+            "takesCourse",
+            "teacherOf",
+            "advisor",
+            "publicationAuthor",
+            "undergraduateDegreeFrom",
+            "mastersDegreeFrom",
+            "doctoralDegreeFrom",
+            "name",
+            "emailAddress",
+            "telephone",
+        ] {
+            assert!(has_prop(p), "missing property {p}");
+        }
+    }
+
+    #[test]
+    fn subsets_have_requested_sizes() {
+        let g = generate(1, 42);
+        let subs = subsets(&g, &[1_000, 5_000, 10_000]);
+        assert_eq!(subs[0].1.len(), 1_000);
+        assert_eq!(subs[1].1.len(), 5_000);
+        assert_eq!(subs[2].1.len(), 10_000);
+    }
+
+    #[test]
+    fn head_of_exists_per_department() {
+        let g = generate(1, 42);
+        let head_of = lubm::iri("headOf");
+        let n_depts = g
+            .iter()
+            .filter(|t| {
+                t.is_type_triple()
+                    && t.object.as_iri() == Some(lubm::iri("Department").as_str())
+            })
+            .count();
+        let n_heads = g
+            .iter()
+            .filter(|t| t.predicate.as_iri() == Some(head_of.as_str()))
+            .count();
+        assert_eq!(n_depts, n_heads);
+    }
+}

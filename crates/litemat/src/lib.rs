@@ -1,0 +1,31 @@
+//! # se-litemat — the LiteMat semantic-aware encoding scheme
+//!
+//! LiteMat (§3.2 of the paper) assigns integer identifiers to ontology terms
+//! such that the identifier of a term is *prefixed* (in binary) by the
+//! identifier of its direct parent. After normalizing all identifiers to a
+//! common bit length, the set of direct and indirect sub-terms of any term
+//! `T` is exactly the contiguous interval
+//!
+//! ```text
+//! [ id(T), id(T) + 2^(L - localLen(T)) )
+//! ```
+//!
+//! computable with two bit shifts and one addition. RDFS `subClassOf` /
+//! `subPropertyOf` reasoning therefore never materializes inferences and
+//! never rewrites a query into a UNION — a triple pattern over a concept
+//! becomes a range constraint over its identifier interval.
+//!
+//! The crate provides:
+//!
+//! * [`encoding::LiteMatEncoding`] — the prefix-code encoder for a term
+//!   hierarchy (paper Figure 2), including the per-entry *local length*
+//!   metadata and the interval computation;
+//! * [`dictionary`] — the bidirectional dictionaries of §4 (concept,
+//!   property and instance dictionaries with occurrence statistics);
+//! * hierarchy-aware statistics used by the query optimizer (§5.1).
+
+pub mod dictionary;
+pub mod encoding;
+
+pub use dictionary::{Dictionaries, InstanceDictionary, LiteMatDictionary};
+pub use encoding::{EncodingError, IdInterval, LiteMatEncoding};

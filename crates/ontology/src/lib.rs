@@ -1,0 +1,453 @@
+//! # se-ontology — ρdf ontologies for SuccinctEdge
+//!
+//! The paper reasons over the ρdf subset of RDFS (§3.2): `rdfs:subClassOf`,
+//! `rdfs:subPropertyOf`, `rdfs:domain` and `rdfs:range`. This crate models
+//! such ontologies, extracts them from RDF graphs, and drives the LiteMat
+//! encoding that turns the two hierarchies into identifier intervals.
+//!
+//! It also ships the two concrete ontologies of the evaluation:
+//!
+//! * [`lubm_ontology`] — the univ-bench (LUBM) class/property hierarchy used
+//!   by the synthetic datasets and the S/M/R query workload (§7.2,
+//!   Appendix A);
+//! * [`water_ontology`] — the SOSA + QUDT fragment of the motivating
+//!   example (§2), with the unit hierarchies
+//!   `AmountOfSubstanceUnit ⊑ Chemistry ⊑ ScienceUnit` and
+//!   `PressureOrStressUnit ⊑ PressureUnit ⊑ MechanicsUnit`.
+
+use se_litemat::{Dictionaries, EncodingError, LiteMatEncoding};
+use se_rdf::vocab::{lubm, owl, qudt, rdfs, sosa};
+use se_rdf::{Graph, Term};
+use std::collections::BTreeSet;
+
+/// Virtual root uniting the object- and datatype-property hierarchies in a
+/// single LiteMat identifier space.
+pub const TOP_PROPERTY: &str = "urn:se:topProperty";
+
+/// A ρdf ontology: two hierarchies plus domain/range assertions.
+#[derive(Debug, Clone, Default)]
+pub struct Ontology {
+    /// `(sub, sup)` class axioms.
+    pub class_edges: Vec<(String, String)>,
+    /// `(sub, sup)` property axioms.
+    pub property_edges: Vec<(String, String)>,
+    /// `(property, class)` domain assertions.
+    pub domains: Vec<(String, String)>,
+    /// `(property, class)` range assertions.
+    pub ranges: Vec<(String, String)>,
+    /// Classes without explicit super-class (still anchored at `owl:Thing`).
+    pub extra_classes: Vec<String>,
+    /// Object properties without explicit super-property.
+    pub extra_object_properties: Vec<String>,
+    /// Datatype properties without explicit super-property.
+    pub extra_datatype_properties: Vec<String>,
+}
+
+impl Ontology {
+    /// An empty ontology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extracts the ρdf axioms from an RDF graph (an ontology document).
+    ///
+    /// `rdfs:subClassOf` / `rdfs:subPropertyOf` triples become hierarchy
+    /// edges; `rdfs:domain` / `rdfs:range` are collected; terms typed
+    /// `owl:Class`, `owl:ObjectProperty` or `owl:DatatypeProperty` without
+    /// a parent axiom are registered as roots of their hierarchies.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let mut onto = Self::new();
+        let mut declared_classes = BTreeSet::new();
+        let mut declared_obj_props = BTreeSet::new();
+        let mut declared_data_props = BTreeSet::new();
+        for t in graph {
+            let (Some(s), Some(p)) = (t.subject.as_iri(), t.predicate.as_iri()) else {
+                continue;
+            };
+            match p {
+                rdfs::SUB_CLASS_OF => {
+                    if let Some(o) = t.object.as_iri() {
+                        onto.class_edges.push((s.to_string(), o.to_string()));
+                    }
+                }
+                rdfs::SUB_PROPERTY_OF => {
+                    if let Some(o) = t.object.as_iri() {
+                        onto.property_edges.push((s.to_string(), o.to_string()));
+                    }
+                }
+                rdfs::DOMAIN => {
+                    if let Some(o) = t.object.as_iri() {
+                        onto.domains.push((s.to_string(), o.to_string()));
+                        declared_classes.insert(o.to_string());
+                    }
+                }
+                rdfs::RANGE => {
+                    if let Some(o) = t.object.as_iri() {
+                        onto.ranges.push((s.to_string(), o.to_string()));
+                    }
+                }
+                se_rdf::vocab::rdf::TYPE => match t.object.as_iri() {
+                    Some(owl::CLASS) => {
+                        declared_classes.insert(s.to_string());
+                    }
+                    Some(owl::OBJECT_PROPERTY) => {
+                        declared_obj_props.insert(s.to_string());
+                    }
+                    Some(owl::DATATYPE_PROPERTY) => {
+                        declared_data_props.insert(s.to_string());
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        onto.extra_classes = declared_classes.into_iter().collect();
+        onto.extra_object_properties = declared_obj_props.into_iter().collect();
+        onto.extra_datatype_properties = declared_data_props.into_iter().collect();
+        onto
+    }
+
+    /// Adds a `sub ⊑ sup` class axiom.
+    pub fn add_class(&mut self, sub: &str, sup: &str) -> &mut Self {
+        self.class_edges.push((sub.to_string(), sup.to_string()));
+        self
+    }
+
+    /// Adds a `sub ⊑ sup` property axiom.
+    pub fn add_property(&mut self, sub: &str, sup: &str) -> &mut Self {
+        self.property_edges.push((sub.to_string(), sup.to_string()));
+        self
+    }
+
+    /// Registers an object property without a super-property.
+    pub fn add_object_property(&mut self, p: &str) -> &mut Self {
+        self.extra_object_properties.push(p.to_string());
+        self
+    }
+
+    /// Registers a datatype property without a super-property.
+    pub fn add_datatype_property(&mut self, p: &str) -> &mut Self {
+        self.extra_datatype_properties.push(p.to_string());
+        self
+    }
+
+    /// Adds a domain assertion.
+    pub fn add_domain(&mut self, property: &str, class: &str) -> &mut Self {
+        self.domains.push((property.to_string(), class.to_string()));
+        self
+    }
+
+    /// Adds a range assertion.
+    pub fn add_range(&mut self, property: &str, class: &str) -> &mut Self {
+        self.ranges.push((property.to_string(), class.to_string()));
+        self
+    }
+
+    /// Runs the LiteMat pre-processing of §4 ("this server also performs
+    /// the pre-processing task consisting of encoding ontologies using the
+    /// LiteMat scheme") and returns the dictionaries broadcast to the edge
+    /// instances.
+    pub fn encode(&self) -> Result<Dictionaries, EncodingError> {
+        let concepts = LiteMatEncoding::encode(owl::THING, &self.class_edges, &self.extra_classes)?;
+        // Single property space: topProperty ⊒ {topObjectProperty ⊒ object
+        // props, topDataProperty ⊒ datatype props}.
+        let mut property_edges = self.property_edges.clone();
+        property_edges.push((owl::TOP_OBJECT_PROPERTY.to_string(), TOP_PROPERTY.to_string()));
+        property_edges.push((owl::TOP_DATA_PROPERTY.to_string(), TOP_PROPERTY.to_string()));
+        for p in &self.extra_object_properties {
+            property_edges.push((p.clone(), owl::TOP_OBJECT_PROPERTY.to_string()));
+        }
+        for p in &self.extra_datatype_properties {
+            property_edges.push((p.clone(), owl::TOP_DATA_PROPERTY.to_string()));
+        }
+        let properties = LiteMatEncoding::encode(TOP_PROPERTY, &property_edges, &[])?;
+        Ok(Dictionaries::new(concepts, properties))
+    }
+
+    /// Domain class of `property`, if asserted.
+    pub fn domain_of(&self, property: &str) -> Option<&str> {
+        self.domains
+            .iter()
+            .find(|(p, _)| p == property)
+            .map(|(_, c)| c.as_str())
+    }
+
+    /// Range class of `property`, if asserted.
+    pub fn range_of(&self, property: &str) -> Option<&str> {
+        self.ranges
+            .iter()
+            .find(|(p, _)| p == property)
+            .map(|(_, c)| c.as_str())
+    }
+
+    /// ρdf saturation of domain/range: given the explicit triples of
+    /// `graph`, derives the `rdf:type` triples entailed by `rdfs:domain`
+    /// and `rdfs:range` (the two ρdf rules LiteMat's interval encoding does
+    /// not cover). `subClassOf`/`subPropertyOf` entailments stay virtual —
+    /// that is the whole point of LiteMat.
+    pub fn derive_domain_range_types(&self, graph: &Graph) -> Vec<se_rdf::Triple> {
+        let mut derived = Vec::new();
+        for t in graph {
+            let Some(p) = t.predicate.as_iri() else {
+                continue;
+            };
+            if let Some(domain) = self.domain_of(p) {
+                derived.push(se_rdf::Triple::new(
+                    t.subject.clone(),
+                    Term::iri(se_rdf::vocab::rdf::TYPE),
+                    Term::iri(domain.to_string()),
+                ));
+            }
+            if t.object.is_resource() {
+                if let Some(range) = self.range_of(p) {
+                    derived.push(se_rdf::Triple::new(
+                        t.object.clone(),
+                        Term::iri(se_rdf::vocab::rdf::TYPE),
+                        Term::iri(range.to_string()),
+                    ));
+                }
+            }
+        }
+        derived
+    }
+}
+
+/// The univ-bench (LUBM) ontology fragment covering the paper's S/M/R
+/// queries (Appendix A).
+pub fn lubm_ontology() -> Ontology {
+    let mut o = Ontology::new();
+    let c = |n: &str| lubm::iri(n);
+    // ---- class hierarchy -------------------------------------------------
+    for (sub, sup) in [
+        ("Person", "Thing"),
+        ("Organization", "Thing"),
+        ("Work", "Thing"),
+        ("Publication", "Thing"),
+        // People
+        ("Employee", "Person"),
+        ("Student", "Person"),
+        ("TeachingAssistant", "Person"),
+        ("ResearchAssistant", "Person"),
+        ("Faculty", "Employee"),
+        ("Professor", "Faculty"),
+        ("FullProfessor", "Professor"),
+        ("AssociateProfessor", "Professor"),
+        ("AssistantProfessor", "Professor"),
+        ("VisitingProfessor", "Professor"),
+        ("Chair", "Professor"),
+        ("Lecturer", "Faculty"),
+        ("PostDoc", "Faculty"),
+        ("UndergraduateStudent", "Student"),
+        ("GraduateStudent", "Student"),
+        // Organizations
+        ("University", "Organization"),
+        ("Department", "Organization"),
+        ("College", "Organization"),
+        ("ResearchGroup", "Organization"),
+        ("Program", "Organization"),
+        ("Institute", "Organization"),
+        // Work
+        ("Course", "Work"),
+        ("GraduateCourse", "Course"),
+        ("Research", "Work"),
+        // Publications
+        ("Article", "Publication"),
+        ("Book", "Publication"),
+        ("TechnicalReport", "Publication"),
+    ] {
+        let sup_iri = if sup == "Thing" {
+            owl::THING.to_string()
+        } else {
+            c(sup)
+        };
+        o.add_class(&c(sub), &sup_iri);
+    }
+    // ---- object property hierarchy ---------------------------------------
+    for (sub, sup) in [
+        ("worksFor", "memberOf"),
+        ("headOf", "worksFor"),
+        ("undergraduateDegreeFrom", "degreeFrom"),
+        ("mastersDegreeFrom", "degreeFrom"),
+        ("doctoralDegreeFrom", "degreeFrom"),
+    ] {
+        o.add_property(&c(sub), &c(sup));
+    }
+    for p in [
+        "memberOf",
+        "degreeFrom",
+        "subOrganizationOf",
+        "takesCourse",
+        "teacherOf",
+        "advisor",
+        "publicationAuthor",
+        "affiliatedOrganizationOf",
+    ] {
+        o.add_object_property(&c(p));
+    }
+    // ---- datatype properties ----------------------------------------------
+    for p in ["name", "emailAddress", "telephone", "researchInterest", "officeNumber"] {
+        o.add_datatype_property(&c(p));
+    }
+    // ---- domains / ranges --------------------------------------------------
+    o.add_domain(&c("memberOf"), &c("Person"));
+    o.add_range(&c("memberOf"), &c("Organization"));
+    o.add_domain(&c("teacherOf"), &c("Faculty"));
+    o.add_range(&c("teacherOf"), &c("Course"));
+    o.add_domain(&c("subOrganizationOf"), &c("Organization"));
+    o.add_range(&c("subOrganizationOf"), &c("Organization"));
+    o.add_range(&c("publicationAuthor"), &c("Person"));
+    o
+}
+
+/// The SOSA + QUDT ontology fragment of the motivating example (§2).
+pub fn water_ontology() -> Ontology {
+    let mut o = Ontology::new();
+    // SOSA classes (flat, under owl:Thing).
+    for cl in [sosa::PLATFORM, sosa::SENSOR, sosa::OBSERVATION, sosa::RESULT] {
+        o.extra_classes.push(cl.to_string());
+    }
+    // QUDT unit hierarchy of §2.
+    o.extra_classes.push("http://qudt.org/schema/qudt/Unit".to_string());
+    for (sub, sup) in [
+        (qudt::SCIENCE_UNIT, "http://qudt.org/schema/qudt/Unit"),
+        (qudt::CHEMISTRY, qudt::SCIENCE_UNIT),
+        (qudt::AMOUNT_OF_SUBSTANCE_UNIT, qudt::CHEMISTRY),
+        (qudt::MECHANICS_UNIT, "http://qudt.org/schema/qudt/Unit"),
+        (qudt::PRESSURE_UNIT, qudt::MECHANICS_UNIT),
+        (qudt::PRESSURE_OR_STRESS_UNIT, qudt::PRESSURE_UNIT),
+    ] {
+        o.add_class(sub, sup);
+    }
+    // Object properties.
+    for p in [sosa::HOSTS, sosa::OBSERVES, sosa::HAS_RESULT, sosa::MADE_BY_SENSOR, qudt::UNIT] {
+        o.add_object_property(p);
+    }
+    // Datatype properties.
+    for p in [sosa::RESULT_TIME, qudt::NUMERIC_VALUE] {
+        o.add_datatype_property(p);
+    }
+    o.add_domain(sosa::OBSERVES, sosa::SENSOR);
+    o.add_domain(sosa::HAS_RESULT, sosa::OBSERVATION);
+    o.add_range(sosa::HAS_RESULT, sosa::RESULT);
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_rdf::vocab::rdf;
+    use se_rdf::Triple;
+
+    #[test]
+    fn lubm_subsumptions() {
+        let dicts = lubm_ontology().encode().unwrap();
+        let enc = dicts.concepts.encoding();
+        assert!(enc.is_subsumed_by(&lubm::iri("GraduateStudent"), &lubm::iri("Student")));
+        assert!(enc.is_subsumed_by(&lubm::iri("GraduateStudent"), &lubm::iri("Person")));
+        assert!(enc.is_subsumed_by(&lubm::iri("FullProfessor"), &lubm::iri("Faculty")));
+        assert!(enc.is_subsumed_by(&lubm::iri("FullProfessor"), owl::THING));
+        assert!(!enc.is_subsumed_by(&lubm::iri("University"), &lubm::iri("Person")));
+        assert!(!enc.is_subsumed_by(&lubm::iri("Person"), &lubm::iri("Student")));
+    }
+
+    #[test]
+    fn lubm_property_subsumptions() {
+        let dicts = lubm_ontology().encode().unwrap();
+        let enc = dicts.properties.encoding();
+        assert!(enc.is_subsumed_by(&lubm::iri("worksFor"), &lubm::iri("memberOf")));
+        assert!(enc.is_subsumed_by(&lubm::iri("headOf"), &lubm::iri("memberOf")));
+        assert!(enc.is_subsumed_by(&lubm::iri("headOf"), &lubm::iri("worksFor")));
+        assert!(!enc.is_subsumed_by(&lubm::iri("memberOf"), &lubm::iri("worksFor")));
+        assert!(enc.is_subsumed_by(
+            &lubm::iri("undergraduateDegreeFrom"),
+            &lubm::iri("degreeFrom")
+        ));
+    }
+
+    #[test]
+    fn object_and_datatype_properties_are_separated() {
+        let dicts = lubm_ontology().encode().unwrap();
+        let enc = dicts.properties.encoding();
+        assert!(enc.is_subsumed_by(&lubm::iri("memberOf"), owl::TOP_OBJECT_PROPERTY));
+        assert!(enc.is_subsumed_by(&lubm::iri("name"), owl::TOP_DATA_PROPERTY));
+        assert!(!enc.is_subsumed_by(&lubm::iri("name"), owl::TOP_OBJECT_PROPERTY));
+        assert!(enc.is_subsumed_by(&lubm::iri("name"), TOP_PROPERTY));
+    }
+
+    #[test]
+    fn water_unit_hierarchy_matches_paper() {
+        let dicts = water_ontology().encode().unwrap();
+        let enc = dicts.concepts.encoding();
+        // §2: a query over PressureUnit must match PressureOrStressUnit
+        // (Station1) — and AmountOfSubstanceUnit ⊑ Chemistry.
+        assert!(enc.is_subsumed_by(qudt::PRESSURE_OR_STRESS_UNIT, qudt::PRESSURE_UNIT));
+        assert!(enc.is_subsumed_by(qudt::PRESSURE_OR_STRESS_UNIT, qudt::MECHANICS_UNIT));
+        assert!(enc.is_subsumed_by(qudt::AMOUNT_OF_SUBSTANCE_UNIT, qudt::CHEMISTRY));
+        assert!(!enc.is_subsumed_by(qudt::AMOUNT_OF_SUBSTANCE_UNIT, qudt::PRESSURE_UNIT));
+    }
+
+    #[test]
+    fn from_graph_extracts_axioms() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            Term::iri("http://x/Sub"),
+            Term::iri(rdfs::SUB_CLASS_OF),
+            Term::iri("http://x/Sup"),
+        ));
+        g.insert(Triple::new(
+            Term::iri("http://x/p"),
+            Term::iri(rdfs::SUB_PROPERTY_OF),
+            Term::iri("http://x/q"),
+        ));
+        g.insert(Triple::new(
+            Term::iri("http://x/p"),
+            Term::iri(rdfs::DOMAIN),
+            Term::iri("http://x/Sub"),
+        ));
+        g.insert(Triple::new(
+            Term::iri("http://x/q"),
+            Term::iri(rdf::TYPE),
+            Term::iri(owl::OBJECT_PROPERTY),
+        ));
+        let onto = Ontology::from_graph(&g);
+        assert_eq!(onto.class_edges, vec![("http://x/Sub".into(), "http://x/Sup".into())]);
+        assert_eq!(onto.property_edges, vec![("http://x/p".into(), "http://x/q".into())]);
+        assert_eq!(onto.domain_of("http://x/p"), Some("http://x/Sub"));
+        assert_eq!(onto.range_of("http://x/p"), None);
+        assert!(onto.extra_object_properties.contains(&"http://x/q".to_string()));
+        let dicts = onto.encode().unwrap();
+        assert!(dicts
+            .concepts
+            .encoding()
+            .is_subsumed_by("http://x/Sub", "http://x/Sup"));
+    }
+
+    #[test]
+    fn derive_domain_range_types() {
+        let mut onto = Ontology::new();
+        onto.add_object_property("http://x/p");
+        onto.add_domain("http://x/p", "http://x/D");
+        onto.add_range("http://x/p", "http://x/R");
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            Term::iri("http://x/a"),
+            Term::iri("http://x/p"),
+            Term::iri("http://x/b"),
+        ));
+        let derived = onto.derive_domain_range_types(&g);
+        assert_eq!(derived.len(), 2);
+        assert!(derived.iter().any(|t| {
+            t.subject == Term::iri("http://x/a") && t.object == Term::iri("http://x/D")
+        }));
+        assert!(derived.iter().any(|t| {
+            t.subject == Term::iri("http://x/b") && t.object == Term::iri("http://x/R")
+        }));
+    }
+
+    #[test]
+    fn empty_ontology_encodes() {
+        let dicts = Ontology::new().encode().unwrap();
+        assert_eq!(dicts.concepts.len(), 1); // just owl:Thing
+        assert!(dicts.properties.id(TOP_PROPERTY).is_some());
+    }
+}

@@ -1,0 +1,16 @@
+//! # se-rdf — RDF data model and serialization for SuccinctEdge
+//!
+//! Terms, triples, graphs, and text serialization (N-Triples plus the
+//! Turtle subset the paper's datasets use). This is the input layer of the
+//! SuccinctEdge store (§3.1 of the paper): every dataset — the LUBM-like
+//! synthetic graphs and the water-distribution sensor graphs — enters the
+//! system as a stream of [`Triple`]s produced by these parsers.
+
+pub mod model;
+pub mod ntriples;
+pub mod turtle;
+pub mod vocab;
+
+pub use model::{Graph, Literal, Term, Triple};
+pub use ntriples::{parse_ntriples, write_ntriples, NtError};
+pub use turtle::parse_turtle;

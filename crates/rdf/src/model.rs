@@ -1,0 +1,386 @@
+//! RDF terms, triples and in-memory graphs.
+//!
+//! RDF (§3.1 of the paper) models data as a set of triples
+//! `(subject, predicate, object)`. Subjects are IRIs or blank nodes,
+//! predicates are IRIs, objects are IRIs, blank nodes or literals.
+//! Properties whose objects are IRIs/blank nodes are *object properties*;
+//! properties whose objects are literals are *datatype properties* — the
+//! SuccinctEdge store lays the two out differently (§4).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A literal value: lexical form plus optional datatype IRI or language tag.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// The lexical form, e.g. `"3.14"`.
+    pub value: Arc<str>,
+    /// Datatype IRI, e.g. `http://www.w3.org/2001/XMLSchema#double`.
+    pub datatype: Option<Arc<str>>,
+    /// Language tag, e.g. `en` (mutually exclusive with `datatype`).
+    pub language: Option<Arc<str>>,
+}
+
+impl Literal {
+    /// A plain string literal.
+    pub fn string(value: impl Into<Arc<str>>) -> Self {
+        Self {
+            value: value.into(),
+            datatype: None,
+            language: None,
+        }
+    }
+
+    /// A typed literal.
+    pub fn typed(value: impl Into<Arc<str>>, datatype: impl Into<Arc<str>>) -> Self {
+        Self {
+            value: value.into(),
+            datatype: Some(datatype.into()),
+            language: None,
+        }
+    }
+
+    /// A language-tagged string.
+    pub fn lang(value: impl Into<Arc<str>>, language: impl Into<Arc<str>>) -> Self {
+        Self {
+            value: value.into(),
+            datatype: None,
+            language: Some(language.into()),
+        }
+    }
+
+    /// An `xsd:double` literal.
+    pub fn double(v: f64) -> Self {
+        Self::typed(v.to_string(), crate::vocab::xsd::DOUBLE)
+    }
+
+    /// An `xsd:integer` literal.
+    pub fn integer(v: i64) -> Self {
+        Self::typed(v.to_string(), crate::vocab::xsd::INTEGER)
+    }
+
+    /// Attempts a numeric interpretation of the lexical form.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.value.trim().parse().ok()
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{}\"", escape_literal(&self.value))?;
+        if let Some(dt) = &self.datatype {
+            write!(f, "^^<{dt}>")?;
+        } else if let Some(lang) = &self.language {
+            write!(f, "@{lang}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An RDF term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI such as `http://www.w3.org/ns/sosa/Sensor`.
+    Iri(Arc<str>),
+    /// A blank node with a local label (no leading `_:`).
+    Blank(Arc<str>),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Convenience constructor for IRIs.
+    pub fn iri(iri: impl Into<Arc<str>>) -> Self {
+        Term::Iri(iri.into())
+    }
+
+    /// Convenience constructor for blank nodes.
+    pub fn blank(label: impl Into<Arc<str>>) -> Self {
+        Term::Blank(label.into())
+    }
+
+    /// Convenience constructor for plain string literals.
+    pub fn literal(value: impl Into<Arc<str>>) -> Self {
+        Term::Literal(Literal::string(value))
+    }
+
+    /// `true` for IRIs and blank nodes (valid subjects / object-property
+    /// objects).
+    pub fn is_resource(&self) -> bool {
+        !matches!(self, Term::Literal(_))
+    }
+
+    /// `true` for literals.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// The IRI string if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(iri) => Some(iri),
+            _ => None,
+        }
+    }
+
+    /// The literal if this term is one.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(lit) => Some(lit),
+            _ => None,
+        }
+    }
+
+    /// SPARQL `str()`: the lexical form for literals, the IRI text for IRIs.
+    pub fn str_value(&self) -> &str {
+        match self {
+            Term::Iri(iri) => iri,
+            Term::Blank(b) => b,
+            Term::Literal(lit) => &lit.value,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => write!(f, "<{iri}>"),
+            Term::Blank(label) => write!(f, "_:{label}"),
+            Term::Literal(lit) => write!(f, "{lit}"),
+        }
+    }
+}
+
+/// An RDF triple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    pub subject: Term,
+    pub predicate: Term,
+    pub object: Term,
+}
+
+impl Triple {
+    /// Builds a triple.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if the subject is a literal or the predicate is
+    /// not an IRI — such triples are not valid RDF.
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
+        debug_assert!(subject.is_resource(), "triple subject must be IRI or blank node");
+        debug_assert!(matches!(predicate, Term::Iri(_)), "triple predicate must be an IRI");
+        Self {
+            subject,
+            predicate,
+            object,
+        }
+    }
+
+    /// `true` if the object is a literal (datatype-property triple, §4).
+    pub fn is_datatype_triple(&self) -> bool {
+        self.object.is_literal()
+    }
+
+    /// `true` if the predicate is `rdf:type`.
+    pub fn is_type_triple(&self) -> bool {
+        self.predicate.as_iri() == Some(crate::vocab::rdf::TYPE)
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A simple in-memory bag of triples, the exchange format between the
+/// generators, parsers and stores.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    triples: Vec<Triple>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from an iterator of triples.
+    pub fn from_triples<I: IntoIterator<Item = Triple>>(triples: I) -> Self {
+        Self {
+            triples: triples.into_iter().collect(),
+        }
+    }
+
+    /// Adds a triple.
+    pub fn insert(&mut self, triple: Triple) {
+        self.triples.push(triple);
+    }
+
+    /// Number of triples (duplicates included).
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// `true` if the graph has no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// The triples in insertion order.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Iterates over the triples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Triple> {
+        self.triples.iter()
+    }
+
+    /// Sorts and removes duplicate triples.
+    pub fn dedup(&mut self) {
+        self.triples.sort();
+        self.triples.dedup();
+    }
+
+    /// Keeps only the first `n` triples (used to carve the paper's 1K..50K
+    /// subsets out of the 100K LUBM graph, §7.2).
+    pub fn truncate(&mut self, n: usize) {
+        self.triples.truncate(n);
+    }
+
+    /// Consumes the graph, returning its triples.
+    pub fn into_triples(self) -> Vec<Triple> {
+        self.triples
+    }
+}
+
+impl IntoIterator for Graph {
+    type Item = Triple;
+    type IntoIter = std::vec::IntoIter<Triple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.triples.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Graph {
+    type Item = &'a Triple;
+    type IntoIter = std::slice::Iter<'a, Triple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.triples.iter()
+    }
+}
+
+impl Extend<Triple> for Graph {
+    fn extend<I: IntoIterator<Item = Triple>>(&mut self, iter: I) {
+        self.triples.extend(iter);
+    }
+}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        Self::from_triples(iter)
+    }
+}
+
+/// Escapes `"`, `\`, and control characters for N-Triples output.
+pub(crate) fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+
+    #[test]
+    fn term_constructors() {
+        let iri = Term::iri("http://example.org/a");
+        assert!(iri.is_resource());
+        assert_eq!(iri.as_iri(), Some("http://example.org/a"));
+        let blank = Term::blank("b0");
+        assert!(blank.is_resource());
+        assert_eq!(blank.as_iri(), None);
+        let lit = Term::literal("hello");
+        assert!(lit.is_literal());
+        assert!(!lit.is_resource());
+    }
+
+    #[test]
+    fn literal_numeric_interpretation() {
+        assert_eq!(Literal::double(3.5).as_f64(), Some(3.5));
+        assert_eq!(Literal::integer(-7).as_f64(), Some(-7.0));
+        assert_eq!(Literal::string("  42 ").as_f64(), Some(42.0));
+        assert_eq!(Literal::string("abc").as_f64(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Term::iri("http://x/a").to_string(), "<http://x/a>");
+        assert_eq!(Term::blank("n1").to_string(), "_:n1");
+        assert_eq!(Term::literal("hi").to_string(), "\"hi\"");
+        assert_eq!(
+            Term::Literal(Literal::typed("1", vocab::xsd::INTEGER)).to_string(),
+            "\"1\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+        assert_eq!(
+            Term::Literal(Literal::lang("bonjour", "fr")).to_string(),
+            "\"bonjour\"@fr"
+        );
+    }
+
+    #[test]
+    fn display_escapes_literal() {
+        let lit = Term::literal("a\"b\\c\nd");
+        assert_eq!(lit.to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn triple_classification() {
+        let t = Triple::new(
+            Term::iri("http://x/s"),
+            Term::iri(vocab::rdf::TYPE),
+            Term::iri("http://x/C"),
+        );
+        assert!(t.is_type_triple());
+        assert!(!t.is_datatype_triple());
+        let t = Triple::new(
+            Term::iri("http://x/s"),
+            Term::iri("http://x/p"),
+            Term::literal("v"),
+        );
+        assert!(t.is_datatype_triple());
+        assert!(!t.is_type_triple());
+    }
+
+    #[test]
+    fn graph_dedup_and_truncate() {
+        let t1 = Triple::new(Term::iri("http://x/s"), Term::iri("http://x/p"), Term::literal("1"));
+        let t2 = Triple::new(Term::iri("http://x/s"), Term::iri("http://x/p"), Term::literal("2"));
+        let mut g = Graph::from_triples([t2.clone(), t1.clone(), t1.clone()]);
+        assert_eq!(g.len(), 3);
+        g.dedup();
+        assert_eq!(g.len(), 2);
+        g.truncate(1);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.triples()[0], t1);
+    }
+
+    #[test]
+    fn str_value() {
+        assert_eq!(Term::iri("http://x/a").str_value(), "http://x/a");
+        assert_eq!(Term::literal("v").str_value(), "v");
+        assert_eq!(Term::blank("b").str_value(), "b");
+    }
+}

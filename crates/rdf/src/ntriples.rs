@@ -1,0 +1,388 @@
+//! N-Triples parser and writer.
+//!
+//! N-Triples is the line-based RDF serialization the paper's datasets ship
+//! in. The parser is hand-written (no dependencies), reports line-accurate
+//! errors, and supports IRIs, blank nodes, plain/typed/language-tagged
+//! literals, comments and blank lines.
+
+use crate::model::{Graph, Literal, Term, Triple};
+use std::fmt;
+
+/// A parse error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NtError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for NtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for NtError {}
+
+/// Parses an N-Triples document into a [`Graph`].
+pub fn parse_ntriples(input: &str) -> Result<Graph, NtError> {
+    let mut graph = Graph::new();
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let triple = parse_line(line, line_no)?;
+        graph.insert(triple);
+    }
+    Ok(graph)
+}
+
+/// Serializes a graph as N-Triples text.
+pub fn write_ntriples(graph: &Graph) -> String {
+    let mut out = String::new();
+    for triple in graph {
+        out.push_str(&triple.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_line(line: &str, line_no: usize) -> Result<Triple, NtError> {
+    let mut cursor = Cursor::new(line, line_no);
+    let subject = cursor.parse_term()?;
+    if !subject.is_resource() {
+        return Err(cursor.error("subject must be an IRI or blank node"));
+    }
+    cursor.skip_ws();
+    let predicate = cursor.parse_term()?;
+    if !matches!(predicate, Term::Iri(_)) {
+        return Err(cursor.error("predicate must be an IRI"));
+    }
+    cursor.skip_ws();
+    let object = cursor.parse_term()?;
+    cursor.skip_ws();
+    if !cursor.eat('.') {
+        return Err(cursor.error("expected terminating '.'"));
+    }
+    cursor.skip_ws();
+    if !cursor.at_end() {
+        return Err(cursor.error("unexpected trailing content after '.'"));
+    }
+    Ok(Triple::new(subject, predicate, object))
+}
+
+/// A character cursor over one line.
+pub(crate) struct Cursor<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    source: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(line: &'a str, line_no: usize) -> Self {
+        Self {
+            chars: line.chars().collect(),
+            pos: 0,
+            line: line_no,
+            source: line,
+        }
+    }
+
+    pub(crate) fn error(&self, message: impl Into<String>) -> NtError {
+        NtError {
+            line: self.line,
+            message: format!("{} (at column {} of {:?})", message.into(), self.pos + 1, self.source),
+        }
+    }
+
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    pub(crate) fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    pub(crate) fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    pub(crate) fn eat(&mut self, expected: char) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    /// Parses one RDF term: `<iri>`, `_:blank` or a literal.
+    pub(crate) fn parse_term(&mut self) -> Result<Term, NtError> {
+        match self.peek() {
+            Some('<') => self.parse_iri(),
+            Some('_') => self.parse_blank(),
+            Some('"') => self.parse_literal(),
+            Some(c) => Err(self.error(format!("unexpected character {c:?} at start of term"))),
+            None => Err(self.error("unexpected end of line, expected a term")),
+        }
+    }
+
+    pub(crate) fn parse_iri(&mut self) -> Result<Term, NtError> {
+        assert!(self.eat('<'));
+        let mut iri = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => return Ok(Term::iri(iri)),
+                Some(c) if c.is_whitespace() => {
+                    return Err(self.error("whitespace inside IRI"));
+                }
+                Some(c) => iri.push(c),
+                None => return Err(self.error("unterminated IRI")),
+            }
+        }
+    }
+
+    pub(crate) fn parse_blank(&mut self) -> Result<Term, NtError> {
+        assert!(self.eat('_'));
+        if !self.eat(':') {
+            return Err(self.error("blank node must start with '_:'"));
+        }
+        let mut label = String::new();
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '.')
+        {
+            label.push(self.bump().expect("peeked"));
+        }
+        // A trailing '.' belongs to the statement terminator, not the label.
+        if label.ends_with('.') {
+            label.pop();
+            self.pos -= 1;
+        }
+        if label.is_empty() {
+            return Err(self.error("empty blank node label"));
+        }
+        Ok(Term::blank(label))
+    }
+
+    pub(crate) fn parse_literal(&mut self) -> Result<Term, NtError> {
+        assert!(self.eat('"'));
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => value.push('\n'),
+                    Some('r') => value.push('\r'),
+                    Some('t') => value.push('\t'),
+                    Some('"') => value.push('"'),
+                    Some('\\') => value.push('\\'),
+                    Some('u') => value.push(self.parse_unicode_escape(4)?),
+                    Some('U') => value.push(self.parse_unicode_escape(8)?),
+                    Some(c) => return Err(self.error(format!("invalid escape '\\{c}'"))),
+                    None => return Err(self.error("unterminated escape sequence")),
+                },
+                Some(c) => value.push(c),
+                None => return Err(self.error("unterminated literal")),
+            }
+        }
+        // Optional datatype or language tag.
+        if self.eat('^') {
+            if !self.eat('^') {
+                return Err(self.error("expected '^^' before datatype IRI"));
+            }
+            let datatype = match self.parse_iri()? {
+                Term::Iri(iri) => iri,
+                _ => unreachable!(),
+            };
+            return Ok(Term::Literal(Literal::typed(value, datatype)));
+        }
+        if self.eat('@') {
+            let mut lang = String::new();
+            while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-') {
+                lang.push(self.bump().expect("peeked"));
+            }
+            if lang.is_empty() {
+                return Err(self.error("empty language tag"));
+            }
+            return Ok(Term::Literal(Literal::lang(value, lang)));
+        }
+        Ok(Term::Literal(Literal::string(value)))
+    }
+
+    fn parse_unicode_escape(&mut self, digits: usize) -> Result<char, NtError> {
+        let mut code = 0u32;
+        for _ in 0..digits {
+            let c = self
+                .bump()
+                .ok_or_else(|| self.error("unterminated unicode escape"))?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| self.error(format!("invalid hex digit {c:?} in unicode escape")))?;
+            code = code * 16 + d;
+        }
+        char::from_u32(code).ok_or_else(|| self.error(format!("invalid unicode code point U+{code:X}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+
+    #[test]
+    fn parses_simple_triple() {
+        let g = parse_ntriples("<http://x/s> <http://x/p> <http://x/o> .").unwrap();
+        assert_eq!(g.len(), 1);
+        let t = &g.triples()[0];
+        assert_eq!(t.subject, Term::iri("http://x/s"));
+        assert_eq!(t.predicate, Term::iri("http://x/p"));
+        assert_eq!(t.object, Term::iri("http://x/o"));
+    }
+
+    #[test]
+    fn parses_literals() {
+        let input = concat!(
+            "<http://x/s> <http://x/p> \"plain\" .\n",
+            "<http://x/s> <http://x/p> \"3.14\"^^<http://www.w3.org/2001/XMLSchema#double> .\n",
+            "<http://x/s> <http://x/p> \"hello\"@en .\n",
+        );
+        let g = parse_ntriples(input).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.triples()[0].object, Term::literal("plain"));
+        assert_eq!(
+            g.triples()[1].object,
+            Term::Literal(Literal::typed("3.14", vocab::xsd::DOUBLE))
+        );
+        assert_eq!(g.triples()[2].object, Term::Literal(Literal::lang("hello", "en")));
+    }
+
+    #[test]
+    fn parses_blank_nodes() {
+        let g = parse_ntriples("_:b0 <http://x/p> _:b1 .").unwrap();
+        assert_eq!(g.triples()[0].subject, Term::blank("b0"));
+        assert_eq!(g.triples()[0].object, Term::blank("b1"));
+    }
+
+    #[test]
+    fn blank_node_followed_by_dot_without_space() {
+        let g = parse_ntriples("<http://x/s> <http://x/p> _:b1.").unwrap();
+        assert_eq!(g.triples()[0].object, Term::blank("b1"));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let input = "# a comment\n\n<http://x/s> <http://x/p> \"v\" .\n   \n# another\n";
+        let g = parse_ntriples(input).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn escape_sequences() {
+        let g = parse_ntriples(r#"<http://x/s> <http://x/p> "a\"b\\c\ndA" ."#).unwrap();
+        assert_eq!(g.triples()[0].object, Term::literal("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn error_on_missing_dot() {
+        let err = parse_ntriples("<http://x/s> <http://x/p> <http://x/o>").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("terminating"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_on_literal_subject() {
+        let err = parse_ntriples("\"lit\" <http://x/p> <http://x/o> .").unwrap_err();
+        assert!(err.message.contains("subject"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_on_blank_predicate() {
+        let err = parse_ntriples("<http://x/s> _:b <http://x/o> .").unwrap_err();
+        assert!(err.message.contains("predicate"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_on_unterminated_iri() {
+        let err = parse_ntriples("<http://x/s <http://x/p> <http://x/o> .").unwrap_err();
+        assert!(err.message.contains("IRI"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_reports_correct_line() {
+        let input = "<http://x/s> <http://x/p> <http://x/o> .\nbogus line\n";
+        let err = parse_ntriples(input).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let input = concat!(
+            "<http://x/s> <http://x/p> <http://x/o> .\n",
+            "_:b0 <http://x/q> \"esc\\\"aped\" .\n",
+            "<http://x/s> <http://x/r> \"1\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+            "<http://x/s> <http://x/r> \"hi\"@en .\n",
+        );
+        let g = parse_ntriples(input).unwrap();
+        let text = write_ntriples(&g);
+        let g2 = parse_ntriples(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn empty_document() {
+        let g = parse_ntriples("").unwrap();
+        assert!(g.is_empty());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_term() -> impl Strategy<Value = Term> {
+            prop_oneof![
+                "[a-z]{1,10}".prop_map(|s| Term::iri(format!("http://example.org/{s}"))),
+                "[a-z]{1,8}".prop_map(Term::blank),
+                // Literals incl. characters that need escaping
+                "[ -~]{0,20}".prop_map(Term::literal),
+                ("[ -~]{0,10}", "[a-z]{2,3}").prop_map(|(v, l)| Term::Literal(Literal::lang(v, l))),
+                "[0-9]{1,5}".prop_map(|v| Term::Literal(Literal::typed(
+                    v,
+                    crate::vocab::xsd::INTEGER
+                ))),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn write_parse_roundtrip(
+                triples in proptest::collection::vec(
+                    (arb_term(), arb_term()).prop_filter_map(
+                        "subject must be resource",
+                        |(s, o)| s.is_resource().then(|| Triple::new(
+                            s,
+                            Term::iri("http://example.org/p"),
+                            o,
+                        )),
+                    ),
+                    0..30,
+                )
+            ) {
+                let g = Graph::from_triples(triples);
+                let text = write_ntriples(&g);
+                let back = parse_ntriples(&text).unwrap();
+                prop_assert_eq!(g, back);
+            }
+        }
+    }
+}

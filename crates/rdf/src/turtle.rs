@@ -1,0 +1,438 @@
+//! A pragmatic Turtle-subset parser.
+//!
+//! Covers the features the paper's datasets and ontologies actually use:
+//! `@prefix` declarations, prefixed names (`sosa:Sensor`), the `a` keyword,
+//! `;` (same subject) and `,` (same subject+predicate) continuations, IRIs,
+//! blank nodes, and plain/typed/language-tagged literals, plus bare integer
+//! and decimal literals. Everything else of Turtle (collections, nested
+//! blank node property lists, multi-line strings) is out of scope and
+//! reported as an error rather than silently misparsed.
+
+use crate::model::{Graph, Literal, Term, Triple};
+use crate::ntriples::NtError;
+use std::collections::HashMap;
+
+/// Parses a Turtle-subset document into a [`Graph`].
+pub fn parse_turtle(input: &str) -> Result<Graph, NtError> {
+    Parser::new(input).parse()
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    prefixes: HashMap<String, String>,
+    _marker: std::marker::PhantomData<&'a str>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            chars: input.chars().collect(),
+            pos: 0,
+            line: 1,
+            prefixes: HashMap::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> NtError {
+        NtError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn eat(&mut self, expected: char) -> bool {
+        if self.peek() == Some(expected) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while !matches!(self.peek(), None | Some('\n')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws_and_comments();
+        self.pos >= self.chars.len()
+    }
+
+    fn parse(mut self) -> Result<Graph, NtError> {
+        let mut graph = Graph::new();
+        while !self.at_end() {
+            if self.looking_at("@prefix") {
+                self.parse_prefix()?;
+                continue;
+            }
+            self.parse_statement(&mut graph)?;
+        }
+        Ok(graph)
+    }
+
+    fn looking_at(&self, word: &str) -> bool {
+        self.input_slice().starts_with(word)
+    }
+
+    fn input_slice(&self) -> String {
+        self.chars[self.pos..self.chars.len().min(self.pos + 16)]
+            .iter()
+            .collect()
+    }
+
+    fn parse_prefix(&mut self) -> Result<(), NtError> {
+        for _ in 0.."@prefix".len() {
+            self.bump();
+        }
+        self.skip_ws_and_comments();
+        let mut name = String::new();
+        while matches!(self.peek(), Some(c) if c != ':' && !c.is_whitespace()) {
+            name.push(self.bump().expect("peeked"));
+        }
+        if !self.eat(':') {
+            return Err(self.error("expected ':' in @prefix declaration"));
+        }
+        self.skip_ws_and_comments();
+        let iri = match self.parse_iri_ref()? {
+            Term::Iri(iri) => iri.to_string(),
+            _ => unreachable!(),
+        };
+        self.skip_ws_and_comments();
+        if !self.eat('.') {
+            return Err(self.error("expected '.' after @prefix declaration"));
+        }
+        self.prefixes.insert(name, iri);
+        Ok(())
+    }
+
+    fn parse_statement(&mut self, graph: &mut Graph) -> Result<(), NtError> {
+        let subject = self.parse_term()?;
+        if !subject.is_resource() {
+            return Err(self.error("subject must be an IRI or blank node"));
+        }
+        loop {
+            self.skip_ws_and_comments();
+            let predicate = self.parse_predicate()?;
+            loop {
+                self.skip_ws_and_comments();
+                let object = self.parse_term()?;
+                graph.insert(Triple::new(subject.clone(), predicate.clone(), object));
+                self.skip_ws_and_comments();
+                if !self.eat(',') {
+                    break;
+                }
+            }
+            self.skip_ws_and_comments();
+            if self.eat(';') {
+                self.skip_ws_and_comments();
+                // A dangling ';' before '.' is legal Turtle.
+                if self.peek() == Some('.') {
+                    self.bump();
+                    return Ok(());
+                }
+                continue;
+            }
+            if self.eat('.') {
+                return Ok(());
+            }
+            return Err(self.error("expected '.', ';' or ',' after object"));
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Term, NtError> {
+        // The `a` keyword abbreviates rdf:type.
+        if self.peek() == Some('a') {
+            let next = self.chars.get(self.pos + 1).copied();
+            if next.is_none_or(|c| c.is_whitespace()) {
+                self.bump();
+                return Ok(Term::iri(crate::vocab::rdf::TYPE));
+            }
+        }
+        let term = self.parse_term()?;
+        match term {
+            Term::Iri(_) => Ok(term),
+            _ => Err(self.error("predicate must be an IRI")),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, NtError> {
+        self.skip_ws_and_comments();
+        match self.peek() {
+            Some('<') => self.parse_iri_ref(),
+            Some('"') => self.parse_literal(),
+            Some('_') => self.parse_blank(),
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => self.parse_number(),
+            Some(_) => self.parse_prefixed_name(),
+            None => Err(self.error("unexpected end of input, expected a term")),
+        }
+    }
+
+    fn parse_iri_ref(&mut self) -> Result<Term, NtError> {
+        if !self.eat('<') {
+            return Err(self.error("expected '<'"));
+        }
+        let mut iri = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => return Ok(Term::iri(iri)),
+                Some(c) if c.is_whitespace() => return Err(self.error("whitespace inside IRI")),
+                Some(c) => iri.push(c),
+                None => return Err(self.error("unterminated IRI")),
+            }
+        }
+    }
+
+    fn parse_blank(&mut self) -> Result<Term, NtError> {
+        self.bump(); // '_'
+        if !self.eat(':') {
+            return Err(self.error("blank node must start with '_:'"));
+        }
+        let mut label = String::new();
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
+            label.push(self.bump().expect("peeked"));
+        }
+        if label.is_empty() {
+            return Err(self.error("empty blank node label"));
+        }
+        Ok(Term::blank(label))
+    }
+
+    fn parse_literal(&mut self) -> Result<Term, NtError> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => value.push('\n'),
+                    Some('r') => value.push('\r'),
+                    Some('t') => value.push('\t'),
+                    Some('"') => value.push('"'),
+                    Some('\\') => value.push('\\'),
+                    Some(c) => return Err(self.error(format!("invalid escape '\\{c}'"))),
+                    None => return Err(self.error("unterminated escape")),
+                },
+                Some(c) => value.push(c),
+                None => return Err(self.error("unterminated literal")),
+            }
+        }
+        if self.eat('^') {
+            if !self.eat('^') {
+                return Err(self.error("expected '^^'"));
+            }
+            self.skip_ws_and_comments();
+            let dt = match self.peek() {
+                Some('<') => self.parse_iri_ref()?,
+                _ => self.parse_prefixed_name()?,
+            };
+            let Term::Iri(dt) = dt else {
+                return Err(self.error("datatype must be an IRI"));
+            };
+            return Ok(Term::Literal(Literal::typed(value, dt)));
+        }
+        if self.eat('@') {
+            let mut lang = String::new();
+            while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-') {
+                lang.push(self.bump().expect("peeked"));
+            }
+            if lang.is_empty() {
+                return Err(self.error("empty language tag"));
+            }
+            return Ok(Term::Literal(Literal::lang(value, lang)));
+        }
+        Ok(Term::Literal(Literal::string(value)))
+    }
+
+    fn parse_number(&mut self) -> Result<Term, NtError> {
+        let mut text = String::new();
+        if matches!(self.peek(), Some('-' | '+')) {
+            text.push(self.bump().expect("peeked"));
+        }
+        let mut is_decimal = false;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '.') {
+            // A '.' followed by a non-digit terminates the statement instead.
+            if self.peek() == Some('.') {
+                let next = self.chars.get(self.pos + 1).copied();
+                if !next.is_some_and(|c| c.is_ascii_digit()) {
+                    break;
+                }
+                is_decimal = true;
+            }
+            text.push(self.bump().expect("peeked"));
+        }
+        if text.is_empty() || text == "-" || text == "+" {
+            return Err(self.error("malformed numeric literal"));
+        }
+        let datatype = if is_decimal {
+            crate::vocab::xsd::DOUBLE
+        } else {
+            crate::vocab::xsd::INTEGER
+        };
+        Ok(Term::Literal(Literal::typed(text, datatype)))
+    }
+
+    fn parse_prefixed_name(&mut self) -> Result<Term, NtError> {
+        let mut prefix = String::new();
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
+            prefix.push(self.bump().expect("peeked"));
+        }
+        if !self.eat(':') {
+            return Err(self.error(format!("expected prefixed name, got {prefix:?}")));
+        }
+        let mut local = String::new();
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '.')
+        {
+            // A trailing '.' is the statement terminator.
+            if self.peek() == Some('.') {
+                let next = self.chars.get(self.pos + 1).copied();
+                if !next.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                    break;
+                }
+            }
+            local.push(self.bump().expect("peeked"));
+        }
+        let ns = self
+            .prefixes
+            .get(&prefix)
+            .ok_or_else(|| self.error(format!("undeclared prefix {prefix:?}")))?;
+        Ok(Term::iri(format!("{ns}{local}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+
+    #[test]
+    fn parses_prefixed_names() {
+        let g = parse_turtle(
+            "@prefix ex: <http://example.org/> .\nex:s ex:p ex:o .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.triples()[0].subject, Term::iri("http://example.org/s"));
+    }
+
+    #[test]
+    fn a_keyword_is_rdf_type() {
+        let g = parse_turtle(
+            "@prefix ex: <http://example.org/> .\nex:s a ex:C .",
+        )
+        .unwrap();
+        assert_eq!(g.triples()[0].predicate, Term::iri(vocab::rdf::TYPE));
+    }
+
+    #[test]
+    fn semicolon_and_comma_continuations() {
+        let g = parse_turtle(
+            "@prefix ex: <http://x/> .\nex:s a ex:C ; ex:p ex:o1 , ex:o2 ; ex:q \"v\" .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 4);
+        assert!(g.iter().all(|t| t.subject == Term::iri("http://x/s")));
+        assert_eq!(g.triples()[1].object, Term::iri("http://x/o1"));
+        assert_eq!(g.triples()[2].object, Term::iri("http://x/o2"));
+    }
+
+    #[test]
+    fn numeric_literals() {
+        let g = parse_turtle("@prefix ex: <http://x/> .\nex:s ex:p 42 ; ex:q 3.5 ; ex:r -7 .")
+            .unwrap();
+        assert_eq!(
+            g.triples()[0].object,
+            Term::Literal(Literal::typed("42", vocab::xsd::INTEGER))
+        );
+        assert_eq!(
+            g.triples()[1].object,
+            Term::Literal(Literal::typed("3.5", vocab::xsd::DOUBLE))
+        );
+        assert_eq!(
+            g.triples()[2].object,
+            Term::Literal(Literal::typed("-7", vocab::xsd::INTEGER))
+        );
+    }
+
+    #[test]
+    fn typed_literal_with_prefixed_datatype() {
+        let g = parse_turtle(
+            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n@prefix ex: <http://x/> .\nex:s ex:p \"1\"^^xsd:integer .",
+        )
+        .unwrap();
+        assert_eq!(
+            g.triples()[0].object,
+            Term::Literal(Literal::typed("1", vocab::xsd::INTEGER))
+        );
+    }
+
+    #[test]
+    fn blank_nodes_and_comments() {
+        let g = parse_turtle(
+            "# header comment\n@prefix ex: <http://x/> .\n_:b0 ex:p _:b1 . # trailing\n",
+        )
+        .unwrap();
+        assert_eq!(g.triples()[0].subject, Term::blank("b0"));
+        assert_eq!(g.triples()[0].object, Term::blank("b1"));
+    }
+
+    #[test]
+    fn error_on_undeclared_prefix() {
+        let err = parse_turtle("ex:s ex:p ex:o .").unwrap_err();
+        assert!(err.message.contains("undeclared prefix"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_line_numbers_across_lines() {
+        let err = parse_turtle("@prefix ex: <http://x/> .\n\nex:s ex:p zzz:o .").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn dangling_semicolon_before_dot() {
+        let g = parse_turtle("@prefix ex: <http://x/> .\nex:s ex:p ex:o ; .").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn multiline_statement() {
+        let g = parse_turtle(
+            "@prefix ex: <http://x/> .\nex:s\n  a ex:C ;\n  ex:p ex:o .\nex:t ex:q 1 .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn local_name_with_dots() {
+        let g = parse_turtle("@prefix ex: <http://x/> .\nex:a.b ex:p ex:o .").unwrap();
+        assert_eq!(g.triples()[0].subject, Term::iri("http://x/a.b"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Well-known vocabularies used throughout the reproduction: RDF, RDFS, OWL,
+//! XSD, plus the IoT ontologies of the paper's motivating example (SOSA,
+//! QUDT) and the LUBM university benchmark namespace.
+
+/// `rdf:` — the RDF core vocabulary.
+pub mod rdf {
+    pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+}
+
+/// `rdfs:` — RDF Schema, the ontology language SuccinctEdge reasons over
+/// (the ρdf subset: subClassOf, subPropertyOf, domain, range).
+pub mod rdfs {
+    pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    pub const SUB_PROPERTY_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+    pub const DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+    pub const RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+}
+
+/// `owl:` — the handful of OWL terms LiteMat anchors its hierarchies on.
+pub mod owl {
+    pub const NS: &str = "http://www.w3.org/2002/07/owl#";
+    pub const THING: &str = "http://www.w3.org/2002/07/owl#Thing";
+    pub const TOP_OBJECT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#topObjectProperty";
+    pub const TOP_DATA_PROPERTY: &str = "http://www.w3.org/2002/07/owl#topDataProperty";
+    pub const CLASS: &str = "http://www.w3.org/2002/07/owl#Class";
+    pub const OBJECT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#ObjectProperty";
+    pub const DATATYPE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#DatatypeProperty";
+}
+
+/// `xsd:` — XML Schema datatypes for literals.
+pub mod xsd {
+    pub const NS: &str = "http://www.w3.org/2001/XMLSchema#";
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+}
+
+/// `sosa:` — Sensor, Observation, Sample, Actuator ontology (W3C/OGC),
+/// used by the ENGIE water-distribution graphs of the motivating example.
+pub mod sosa {
+    pub const NS: &str = "http://www.w3.org/ns/sosa/";
+    pub const PLATFORM: &str = "http://www.w3.org/ns/sosa/Platform";
+    pub const SENSOR: &str = "http://www.w3.org/ns/sosa/Sensor";
+    pub const OBSERVATION: &str = "http://www.w3.org/ns/sosa/Observation";
+    pub const RESULT: &str = "http://www.w3.org/ns/sosa/Result";
+    pub const HOSTS: &str = "http://www.w3.org/ns/sosa/hosts";
+    pub const OBSERVES: &str = "http://www.w3.org/ns/sosa/observes";
+    pub const HAS_RESULT: &str = "http://www.w3.org/ns/sosa/hasResult";
+    pub const RESULT_TIME: &str = "http://www.w3.org/ns/sosa/resultTime";
+    pub const MADE_BY_SENSOR: &str = "http://www.w3.org/ns/sosa/madeBySensor";
+    pub const OBSERVED_PROPERTY: &str = "http://www.w3.org/ns/sosa/observedProperty";
+}
+
+/// `qudt:` — Quantities, Units, Dimensions and Types; supplies the unit
+/// hierarchy of §2 (`AmountOfSubstanceUnit ⊑ Chemistry ⊑ ScienceUnit`,
+/// `PressureOrStressUnit ⊑ PressureUnit ⊑ MechanicsUnit`).
+pub mod qudt {
+    pub const NS: &str = "http://qudt.org/schema/qudt/";
+    pub const UNIT_NS: &str = "http://qudt.org/vocab/unit/";
+    pub const NUMERIC_VALUE: &str = "http://qudt.org/schema/qudt/numericValue";
+    pub const UNIT: &str = "http://qudt.org/schema/qudt/unit";
+    pub const SCIENCE_UNIT: &str = "http://qudt.org/schema/qudt/ScienceUnit";
+    pub const CHEMISTRY: &str = "http://qudt.org/schema/qudt/Chemistry";
+    pub const AMOUNT_OF_SUBSTANCE_UNIT: &str = "http://qudt.org/schema/qudt/AmountOfSubstanceUnit";
+    pub const MECHANICS_UNIT: &str = "http://qudt.org/schema/qudt/MechanicsUnit";
+    pub const PRESSURE_UNIT: &str = "http://qudt.org/schema/qudt/PressureUnit";
+    pub const PRESSURE_OR_STRESS_UNIT: &str = "http://qudt.org/schema/qudt/PressureOrStressUnit";
+    pub const BAR: &str = "http://qudt.org/vocab/unit/BAR";
+    pub const HECTO_PA: &str = "http://qudt.org/vocab/unit/HectoPA";
+}
+
+/// `lubm:` — the Lehigh University Benchmark (univ-bench) namespace used by
+/// the synthetic evaluation datasets (§7.2 and Appendix A).
+pub mod lubm {
+    pub const NS: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#";
+
+    /// Builds a full LUBM IRI from a local name, e.g. `iri("Student")`.
+    pub fn iri(local: &str) -> String {
+        format!("{NS}{local}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn lubm_iri_builder() {
+        assert_eq!(
+            super::lubm::iri("GraduateStudent"),
+            "http://swat.cse.lehigh.edu/onto/univ-bench.owl#GraduateStudent"
+        );
+    }
+
+    #[test]
+    fn namespaces_are_prefixes() {
+        assert!(super::rdf::TYPE.starts_with(super::rdf::NS));
+        assert!(super::rdfs::SUB_CLASS_OF.starts_with(super::rdfs::NS));
+        assert!(super::qudt::PRESSURE_UNIT.starts_with(super::qudt::NS));
+        assert!(super::sosa::SENSOR.starts_with(super::sosa::NS));
+    }
+}

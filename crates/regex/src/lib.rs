@@ -1,0 +1,568 @@
+//! # se-regex — a small regular-expression engine for SPARQL `regex()`
+//!
+//! The motivating query of the paper (§2) filters on unit IRIs with
+//! `FILTER`/`BIND` expressions such as
+//! `regex(str(?u1), "http://qudt.org/vocab/unit/BAR")`. SPARQL's `regex`
+//! follows XPath/XQuery semantics: an *unanchored* match — the pattern may
+//! occur anywhere in the input.
+//!
+//! This engine supports the pattern features those workloads (and a
+//! reasonable superset) need:
+//!
+//! * literal characters, `.` (any char),
+//! * character classes `[abc]`, ranges `[a-z0-9]`, negation `[^...]`,
+//! * anchors `^` and `$`,
+//! * quantifiers `*`, `+`, `?` (greedy, applied to the previous atom),
+//! * alternation `|` and grouping `(...)`,
+//! * escapes `\.`  `\\` `\d` `\w` `\s` and their negations `\D` `\W` `\S`.
+//!
+//! Implementation: recursive-descent parse into an AST, then a
+//! backtracking matcher. Patterns are compiled once ([`Regex::new`]) and
+//! reused across candidate strings, which is the access pattern of a
+//! continuous SPARQL query evaluated once per incoming graph.
+
+use std::fmt;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    ast: Ast,
+    pattern: String,
+}
+
+/// A pattern compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    /// Byte offset in the pattern.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at offset {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+#[derive(Debug, Clone)]
+enum Ast {
+    /// Concatenation of sub-patterns.
+    Seq(Vec<Ast>),
+    /// Alternation.
+    Alt(Vec<Ast>),
+    /// One literal character.
+    Char(char),
+    /// `.` — any character.
+    AnyChar,
+    /// A character class.
+    Class { negated: bool, items: Vec<ClassItem> },
+    /// `^`.
+    StartAnchor,
+    /// `$`.
+    EndAnchor,
+    /// `x*` / `x+` / `x?`.
+    Repeat { inner: Box<Ast>, min: u32, many: bool },
+}
+
+#[derive(Debug, Clone)]
+enum ClassItem {
+    Char(char),
+    Range(char, char),
+    Digit(bool),
+    Word(bool),
+    Space(bool),
+}
+
+impl Regex {
+    /// Compiles `pattern`.
+    pub fn new(pattern: &str) -> Result<Self, RegexError> {
+        let mut parser = Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+        };
+        let ast = parser.parse_alt()?;
+        if parser.pos != parser.chars.len() {
+            return Err(RegexError {
+                position: parser.pos,
+                message: format!("unexpected character {:?}", parser.chars[parser.pos]),
+            });
+        }
+        Ok(Self {
+            ast,
+            pattern: pattern.to_string(),
+        })
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// SPARQL `regex()` semantics: `true` if the pattern matches anywhere
+    /// in `input`.
+    pub fn is_match(&self, input: &str) -> bool {
+        let chars: Vec<char> = input.chars().collect();
+        // Try every start position (a leading ^ prunes all but the first).
+        for start in 0..=chars.len() {
+            if match_ast(&self.ast, &chars, start, &mut |_| true) {
+                return true;
+            }
+            if matches!(first_atom(&self.ast), Some(Ast::StartAnchor)) && start == 0 {
+                break; // anchored pattern can only match at 0
+            }
+        }
+        false
+    }
+
+    /// `true` if the pattern matches the *entire* input.
+    pub fn is_full_match(&self, input: &str) -> bool {
+        let chars: Vec<char> = input.chars().collect();
+        match_ast(&self.ast, &chars, 0, &mut |pos| pos == chars.len())
+    }
+}
+
+fn first_atom(ast: &Ast) -> Option<&Ast> {
+    match ast {
+        Ast::Seq(items) => items.first().and_then(first_atom),
+        other => Some(other),
+    }
+}
+
+/// Backtracking matcher: attempts to match `ast` at `pos`, calling `k`
+/// (the continuation) with the end position of every candidate match until
+/// `k` returns `true`.
+fn match_ast(ast: &Ast, input: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match ast {
+        Ast::Seq(items) => match_seq(items, input, pos, k),
+        Ast::Alt(branches) => branches.iter().any(|b| match_ast(b, input, pos, k)),
+        Ast::Char(c) => {
+            if input.get(pos) == Some(c) {
+                k(pos + 1)
+            } else {
+                false
+            }
+        }
+        Ast::AnyChar => {
+            if pos < input.len() {
+                k(pos + 1)
+            } else {
+                false
+            }
+        }
+        Ast::Class { negated, items } => match input.get(pos) {
+            Some(&c) if class_matches(items, c) != *negated => k(pos + 1),
+            _ => false,
+        },
+        Ast::StartAnchor => {
+            if pos == 0 {
+                k(pos)
+            } else {
+                false
+            }
+        }
+        Ast::EndAnchor => {
+            if pos == input.len() {
+                k(pos)
+            } else {
+                false
+            }
+        }
+        Ast::Repeat { inner, min, many } => {
+            // Greedy: collect all reachable end positions by repeated
+            // application, then try them longest-first.
+            let mut ends = vec![pos];
+            let mut frontier = vec![pos];
+            loop {
+                let mut next = Vec::new();
+                for &p in &frontier {
+                    match_ast(inner, input, p, &mut |end| {
+                        if end > p && !ends.contains(&end) {
+                            ends.push(end);
+                            next.push(end);
+                        }
+                        false // keep enumerating
+                    });
+                }
+                if next.is_empty() || (!*many && ends.len() > 1) {
+                    break;
+                }
+                if !*many {
+                    break;
+                }
+                frontier = next;
+            }
+            let min_count = *min as usize;
+            // ends[i] is reachable with i repetitions (BFS order).
+            for (count, &end) in ends.iter().enumerate().rev() {
+                if count >= min_count && k(end) {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+fn match_seq(items: &[Ast], input: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match items.split_first() {
+        None => k(pos),
+        Some((head, rest)) => match_ast(head, input, pos, &mut |next| {
+            match_seq(rest, input, next, k)
+        }),
+    }
+}
+
+fn class_matches(items: &[ClassItem], c: char) -> bool {
+    items.iter().any(|item| match item {
+        ClassItem::Char(x) => c == *x,
+        ClassItem::Range(lo, hi) => *lo <= c && c <= *hi,
+        ClassItem::Digit(pos) => c.is_ascii_digit() == *pos,
+        ClassItem::Word(pos) => (c.is_alphanumeric() || c == '_') == *pos,
+        ClassItem::Space(pos) => c.is_whitespace() == *pos,
+    })
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, message: impl Into<String>) -> RegexError {
+        RegexError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    /// alt := seq ('|' seq)*
+    fn parse_alt(&mut self) -> Result<Ast, RegexError> {
+        let mut branches = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_seq()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    /// seq := (atom quantifier?)*
+    fn parse_seq(&mut self) -> Result<Ast, RegexError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            let atom = match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    Ast::Repeat { inner: Box::new(atom), min: 0, many: true }
+                }
+                Some('+') => {
+                    self.bump();
+                    Ast::Repeat { inner: Box::new(atom), min: 1, many: true }
+                }
+                Some('?') => {
+                    self.bump();
+                    Ast::Repeat { inner: Box::new(atom), min: 0, many: false }
+                }
+                _ => atom,
+            };
+            items.push(atom);
+        }
+        Ok(Ast::Seq(items))
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, RegexError> {
+        match self.bump() {
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(self.error("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Ast::AnyChar),
+            Some('^') => Ok(Ast::StartAnchor),
+            Some('$') => Ok(Ast::EndAnchor),
+            Some('\\') => self.parse_escape(),
+            Some(c @ ('*' | '+' | '?')) => {
+                Err(self.error(format!("quantifier {c:?} with nothing to repeat")))
+            }
+            Some(c) => Ok(Ast::Char(c)),
+            None => Err(self.error("unexpected end of pattern")),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Ast, RegexError> {
+        let Some(c) = self.bump() else {
+            return Err(self.error("dangling backslash"));
+        };
+        let class = |item: ClassItem| Ast::Class { negated: false, items: vec![item] };
+        Ok(match c {
+            'd' => class(ClassItem::Digit(true)),
+            'D' => class(ClassItem::Digit(false)),
+            'w' => class(ClassItem::Word(true)),
+            'W' => class(ClassItem::Word(false)),
+            's' => class(ClassItem::Space(true)),
+            'S' => class(ClassItem::Space(false)),
+            'n' => Ast::Char('\n'),
+            't' => Ast::Char('\t'),
+            'r' => Ast::Char('\r'),
+            // Any other escaped character matches itself (covers \. \\ \/ \[ ...).
+            c => Ast::Char(c),
+        })
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, RegexError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            match self.bump() {
+                Some(']') if !items.is_empty() => break,
+                Some(']') => items.push(ClassItem::Char(']')), // first ']' is literal
+                Some('\\') => {
+                    let Some(c) = self.bump() else {
+                        return Err(self.error("dangling backslash in class"));
+                    };
+                    items.push(match c {
+                        'd' => ClassItem::Digit(true),
+                        'w' => ClassItem::Word(true),
+                        's' => ClassItem::Space(true),
+                        'n' => ClassItem::Char('\n'),
+                        't' => ClassItem::Char('\t'),
+                        c => ClassItem::Char(c),
+                    });
+                }
+                Some(c) => {
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']')
+                    {
+                        self.bump(); // '-'
+                        let hi = self.bump().expect("checked by is_some_and");
+                        if hi < c {
+                            return Err(self.error(format!("invalid range {c}-{hi}")));
+                        }
+                        items.push(ClassItem::Range(c, hi));
+                    } else {
+                        items.push(ClassItem::Char(c));
+                    }
+                }
+                None => return Err(self.error("unclosed character class")),
+            }
+        }
+        Ok(Ast::Class { negated, items })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, input: &str) -> bool {
+        Regex::new(pattern).unwrap().is_match(input)
+    }
+
+    #[test]
+    fn literal_substring_match() {
+        // The paper's actual use: unanchored IRI substring tests.
+        assert!(m("http://qudt.org/vocab/unit/BAR", "http://qudt.org/vocab/unit/BAR"));
+        assert!(m("unit/BAR", "http://qudt.org/vocab/unit/BAR"));
+        assert!(!m("unit/HectoPA", "http://qudt.org/vocab/unit/BAR"));
+        assert!(m("", "anything"));
+    }
+
+    #[test]
+    fn dot_matches_any() {
+        assert!(m("a.c", "abc"));
+        assert!(m("a.c", "axc"));
+        assert!(!m("a.c", "ac"));
+        assert!(!m("a.c", "a\u{0}"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^abc", "abcdef"));
+        assert!(!m("^bcd", "abcdef"));
+        assert!(m("def$", "abcdef"));
+        assert!(!m("abc$", "abcdef"));
+        assert!(m("^abc$", "abc"));
+        assert!(!m("^abc$", "abcd"));
+        assert!(m("^$", ""));
+        assert!(!m("^$", "x"));
+    }
+
+    #[test]
+    fn star_quantifier() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(!m("ab*c", "adc"));
+        assert!(m("a.*z", "a-------z"));
+    }
+
+    #[test]
+    fn plus_quantifier() {
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab+c", "abc"));
+        assert!(m("ab+c", "abbbc"));
+    }
+
+    #[test]
+    fn question_quantifier() {
+        assert!(m("colou?r", "color"));
+        assert!(m("colou?r", "colour"));
+        assert!(!m("colou?r", "colouur"));
+    }
+
+    #[test]
+    fn character_classes() {
+        assert!(m("[abc]x", "bx"));
+        assert!(!m("[abc]x", "dx"));
+        assert!(m("[a-z]+", "hello"));
+        assert!(m("[0-9]+", "a42b"));
+        assert!(!m("^[0-9]+$", "a42b"));
+        assert!(m("[^0-9]", "a"));
+        assert!(!m("^[^0-9]$", "4"));
+    }
+
+    #[test]
+    fn escape_classes() {
+        assert!(m(r"\d+", "abc123"));
+        assert!(!m(r"^\d+$", "abc"));
+        assert!(m(r"\w+", "hello_world"));
+        assert!(m(r"\s", "a b"));
+        assert!(!m(r"\s", "ab"));
+        assert!(m(r"\D", "x1"));
+        assert!(m(r"\.", "a.b"));
+        assert!(!m(r"^\.$", "x"));
+    }
+
+    #[test]
+    fn alternation() {
+        assert!(m("cat|dog", "hotdog"));
+        assert!(m("cat|dog", "catfish"));
+        assert!(!m("cat|dog", "bird"));
+        assert!(m("^(cat|dog)$", "cat"));
+        assert!(!m("^(cat|dog)$", "catdog"));
+    }
+
+    #[test]
+    fn groups_with_quantifiers() {
+        assert!(m("^(ab)+$", "ababab"));
+        assert!(!m("^(ab)+$", "aba"));
+        assert!(m("^(ab)*$", ""));
+        assert!(m("a(b|c)d", "acd"));
+    }
+
+    #[test]
+    fn bar_vs_hectopa_discrimination() {
+        // The exact BIND expression of the motivating example: the pattern
+        // for BAR must not match the HectoPA IRI and vice versa.
+        let bar = Regex::new("http://qudt.org/vocab/unit/BAR").unwrap();
+        let hecto = Regex::new("http://qudt.org/vocab/unit/HectoPA").unwrap();
+        assert!(bar.is_match("http://qudt.org/vocab/unit/BAR"));
+        assert!(!bar.is_match("http://qudt.org/vocab/unit/HectoPA"));
+        assert!(hecto.is_match("http://qudt.org/vocab/unit/HectoPA"));
+        assert!(!hecto.is_match("http://qudt.org/vocab/unit/BAR"));
+    }
+
+    #[test]
+    fn full_match() {
+        let re = Regex::new("ab+").unwrap();
+        assert!(re.is_full_match("abbb"));
+        assert!(!re.is_full_match("abbbc"));
+        assert!(!re.is_full_match("xab"));
+    }
+
+    #[test]
+    fn unicode_input() {
+        assert!(m("é", "café"));
+        assert!(m("^caf.$", "café"));
+        assert!(m(r"\w+", "日本語"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::new("(unclosed").is_err());
+        assert!(Regex::new("[unclosed").is_err());
+        assert!(Regex::new("*dangling").is_err());
+        assert!(Regex::new("back\\").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+        assert!(Regex::new("a)b").is_err());
+    }
+
+    #[test]
+    fn class_with_leading_bracket() {
+        assert!(m("[]]", "]"));
+        assert!(m("[^]]", "x"));
+        assert!(!m("^[^]]$", "]"));
+    }
+
+    #[test]
+    fn greedy_star_backtracks() {
+        // .* must backtrack to let the suffix match.
+        assert!(m("^a.*bc$", "axxbcxxbc"));
+        assert!(m("^.*b$", "aaab"));
+        assert!(!m("^.*b$", "aaac"));
+    }
+
+    #[test]
+    fn dash_at_class_edges_is_literal() {
+        assert!(m("[a-]", "-"));
+        assert!(m("[a-]", "a"));
+        assert!(m("[-a]", "-"));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn literal_patterns_equal_substring_search(
+                needle in "[a-z]{1,8}",
+                haystack in "[a-z]{0,40}",
+            ) {
+                let re = Regex::new(&needle).unwrap();
+                prop_assert_eq!(re.is_match(&haystack), haystack.contains(&needle));
+            }
+
+            #[test]
+            fn anchored_literal_equals_equality(
+                s in "[a-z]{0,10}",
+                t in "[a-z]{0,10}",
+            ) {
+                let re = Regex::new(&format!("^{s}$")).unwrap();
+                prop_assert_eq!(re.is_match(&t), s == t);
+            }
+
+            #[test]
+            fn compilation_never_panics(pattern in "[ -~]{0,20}") {
+                let _ = Regex::new(&pattern);
+            }
+        }
+    }
+}

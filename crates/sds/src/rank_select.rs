@@ -1,0 +1,410 @@
+//! Static bit vector with constant-time `rank` and near-constant `select`.
+//!
+//! [`RsBitVec`] is the paper's *BM* structure (§3.3): "the most basic SDS we
+//! are using in SuccinctEdge. It is a sequence of bits with some extra
+//! information to support the efficient execution of SDS operations."
+//!
+//! The extra information is a classic two-level rank directory:
+//!
+//! * one cumulative 64-bit counter per 512-bit *superblock*;
+//! * one cumulative 16-bit counter per 64-bit word within its superblock.
+//!
+//! `rank` reads one superblock counter, one block counter and one `popcount`
+//! — *O(1)*. `select` binary-searches the superblock directory and then
+//! scans at most 8 words — *O(log n / 512)*, constant in practice.
+//!
+//! The overhead is `64/512 + 16/64 ≈ 37.5 %` of the raw bit data, well below
+//! the cost of a pointer-based index, which is what gives SuccinctEdge its
+//! low memory footprint.
+
+use crate::bitvec::BitVec;
+use crate::serialize::Serialize;
+use crate::HeapSize;
+use std::io;
+
+const SUPERBLOCK_BITS: usize = 512;
+const WORDS_PER_SUPERBLOCK: usize = SUPERBLOCK_BITS / 64;
+
+/// An immutable bit vector with rank/select support.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsBitVec {
+    bits: BitVec,
+    /// Ones before each superblock (cumulative), length = n_superblocks + 1.
+    super_ranks: Vec<u64>,
+    /// Ones before each word *within its superblock* (cumulative).
+    block_ranks: Vec<u16>,
+    ones: usize,
+}
+
+impl RsBitVec {
+    /// Freezes a [`BitVec`] and builds the rank directories.
+    pub fn new(bits: BitVec) -> Self {
+        let words = bits.words();
+        let n_super = words.len().div_ceil(WORDS_PER_SUPERBLOCK);
+        let mut super_ranks = Vec::with_capacity(n_super + 1);
+        let mut block_ranks = Vec::with_capacity(words.len());
+        let mut total: u64 = 0;
+        for sb in 0..n_super {
+            super_ranks.push(total);
+            let mut within: u16 = 0;
+            let start = sb * WORDS_PER_SUPERBLOCK;
+            let end = (start + WORDS_PER_SUPERBLOCK).min(words.len());
+            for &w in &words[start..end] {
+                block_ranks.push(within);
+                within += w.count_ones() as u16;
+            }
+            total += within as u64;
+        }
+        super_ranks.push(total);
+        Self {
+            bits,
+            super_ranks,
+            block_ranks,
+            ones: total as usize,
+        }
+    }
+
+    /// Builds from an iterator of bools.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        Self::new(BitVec::from_bits(bits))
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` if the vector holds no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Total number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Total number of unset bits.
+    #[inline]
+    pub fn count_zeros(&self) -> usize {
+        self.len() - self.ones
+    }
+
+    /// The bit at position `i` (the SDS `access` operation).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.bits.get(i)
+    }
+
+    /// Number of set bits in `[0, i)`.
+    ///
+    /// `i` may equal `len()`, in which case the total number of ones is
+    /// returned.
+    #[inline]
+    pub fn rank1(&self, i: usize) -> usize {
+        assert!(i <= self.len(), "rank index {i} out of bounds (len {})", self.len());
+        if i == 0 {
+            return 0;
+        }
+        let word = i / 64;
+        let sb = word / WORDS_PER_SUPERBLOCK;
+        let mut r = self.super_ranks[sb];
+        if word < self.block_ranks.len() {
+            r += self.block_ranks[word] as u64;
+            let rem = i % 64;
+            if rem != 0 {
+                let mask = (1u64 << rem) - 1;
+                r += (self.bits.words()[word] & mask).count_ones() as u64;
+            }
+        } else {
+            // i == len and len is a multiple of 64: all words counted already.
+            debug_assert_eq!(i, self.len());
+            r = self.super_ranks[self.super_ranks.len() - 1];
+        }
+        r as usize
+    }
+
+    /// Number of unset bits in `[0, i)`.
+    #[inline]
+    pub fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    /// Position of the `k`-th set bit (1-indexed), or `None` if `k` is zero
+    /// or exceeds [`RsBitVec::count_ones`].
+    pub fn select1(&self, k: usize) -> Option<usize> {
+        if k == 0 || k > self.ones {
+            return None;
+        }
+        let k64 = k as u64;
+        // Largest superblock whose cumulative count is < k.
+        let sb = match self.super_ranks.partition_point(|&r| r < k64) {
+            0 => 0,
+            p => p - 1,
+        };
+        let mut remaining = k64 - self.super_ranks[sb];
+        let start = sb * WORDS_PER_SUPERBLOCK;
+        let end = (start + WORDS_PER_SUPERBLOCK).min(self.bits.words().len());
+        for w_idx in start..end {
+            let ones_in_word = self.bits.words()[w_idx].count_ones() as u64;
+            if remaining <= ones_in_word {
+                let pos = select_in_word(self.bits.words()[w_idx], remaining as u32);
+                return Some(w_idx * 64 + pos as usize);
+            }
+            remaining -= ones_in_word;
+        }
+        unreachable!("select1: directory inconsistent");
+    }
+
+    /// Position of the `k`-th unset bit (1-indexed), or `None` if out of
+    /// range.
+    pub fn select0(&self, k: usize) -> Option<usize> {
+        if k == 0 || k > self.count_zeros() {
+            return None;
+        }
+        let k64 = k as u64;
+        // Zeros before superblock sb = sb * 512 - super_ranks[sb]; find the
+        // largest sb where that is < k. The quantity is monotone in sb.
+        let zeros_before = |sb: usize| (sb * SUPERBLOCK_BITS) as u64 - self.super_ranks[sb];
+        let mut lo = 0usize;
+        let mut hi = self.super_ranks.len() - 1; // number of superblocks
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if zeros_before(mid) < k64 {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let sb = lo;
+        let mut remaining = k64 - zeros_before(sb);
+        let start = sb * WORDS_PER_SUPERBLOCK;
+        let end = (start + WORDS_PER_SUPERBLOCK).min(self.bits.words().len());
+        for w_idx in start..end {
+            // Bits beyond len() in the last word are zero-padding; cap them.
+            let valid = (self.len() - w_idx * 64).min(64);
+            let word = !self.bits.words()[w_idx];
+            let word = if valid == 64 { word } else { word & ((1u64 << valid) - 1) };
+            let zeros_in_word = word.count_ones() as u64;
+            if remaining <= zeros_in_word {
+                let pos = select_in_word(word, remaining as u32);
+                return Some(w_idx * 64 + pos as usize);
+            }
+            remaining -= zeros_in_word;
+        }
+        unreachable!("select0: directory inconsistent");
+    }
+
+    /// Iterates over the positions of all set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits
+            .words()
+            .iter()
+            .enumerate()
+            .flat_map(|(w_idx, &w)| {
+                let mut w = w;
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        None
+                    } else {
+                        let tz = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        Some(w_idx * 64 + tz)
+                    }
+                })
+            })
+            .filter(move |&p| p < self.len())
+    }
+
+    /// Access to the underlying frozen bits.
+    pub fn bit_vec(&self) -> &BitVec {
+        &self.bits
+    }
+}
+
+/// Position (0-indexed) of the `k`-th set bit inside `word` (`k` 1-indexed).
+///
+/// # Panics
+/// Panics in debug mode if `word` has fewer than `k` set bits.
+#[inline]
+fn select_in_word(mut word: u64, k: u32) -> u32 {
+    debug_assert!(k >= 1 && word.count_ones() >= k);
+    for _ in 1..k {
+        word &= word - 1; // clear lowest set bit
+    }
+    word.trailing_zeros()
+}
+
+impl HeapSize for RsBitVec {
+    fn heap_size(&self) -> usize {
+        self.bits.heap_size()
+            + self.super_ranks.capacity() * 8
+            + self.block_ranks.capacity() * 2
+    }
+}
+
+impl Serialize for RsBitVec {
+    fn serialize<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        // Only the raw bits are persisted; directories are rebuilt on load.
+        self.bits.serialize(w)
+    }
+
+    fn deserialize<R: io::Read>(r: &mut R) -> io::Result<Self> {
+        Ok(Self::new(BitVec::deserialize(r)?))
+    }
+
+    fn serialized_size(&self) -> usize {
+        self.bits.serialized_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_rank1(bits: &[bool], i: usize) -> usize {
+        bits[..i].iter().filter(|&&b| b).count()
+    }
+
+    fn naive_select1(bits: &[bool], k: usize) -> Option<usize> {
+        bits.iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .nth(k.checked_sub(1)?)
+    }
+
+    fn naive_select0(bits: &[bool], k: usize) -> Option<usize> {
+        bits.iter()
+            .enumerate()
+            .filter(|(_, &b)| !b)
+            .map(|(i, _)| i)
+            .nth(k.checked_sub(1)?)
+    }
+
+    fn check_all(bits: &[bool]) {
+        let rs = RsBitVec::from_bits(bits.iter().copied());
+        assert_eq!(rs.len(), bits.len());
+        assert_eq!(rs.count_ones(), bits.iter().filter(|&&b| b).count());
+        for i in 0..=bits.len() {
+            assert_eq!(rs.rank1(i), naive_rank1(bits, i), "rank1({i})");
+            assert_eq!(rs.rank0(i), i - naive_rank1(bits, i), "rank0({i})");
+        }
+        for k in 0..=rs.count_ones() + 1 {
+            assert_eq!(rs.select1(k), naive_select1(bits, k), "select1({k})");
+        }
+        for k in 0..=rs.count_zeros() + 1 {
+            assert_eq!(rs.select0(k), naive_select0(bits, k), "select0({k})");
+        }
+    }
+
+    #[test]
+    fn empty() {
+        let rs = RsBitVec::from_bits(std::iter::empty());
+        assert_eq!(rs.len(), 0);
+        assert_eq!(rs.rank1(0), 0);
+        assert_eq!(rs.select1(1), None);
+        assert_eq!(rs.select0(1), None);
+    }
+
+    #[test]
+    fn all_ones() {
+        check_all(&vec![true; 700]);
+    }
+
+    #[test]
+    fn all_zeros() {
+        check_all(&vec![false; 700]);
+    }
+
+    #[test]
+    fn alternating() {
+        let bits: Vec<bool> = (0..1025).map(|i| i % 2 == 0).collect();
+        check_all(&bits);
+    }
+
+    #[test]
+    fn sparse_ones() {
+        let bits: Vec<bool> = (0..2000).map(|i| i % 293 == 0).collect();
+        check_all(&bits);
+    }
+
+    #[test]
+    fn sparse_zeros() {
+        let bits: Vec<bool> = (0..2000).map(|i| i % 293 != 0).collect();
+        check_all(&bits);
+    }
+
+    #[test]
+    fn exact_superblock_boundary() {
+        let bits: Vec<bool> = (0..512).map(|i| i % 3 == 0).collect();
+        check_all(&bits);
+        let bits: Vec<bool> = (0..1024).map(|i| i % 7 == 0).collect();
+        check_all(&bits);
+    }
+
+    #[test]
+    fn exact_word_boundary() {
+        let bits: Vec<bool> = (0..64).map(|i| i % 2 == 1).collect();
+        check_all(&bits);
+        let bits: Vec<bool> = (0..128).map(|i| i < 64).collect();
+        check_all(&bits);
+    }
+
+    #[test]
+    fn select_in_word_works() {
+        assert_eq!(select_in_word(0b1, 1), 0);
+        assert_eq!(select_in_word(0b1010, 1), 1);
+        assert_eq!(select_in_word(0b1010, 2), 3);
+        assert_eq!(select_in_word(u64::MAX, 64), 63);
+    }
+
+    #[test]
+    fn iter_ones_matches() {
+        let bits: Vec<bool> = (0..300).map(|i| i % 13 == 0).collect();
+        let rs = RsBitVec::from_bits(bits.iter().copied());
+        let expected: Vec<usize> = (0..300).filter(|i| i % 13 == 0).collect();
+        assert_eq!(rs.iter_ones().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let bits: Vec<bool> = (0..777).map(|i| (i * i) % 5 == 1).collect();
+        let rs = RsBitVec::from_bits(bits.iter().copied());
+        let buf = rs.to_bytes();
+        assert_eq!(buf.len(), rs.serialized_size());
+        let back = RsBitVec::from_bytes(&buf).unwrap();
+        assert_eq!(rs, back);
+        assert_eq!(back.rank1(777), rs.rank1(777));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn rank_select_match_naive(bits in proptest::collection::vec(any::<bool>(), 0..3000)) {
+                let rs = RsBitVec::from_bits(bits.iter().copied());
+                // rank at a handful of positions incl. boundaries
+                for i in [0, bits.len() / 3, bits.len() / 2, bits.len()] {
+                    prop_assert_eq!(rs.rank1(i), naive_rank1(&bits, i));
+                }
+                // select1/select0 must invert rank
+                for k in 1..=rs.count_ones() {
+                    let p = rs.select1(k).unwrap();
+                    prop_assert!(bits[p]);
+                    prop_assert_eq!(rs.rank1(p), k - 1);
+                }
+                for k in 1..=rs.count_zeros().min(100) {
+                    let p = rs.select0(k).unwrap();
+                    prop_assert!(!bits[p]);
+                    prop_assert_eq!(rs.rank0(p), k - 1);
+                }
+            }
+        }
+    }
+}

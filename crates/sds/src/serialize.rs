@@ -1,0 +1,116 @@
+//! Minimal binary serialization used for the on-disk size experiments
+//! (paper Figures 9 and 10: dictionary and triple-storage sizes persisted to
+//! an SD card).
+//!
+//! All integers are written little-endian. The format is deliberately dumb
+//! and compact — it mirrors what the paper does when it "persists all the
+//! data structures existing in SuccinctEdge to disk in order to make a fair
+//! comparison" (§7.3.2).
+
+use std::io;
+
+/// Little-endian integer writing on top of any [`io::Write`].
+pub trait WriteBin: io::Write {
+    fn write_u64(&mut self, v: u64) -> io::Result<()> {
+        self.write_all(&v.to_le_bytes())
+    }
+    fn write_u32(&mut self, v: u32) -> io::Result<()> {
+        self.write_all(&v.to_le_bytes())
+    }
+    fn write_u8(&mut self, v: u8) -> io::Result<()> {
+        self.write_all(&[v])
+    }
+    /// Length-prefixed UTF-8 string.
+    fn write_str(&mut self, s: &str) -> io::Result<()> {
+        self.write_u64(s.len() as u64)?;
+        self.write_all(s.as_bytes())
+    }
+}
+
+impl<W: io::Write + ?Sized> WriteBin for W {}
+
+/// Little-endian integer reading on top of any [`io::Read`].
+pub trait ReadBin: io::Read {
+    fn read_u64(&mut self) -> io::Result<u64> {
+        let mut buf = [0u8; 8];
+        self.read_exact(&mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+    fn read_u32(&mut self) -> io::Result<u32> {
+        let mut buf = [0u8; 4];
+        self.read_exact(&mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+    fn read_u8(&mut self) -> io::Result<u8> {
+        let mut buf = [0u8; 1];
+        self.read_exact(&mut buf)?;
+        Ok(buf[0])
+    }
+    /// Length-prefixed UTF-8 string.
+    fn read_str(&mut self) -> io::Result<String> {
+        let len = self.read_u64()? as usize;
+        let mut buf = vec![0u8; len];
+        self.read_exact(&mut buf)?;
+        String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl<R: io::Read + ?Sized> ReadBin for R {}
+
+/// Compact binary serialization with a known size.
+pub trait Serialize: Sized {
+    /// Writes `self` to `w`.
+    fn serialize<W: io::Write>(&self, w: &mut W) -> io::Result<()>;
+    /// Reads a value previously written by [`Serialize::serialize`].
+    fn deserialize<R: io::Read>(r: &mut R) -> io::Result<Self>;
+    /// Exact number of bytes [`Serialize::serialize`] will write.
+    fn serialized_size(&self) -> usize;
+
+    /// Serializes into a fresh byte buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.serialized_size());
+        self.serialize(&mut buf).expect("serializing to Vec cannot fail");
+        buf
+    }
+
+    /// Deserializes from a byte slice.
+    fn from_bytes(mut bytes: &[u8]) -> io::Result<Self> {
+        Self::deserialize(&mut bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut buf = Vec::new();
+        buf.write_u64(0xDEAD_BEEF_CAFE_BABE).unwrap();
+        assert_eq!(buf.len(), 8);
+        let v = buf.as_slice().read_u64().unwrap();
+        assert_eq!(v, 0xDEAD_BEEF_CAFE_BABE);
+    }
+
+    #[test]
+    fn str_roundtrip() {
+        let mut buf = Vec::new();
+        buf.write_str("hello ünïcode").unwrap();
+        let s = buf.as_slice().read_str().unwrap();
+        assert_eq!(s, "hello ünïcode");
+    }
+
+    #[test]
+    fn str_rejects_invalid_utf8() {
+        let mut buf = Vec::new();
+        buf.write_u64(2).unwrap();
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(buf.as_slice().read_str().is_err());
+    }
+
+    #[test]
+    fn read_past_end_errors() {
+        let buf = [1u8, 2, 3];
+        assert!(buf.as_slice().read_u64().is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! The SPARQL abstract syntax tree.
+
+use se_rdf::Term;
+use std::fmt;
+
+/// A position in a triple pattern: a variable or a constant term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TermPattern {
+    /// `?name` (without the question mark).
+    Var(String),
+    /// A constant IRI, blank node or literal.
+    Term(Term),
+}
+
+impl TermPattern {
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            TermPattern::Var(v) => Some(v),
+            TermPattern::Term(_) => None,
+        }
+    }
+
+    /// `true` for variables.
+    pub fn is_var(&self) -> bool {
+        matches!(self, TermPattern::Var(_))
+    }
+}
+
+impl fmt::Display for TermPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermPattern::Var(v) => write!(f, "?{v}"),
+            TermPattern::Term(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A triple pattern (TP).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriplePattern {
+    pub subject: TermPattern,
+    pub predicate: TermPattern,
+    pub object: TermPattern,
+}
+
+impl TriplePattern {
+    /// `true` if the predicate is the constant `rdf:type`.
+    pub fn is_type_pattern(&self) -> bool {
+        matches!(
+            &self.predicate,
+            TermPattern::Term(Term::Iri(iri)) if &**iri == se_rdf::vocab::rdf::TYPE
+        )
+    }
+
+    /// The variables of this pattern, in S, P, O order.
+    pub fn variables(&self) -> Vec<&str> {
+        [&self.subject, &self.predicate, &self.object]
+            .into_iter()
+            .filter_map(TermPattern::as_var)
+            .collect()
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// SPARQL expressions (the FILTER / BIND language).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `?x`
+    Var(String),
+    /// A numeric constant.
+    Number(f64),
+    /// A string constant.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A constant IRI.
+    Iri(String),
+    /// `a || b`
+    Or(Box<Expr>, Box<Expr>),
+    /// `a && b`
+    And(Box<Expr>, Box<Expr>),
+    /// `!a`
+    Not(Box<Expr>),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Built-in function call.
+    Call(Func, Vec<Expr>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Built-in functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    /// `regex(text, pattern)` — unanchored match.
+    Regex,
+    /// `str(term)` — lexical form.
+    Str,
+    /// `if(cond, then, else)`.
+    If,
+    /// `bound(?v)`.
+    Bound,
+    /// `lang(literal)`.
+    Lang,
+    /// `datatype(literal)`.
+    Datatype,
+}
+
+/// A `BIND(expr AS ?v)` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bind {
+    pub expr: Expr,
+    pub var: String,
+}
+
+/// One group graph pattern: a BGP plus its FILTERs and BINDs, in source
+/// order (BINDs are applied in order, FILTERs after all BINDs — the
+/// group-scope semantics SPARQL gives them).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroupPattern {
+    pub patterns: Vec<TriplePattern>,
+    pub binds: Vec<Bind>,
+    pub filters: Vec<Expr>,
+}
+
+impl GroupPattern {
+    /// All variables appearing in triple patterns.
+    pub fn tp_variables(&self) -> Vec<String> {
+        let mut vars = Vec::new();
+        for tp in &self.patterns {
+            for v in tp.variables() {
+                if !vars.iter().any(|x| x == v) {
+                    vars.push(v.to_string());
+                }
+            }
+        }
+        vars
+    }
+}
+
+/// A parsed SELECT query: one or more UNION-ed groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Projected variables; empty means `SELECT *`.
+    pub select: Vec<String>,
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// `LIMIT n`.
+    pub limit: Option<usize>,
+    /// UNION branches (a query without UNION has exactly one).
+    pub groups: Vec<GroupPattern>,
+}
+
+impl Query {
+    /// The output variable list: the explicit projection, or every variable
+    /// of the first group for `SELECT *` (TP variables first, then BINDs).
+    pub fn output_variables(&self) -> Vec<String> {
+        if !self.select.is_empty() {
+            return self.select.clone();
+        }
+        let Some(group) = self.groups.first() else {
+            return Vec::new();
+        };
+        let mut vars = group.tp_variables();
+        for b in &group.binds {
+            if !vars.iter().any(|x| x == &b.var) {
+                vars.push(b.var.clone());
+            }
+        }
+        vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_pattern_accessors() {
+        let v = TermPattern::Var("x".into());
+        assert!(v.is_var());
+        assert_eq!(v.as_var(), Some("x"));
+        let t = TermPattern::Term(Term::iri("http://x/a"));
+        assert!(!t.is_var());
+        assert_eq!(t.as_var(), None);
+    }
+
+    #[test]
+    fn type_pattern_detection() {
+        let tp = TriplePattern {
+            subject: TermPattern::Var("x".into()),
+            predicate: TermPattern::Term(Term::iri(se_rdf::vocab::rdf::TYPE)),
+            object: TermPattern::Term(Term::iri("http://x/C")),
+        };
+        assert!(tp.is_type_pattern());
+        assert_eq!(tp.variables(), vec!["x"]);
+    }
+
+    #[test]
+    fn output_variables_star() {
+        let q = Query {
+            select: vec![],
+            distinct: false,
+            limit: None,
+            groups: vec![GroupPattern {
+                patterns: vec![TriplePattern {
+                    subject: TermPattern::Var("s".into()),
+                    predicate: TermPattern::Term(Term::iri("http://x/p")),
+                    object: TermPattern::Var("o".into()),
+                }],
+                binds: vec![Bind {
+                    expr: Expr::Number(1.0),
+                    var: "b".into(),
+                }],
+                filters: vec![],
+            }],
+        };
+        assert_eq!(q.output_variables(), vec!["s", "o", "b"]);
+    }
+}

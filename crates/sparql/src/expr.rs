@@ -1,0 +1,411 @@
+//! Expression evaluation for FILTER and BIND clauses.
+//!
+//! Follows SPARQL's semantics where it matters for the paper's workload:
+//! `regex` is unanchored, `str()` returns the lexical form, numeric
+//! comparisons coerce typed literals through their lexical form, and an
+//! evaluation error inside a FILTER behaves as `false` (the row is
+//! dropped) while an error inside a BIND leaves the variable unbound.
+
+use crate::ast::{ArithOp, CmpOp, Expr, Func};
+use se_rdf::{Literal, Term};
+use se_regex::Regex;
+use std::collections::HashMap;
+
+/// A computed expression value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalValue {
+    /// An RDF term (IRI, blank node or literal).
+    Term(Term),
+    /// A plain number.
+    Num(f64),
+    /// A plain string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl EvalValue {
+    /// SPARQL effective boolean value.
+    pub fn truthy(&self) -> Result<bool, String> {
+        match self {
+            EvalValue::Bool(b) => Ok(*b),
+            EvalValue::Num(n) => Ok(*n != 0.0 && !n.is_nan()),
+            EvalValue::Str(s) => Ok(!s.is_empty()),
+            EvalValue::Term(Term::Literal(lit)) => {
+                if let Some(n) = lit.as_f64() {
+                    Ok(n != 0.0)
+                } else {
+                    Ok(!lit.value.is_empty())
+                }
+            }
+            EvalValue::Term(_) => Err("IRI has no effective boolean value".to_string()),
+        }
+    }
+
+    /// Numeric interpretation, if any.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            EvalValue::Num(n) => Some(*n),
+            EvalValue::Term(Term::Literal(lit)) => lit.as_f64(),
+            EvalValue::Str(s) => s.trim().parse().ok(),
+            EvalValue::Bool(_) => None,
+            EvalValue::Term(_) => None,
+        }
+    }
+
+    /// SPARQL `str()`.
+    pub fn str_value(&self) -> String {
+        match self {
+            EvalValue::Term(t) => t.str_value().to_string(),
+            EvalValue::Num(n) => format_num(*n),
+            EvalValue::Str(s) => s.clone(),
+            EvalValue::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Converts a computed value into an RDF term for projection / joins.
+    pub fn into_term(self) -> Term {
+        match self {
+            EvalValue::Term(t) => t,
+            EvalValue::Num(n) => Term::Literal(if n.fract() == 0.0 {
+                Literal::integer(n as i64)
+            } else {
+                Literal::double(n)
+            }),
+            EvalValue::Str(s) => Term::literal(s),
+            EvalValue::Bool(b) => Term::Literal(Literal::typed(
+                b.to_string(),
+                se_rdf::vocab::xsd::BOOLEAN,
+            )),
+        }
+    }
+}
+
+fn format_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// The variable environment an expression is evaluated against.
+pub type Env<'a> = HashMap<&'a str, EvalValue>;
+
+/// Evaluates `expr` under `env`. Unbound variables and type mismatches are
+/// errors (`Err`), which FILTER maps to `false` and BIND to "unbound".
+pub fn eval(expr: &Expr, env: &Env<'_>) -> Result<EvalValue, String> {
+    match expr {
+        Expr::Var(v) => env
+            .get(v.as_str())
+            .cloned()
+            .ok_or_else(|| format!("unbound variable ?{v}")),
+        Expr::Number(n) => Ok(EvalValue::Num(*n)),
+        Expr::Str(s) => Ok(EvalValue::Str(s.clone())),
+        Expr::Bool(b) => Ok(EvalValue::Bool(*b)),
+        Expr::Iri(iri) => Ok(EvalValue::Term(Term::iri(iri.clone()))),
+        Expr::Or(l, r) => {
+            // SPARQL logical-or: true wins over error.
+            let lv = eval(l, env).and_then(|v| v.truthy());
+            let rv = eval(r, env).and_then(|v| v.truthy());
+            match (lv, rv) {
+                (Ok(true), _) | (_, Ok(true)) => Ok(EvalValue::Bool(true)),
+                (Ok(false), Ok(false)) => Ok(EvalValue::Bool(false)),
+                (Err(e), _) | (_, Err(e)) => Err(e),
+            }
+        }
+        Expr::And(l, r) => {
+            let lv = eval(l, env).and_then(|v| v.truthy());
+            let rv = eval(r, env).and_then(|v| v.truthy());
+            match (lv, rv) {
+                (Ok(false), _) | (_, Ok(false)) => Ok(EvalValue::Bool(false)),
+                (Ok(true), Ok(true)) => Ok(EvalValue::Bool(true)),
+                (Err(e), _) | (_, Err(e)) => Err(e),
+            }
+        }
+        Expr::Not(e) => Ok(EvalValue::Bool(!eval(e, env)?.truthy()?)),
+        Expr::Cmp(op, l, r) => {
+            let lv = eval(l, env)?;
+            let rv = eval(r, env)?;
+            Ok(EvalValue::Bool(compare(*op, &lv, &rv)?))
+        }
+        Expr::Arith(op, l, r) => {
+            let lv = eval(l, env)?
+                .as_num()
+                .ok_or("non-numeric operand in arithmetic")?;
+            let rv = eval(r, env)?
+                .as_num()
+                .ok_or("non-numeric operand in arithmetic")?;
+            let out = match op {
+                ArithOp::Add => lv + rv,
+                ArithOp::Sub => lv - rv,
+                ArithOp::Mul => lv * rv,
+                ArithOp::Div => {
+                    if rv == 0.0 {
+                        return Err("division by zero".to_string());
+                    }
+                    lv / rv
+                }
+            };
+            Ok(EvalValue::Num(out))
+        }
+        Expr::Neg(e) => {
+            let v = eval(e, env)?.as_num().ok_or("non-numeric operand in negation")?;
+            Ok(EvalValue::Num(-v))
+        }
+        Expr::Call(func, args) => eval_call(*func, args, env),
+    }
+}
+
+fn compare(op: CmpOp, l: &EvalValue, r: &EvalValue) -> Result<bool, String> {
+    // Numeric comparison when both sides are numeric.
+    if let (Some(a), Some(b)) = (l.as_num(), r.as_num()) {
+        return Ok(match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        });
+    }
+    match op {
+        CmpOp::Eq => Ok(eval_eq(l, r)),
+        CmpOp::Ne => Ok(!eval_eq(l, r)),
+        // Lexicographic comparison of string forms.
+        _ => {
+            let (a, b) = (l.str_value(), r.str_value());
+            Ok(match op {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+                CmpOp::Eq | CmpOp::Ne => unreachable!(),
+            })
+        }
+    }
+}
+
+fn eval_eq(l: &EvalValue, r: &EvalValue) -> bool {
+    match (l, r) {
+        (EvalValue::Term(a), EvalValue::Term(b)) => a == b,
+        (EvalValue::Bool(a), EvalValue::Bool(b)) => a == b,
+        _ => l.str_value() == r.str_value(),
+    }
+}
+
+fn eval_call(func: Func, args: &[Expr], env: &Env<'_>) -> Result<EvalValue, String> {
+    let arity = |n: usize| -> Result<(), String> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{func:?} expects {n} arguments, got {}", args.len()))
+        }
+    };
+    match func {
+        Func::Regex => {
+            arity(2)?;
+            let text = eval(&args[0], env)?.str_value();
+            let pattern = eval(&args[1], env)?.str_value();
+            let re = Regex::new(&pattern).map_err(|e| e.to_string())?;
+            Ok(EvalValue::Bool(re.is_match(&text)))
+        }
+        Func::Str => {
+            arity(1)?;
+            Ok(EvalValue::Str(eval(&args[0], env)?.str_value()))
+        }
+        Func::If => {
+            arity(3)?;
+            if eval(&args[0], env)?.truthy()? {
+                eval(&args[1], env)
+            } else {
+                eval(&args[2], env)
+            }
+        }
+        Func::Bound => {
+            arity(1)?;
+            match &args[0] {
+                Expr::Var(v) => Ok(EvalValue::Bool(env.contains_key(v.as_str()))),
+                _ => Err("bound() expects a variable".to_string()),
+            }
+        }
+        Func::Lang => {
+            arity(1)?;
+            match eval(&args[0], env)? {
+                EvalValue::Term(Term::Literal(lit)) => Ok(EvalValue::Str(
+                    lit.language.as_deref().unwrap_or("").to_string(),
+                )),
+                _ => Ok(EvalValue::Str(String::new())),
+            }
+        }
+        Func::Datatype => {
+            arity(1)?;
+            match eval(&args[0], env)? {
+                EvalValue::Term(Term::Literal(lit)) => {
+                    let dt = lit
+                        .datatype
+                        .as_deref()
+                        .unwrap_or(se_rdf::vocab::xsd::STRING)
+                        .to_string();
+                    Ok(EvalValue::Term(Term::iri(dt)))
+                }
+                _ => Err("datatype() expects a literal".to_string()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn filter_expr(q: &str) -> Expr {
+        parse_query(q).unwrap().groups[0].filters[0].clone()
+    }
+
+    fn env_with(vars: &[(&'static str, EvalValue)]) -> Env<'static> {
+        vars.iter().cloned().collect()
+    }
+
+    #[test]
+    fn numeric_comparison_with_literals() {
+        let e = filter_expr("SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (?v < 3.00 || ?v > 4.50) }");
+        let low = env_with(&[("v", EvalValue::Term(Term::Literal(Literal::double(2.5))))]);
+        let mid = env_with(&[("v", EvalValue::Term(Term::Literal(Literal::double(4.0))))]);
+        let high = env_with(&[("v", EvalValue::Term(Term::Literal(Literal::double(5.0))))]);
+        assert_eq!(eval(&e, &low).unwrap(), EvalValue::Bool(true));
+        assert_eq!(eval(&e, &mid).unwrap(), EvalValue::Bool(false));
+        assert_eq!(eval(&e, &high).unwrap(), EvalValue::Bool(true));
+    }
+
+    #[test]
+    fn regex_and_str_over_iri() {
+        let e = filter_expr(
+            r#"SELECT ?u WHERE { ?s <http://x/p> ?u . FILTER (regex(str(?u), "unit/BAR")) }"#,
+        );
+        let bar = env_with(&[(
+            "u",
+            EvalValue::Term(Term::iri("http://qudt.org/vocab/unit/BAR")),
+        )]);
+        let pa = env_with(&[(
+            "u",
+            EvalValue::Term(Term::iri("http://qudt.org/vocab/unit/HectoPA")),
+        )]);
+        assert_eq!(eval(&e, &bar).unwrap(), EvalValue::Bool(true));
+        assert_eq!(eval(&e, &pa).unwrap(), EvalValue::Bool(false));
+    }
+
+    #[test]
+    fn if_selects_branch() {
+        let e = filter_expr(
+            r#"SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (if(?v > 10, ?v / 1000, ?v) = 5) }"#,
+        );
+        // v = 5000 → 5000/1000 = 5 → true
+        let big = env_with(&[("v", EvalValue::Num(5000.0))]);
+        assert_eq!(eval(&e, &big).unwrap(), EvalValue::Bool(true));
+        // v = 5 → 5 = 5 → true
+        let small = env_with(&[("v", EvalValue::Num(5.0))]);
+        assert_eq!(eval(&e, &small).unwrap(), EvalValue::Bool(true));
+        // v = 7 → false
+        let other = env_with(&[("v", EvalValue::Num(7.0))]);
+        assert_eq!(eval(&e, &other).unwrap(), EvalValue::Bool(false));
+    }
+
+    #[test]
+    fn unbound_variable_is_error() {
+        let e = filter_expr("SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (?missing > 1) }");
+        assert!(eval(&e, &env_with(&[])).is_err());
+    }
+
+    #[test]
+    fn or_true_absorbs_error() {
+        // SPARQL: (error || true) = true.
+        let e = filter_expr(
+            "SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (?missing > 1 || ?v > 1) }",
+        );
+        let env = env_with(&[("v", EvalValue::Num(5.0))]);
+        assert_eq!(eval(&e, &env).unwrap(), EvalValue::Bool(true));
+    }
+
+    #[test]
+    fn and_false_absorbs_error() {
+        let e = filter_expr(
+            "SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (?missing > 1 && ?v > 10) }",
+        );
+        let env = env_with(&[("v", EvalValue::Num(5.0))]);
+        assert_eq!(eval(&e, &env).unwrap(), EvalValue::Bool(false));
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let e = filter_expr("SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (?v / 0 > 1) }");
+        assert!(eval(&e, &env_with(&[("v", EvalValue::Num(5.0))])).is_err());
+    }
+
+    #[test]
+    fn bound_function() {
+        let e = filter_expr("SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (bound(?v)) }");
+        assert_eq!(
+            eval(&e, &env_with(&[("v", EvalValue::Num(1.0))])).unwrap(),
+            EvalValue::Bool(true)
+        );
+        assert_eq!(eval(&e, &env_with(&[])).unwrap(), EvalValue::Bool(false));
+    }
+
+    #[test]
+    fn iri_equality() {
+        let e = filter_expr(
+            "SELECT ?u WHERE { ?s <http://x/p> ?u . FILTER (?u = <http://x/target>) }",
+        );
+        let yes = env_with(&[("u", EvalValue::Term(Term::iri("http://x/target")))]);
+        let no = env_with(&[("u", EvalValue::Term(Term::iri("http://x/other")))]);
+        assert_eq!(eval(&e, &yes).unwrap(), EvalValue::Bool(true));
+        assert_eq!(eval(&e, &no).unwrap(), EvalValue::Bool(false));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = filter_expr("SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (1 + 2 * 3 = 7) }");
+        assert_eq!(eval(&e, &env_with(&[])).unwrap(), EvalValue::Bool(true));
+    }
+
+    #[test]
+    fn negation_and_not() {
+        let e = filter_expr("SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (!(-?v > 0)) }");
+        assert_eq!(
+            eval(&e, &env_with(&[("v", EvalValue::Num(5.0))])).unwrap(),
+            EvalValue::Bool(true)
+        );
+    }
+
+    #[test]
+    fn into_term_roundtrip() {
+        assert_eq!(
+            EvalValue::Num(5.0).into_term(),
+            Term::Literal(Literal::integer(5))
+        );
+        assert_eq!(
+            EvalValue::Num(2.5).into_term(),
+            Term::Literal(Literal::double(2.5))
+        );
+        assert_eq!(EvalValue::Str("x".into()).into_term(), Term::literal("x"));
+    }
+
+    #[test]
+    fn lang_and_datatype() {
+        let e = filter_expr(
+            r#"SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (lang(?v) = "fr") }"#,
+        );
+        let fr = env_with(&[(
+            "v",
+            EvalValue::Term(Term::Literal(Literal::lang("bonjour", "fr"))),
+        )]);
+        assert_eq!(eval(&e, &fr).unwrap(), EvalValue::Bool(true));
+        let e = filter_expr(
+            "SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (datatype(?v) = <http://www.w3.org/2001/XMLSchema#double>) }",
+        );
+        let d = env_with(&[("v", EvalValue::Term(Term::Literal(Literal::double(1.5))))]);
+        assert_eq!(eval(&e, &d).unwrap(), EvalValue::Bool(true));
+    }
+}

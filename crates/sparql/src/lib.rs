@@ -1,0 +1,44 @@
+//! # se-sparql — SPARQL query processing for SuccinctEdge
+//!
+//! The query layer of the paper (§5): a SPARQL subset parser, the
+//! heuristic + statistics join-order optimizer (Algorithm 1), and a
+//! left-deep executor that translates triple patterns into the store's SDS
+//! operations.
+//!
+//! Supported SPARQL: `PREFIX`, `SELECT` (with `*`, `DISTINCT`, `LIMIT`),
+//! basic graph patterns with `;`/`,` continuations and the `a` keyword,
+//! `FILTER`, `BIND (expr AS ?v)`, and top-level `UNION` of groups.
+//! Expressions cover comparisons, boolean and arithmetic operators, and the
+//! `regex`, `str`, `if`, `bound`, `lang`, `datatype` functions — everything
+//! the paper's 26-query workload (Appendix A) and the motivating anomaly
+//! query (§2) need.
+//!
+//! Reasoning (§5.2): with [`exec::QueryOptions`] reasoning enabled, every
+//! constant concept/property is replaced by its LiteMat identifier interval
+//! — a `[lowerBound, upperBound)` constraint computed with two bit shifts
+//! and an addition — instead of being expanded into a UNION of rewritten
+//! queries.
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod optimizer;
+pub mod parser;
+
+pub use ast::{Query, TermPattern, TriplePattern};
+pub use error::{QueryError, SparqlParseError};
+pub use exec::{QueryOptions, ResultSet};
+pub use parser::parse_query;
+
+use se_core::SuccinctEdgeStore;
+
+/// Parses and executes `query` against `store` with `options`.
+pub fn execute_query(
+    store: &SuccinctEdgeStore,
+    query: &str,
+    options: &QueryOptions,
+) -> Result<ResultSet, QueryError> {
+    let parsed = parse_query(query)?;
+    exec::execute(store, &parsed, options)
+}

@@ -1,0 +1,361 @@
+//! Join-order optimization — the paper's Algorithm 1 (§5.1).
+//!
+//! SuccinctEdge only generates *left-deep* join trees. The optimizer builds
+//! a query graph (one node per TP, edges between TPs sharing a variable,
+//! labelled SS / SO / OS / OO), then repeatedly appends the "most
+//! selective" next TP, ranked by:
+//!
+//! 1. **Heuristic 1** (adapted from Tsialiamanis et al. to the PSO access
+//!    paths): TP-shape priority
+//!    `(s,type,?o) > (?s,type,o) > (s,p,?o) > (?s,p,o) > (?s,p,?o)`,
+//!    where positions bound by *earlier* TPs of the left-deep order count
+//!    as constants;
+//! 2. **Heuristic 2**: SS joins are preferred over SO joins
+//!    (`S ⋈ S > S ⋈ O`), other join forms rank lower;
+//! 3. **statistics** collected at dictionary-creation time, aggregated
+//!    along the concept/property hierarchies, plus run-time counts computed
+//!    directly on the SDS structures (the paper's Algorithm 2).
+
+use crate::ast::{TermPattern, TriplePattern};
+use se_core::SuccinctEdgeStore;
+use se_rdf::Term;
+use std::collections::HashSet;
+
+/// How two triple patterns join (the query-graph edge label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// subject–subject (the preferred form).
+    SS,
+    /// subject–object in either direction.
+    SO,
+    /// object–object.
+    OO,
+    /// Any join involving a predicate position (rare, lowest priority).
+    Other,
+}
+
+impl JoinType {
+    fn priority(self) -> u8 {
+        match self {
+            JoinType::SS => 0,
+            JoinType::SO => 1,
+            JoinType::OO => 2,
+            JoinType::Other => 3,
+        }
+    }
+}
+
+/// Classifies the strongest join between two TPs, if they share a variable.
+pub fn join_type(a: &TriplePattern, b: &TriplePattern) -> Option<JoinType> {
+    let mut best: Option<JoinType> = None;
+    let mut consider = |jt: JoinType| {
+        best = Some(match best {
+            Some(cur) if cur.priority() <= jt.priority() => cur,
+            _ => jt,
+        });
+    };
+    let positions = |tp: &TriplePattern, var: &str| -> (bool, bool, bool) {
+        (
+            tp.subject.as_var() == Some(var),
+            tp.predicate.as_var() == Some(var),
+            tp.object.as_var() == Some(var),
+        )
+    };
+    let mut vars: Vec<&str> = a.variables();
+    vars.retain(|v| b.variables().contains(v));
+    for var in vars {
+        let (as_, ap, ao) = positions(a, var);
+        let (bs, bp, bo) = positions(b, var);
+        if as_ && bs {
+            consider(JoinType::SS);
+        }
+        if (as_ && bo) || (ao && bs) {
+            consider(JoinType::SO);
+        }
+        if ao && bo {
+            consider(JoinType::OO);
+        }
+        if ap || bp {
+            consider(JoinType::Other);
+        }
+    }
+    best
+}
+
+/// Shape priority under a set of already-bound variables (lower = run
+/// earlier). The adapted Heuristic 1 of §5.1.
+fn shape_priority(tp: &TriplePattern, bound: &HashSet<&str>) -> u8 {
+    let is_bound = |p: &TermPattern| match p {
+        TermPattern::Term(_) => true,
+        TermPattern::Var(v) => bound.contains(v.as_str()),
+    };
+    let s = is_bound(&tp.subject);
+    let o = is_bound(&tp.object);
+    let p_var = tp.predicate.is_var();
+    if p_var {
+        return 9;
+    }
+    if tp.is_type_pattern() {
+        match (s, o) {
+            (true, true) => 0,
+            (true, false) => 1,
+            (false, true) => 2,
+            (false, false) => 8, // "(?s rdf:type ?o) is not relevant in a practical IoT context"
+        }
+    } else {
+        match (s, o) {
+            (true, true) => 3,
+            (true, false) => 4,
+            (false, true) => 5,
+            (false, false) => 6,
+        }
+    }
+}
+
+/// Estimated result cardinality of a TP from the creation-time statistics
+/// and the run-time SDS counts.
+fn estimate(tp: &TriplePattern, store: &SuccinctEdgeStore, reasoning: bool) -> usize {
+    if tp.is_type_pattern() {
+        match &tp.object {
+            TermPattern::Term(Term::Iri(c)) => {
+                let iv = if reasoning {
+                    store.concept_interval(c)
+                } else {
+                    store.concept_id(c).map(|id| se_litemat::IdInterval {
+                        lower: id,
+                        upper: id + 1,
+                    })
+                };
+                iv.map_or(0, |iv| store.type_count(iv))
+            }
+            _ => store.type_store().len(),
+        }
+    } else {
+        match &tp.predicate {
+            TermPattern::Term(Term::Iri(p)) => {
+                if reasoning {
+                    store
+                        .property_interval(p)
+                        .map_or(0, |iv| store.predicate_interval_count(iv))
+                } else {
+                    store.property_id(p).map_or(0, |id| store.predicate_count(id))
+                }
+            }
+            _ => store.len(),
+        }
+    }
+}
+
+/// The paper's Algorithm 1: computes a left-deep TP execution order.
+pub fn order_patterns(
+    patterns: &[TriplePattern],
+    store: &SuccinctEdgeStore,
+    reasoning: bool,
+) -> Vec<usize> {
+    let n = patterns.len();
+    if n <= 1 {
+        return (0..n).collect();
+    }
+    let estimates: Vec<usize> = patterns
+        .iter()
+        .map(|tp| estimate(tp, store, reasoning))
+        .collect();
+
+    // Line 2: the starting TP. Prefer the most selective rdf:type TP that
+    // participates in an SS join; otherwise the best non-type TP; otherwise
+    // anything.
+    let has_ss_join = |i: usize| {
+        (0..n).any(|j| j != i && join_type(&patterns[i], &patterns[j]) == Some(JoinType::SS))
+    };
+    let empty_bound = HashSet::new();
+    let rank_start = |i: usize| (shape_priority(&patterns[i], &empty_bound), estimates[i], i);
+    let start = (0..n)
+        .filter(|&i| patterns[i].is_type_pattern() && (n == 1 || has_ss_join(i)))
+        .min_by_key(|&i| rank_start(i))
+        .or_else(|| {
+            (0..n)
+                .filter(|&i| !patterns[i].is_type_pattern())
+                .min_by_key(|&i| rank_start(i))
+        })
+        .or_else(|| (0..n).min_by_key(|&i| rank_start(i)))
+        .expect("n >= 1");
+
+    let mut order = vec![start];
+    let mut used = vec![false; n];
+    used[start] = true;
+    let mut bound: HashSet<&str> = patterns[start].variables().into_iter().collect();
+
+    // Lines 4–7: repeatedly pick the most selective TP connected to the
+    // current prefix.
+    while order.len() < n {
+        let connected: Vec<usize> = (0..n)
+            .filter(|&i| {
+                !used[i]
+                    && order
+                        .iter()
+                        .any(|&j| join_type(&patterns[i], &patterns[j]).is_some())
+            })
+            .collect();
+        // A disconnected pattern forces a cartesian product; all remaining
+        // TPs become candidates.
+        let candidates: Vec<usize> = if connected.is_empty() {
+            (0..n).filter(|&i| !used[i]).collect()
+        } else {
+            connected
+        };
+        let best_join = |i: usize| {
+            order
+                .iter()
+                .filter_map(|&j| join_type(&patterns[i], &patterns[j]))
+                .map(JoinType::priority)
+                .min()
+                .unwrap_or(4)
+        };
+        let next = candidates
+            .into_iter()
+            .min_by_key(|&i| {
+                (
+                    shape_priority(&patterns[i], &bound),
+                    best_join(i),
+                    estimates[i],
+                    i,
+                )
+            })
+            .expect("candidates nonempty while TPs remain");
+        used[next] = true;
+        order.push(next);
+        bound.extend(patterns[next].variables());
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use se_ontology::Ontology;
+    use se_rdf::{Graph, Triple};
+
+    fn tp(q: &str) -> Vec<TriplePattern> {
+        let mut parsed = parse_query(q).unwrap();
+        parsed.groups.remove(0).patterns
+    }
+
+    fn toy_store() -> SuccinctEdgeStore {
+        let mut o = Ontology::new();
+        o.add_class("http://x/C2", "http://x/C1");
+        o.add_class("http://x/C3", "http://x/C1");
+        o.add_object_property("http://x/p");
+        o.add_object_property("http://x/q");
+        let mut g = Graph::new();
+        let iri = |s: &str| Term::iri(format!("http://x/{s}"));
+        // C2 is rarer than C3.
+        g.insert(Triple::new(iri("a"), Term::iri(se_rdf::vocab::rdf::TYPE), iri("C2")));
+        for i in 0..5 {
+            g.insert(Triple::new(
+                iri(&format!("b{i}")),
+                Term::iri(se_rdf::vocab::rdf::TYPE),
+                iri("C3"),
+            ));
+        }
+        // p is rarer than q.
+        g.insert(Triple::new(iri("a"), iri("p"), iri("b0")));
+        for i in 0..5 {
+            g.insert(Triple::new(iri(&format!("b{i}")), iri("q"), iri("a")));
+        }
+        SuccinctEdgeStore::build(&o, &g).unwrap()
+    }
+
+    #[test]
+    fn join_type_classification() {
+        let tps = tp("SELECT * WHERE { ?x <http://x/p> ?y . ?x <http://x/q> ?z . ?w <http://x/r> ?x . ?a <http://x/s> ?y }");
+        assert_eq!(join_type(&tps[0], &tps[1]), Some(JoinType::SS));
+        assert_eq!(join_type(&tps[0], &tps[2]), Some(JoinType::SO));
+        assert_eq!(join_type(&tps[0], &tps[3]), Some(JoinType::OO));
+        assert_eq!(join_type(&tps[1], &tps[3]), None);
+    }
+
+    #[test]
+    fn ss_preferred_over_so() {
+        // Two TPs join the first via SS and SO respectively; SS runs first.
+        let store = toy_store();
+        let tps = tp(
+            "PREFIX e: <http://x/> SELECT * WHERE { ?x a e:C2 . ?y e:q ?x . ?x e:p ?z }",
+        );
+        let order = order_patterns(&tps, &store, false);
+        assert_eq!(order[0], 0, "type TP with SS join starts");
+        assert_eq!(order[1], 2, "SS join (?x e:p ?z) beats SO join (?y e:q ?x)");
+    }
+
+    #[test]
+    fn starts_with_most_selective_type_tp() {
+        let store = toy_store();
+        let tps = tp(
+            "PREFIX e: <http://x/> SELECT * WHERE { ?x a e:C3 . ?x a e:C2 . ?x e:p ?z }",
+        );
+        let order = order_patterns(&tps, &store, false);
+        // C2 (1 instance) is more selective than C3 (5 instances).
+        assert_eq!(order[0], 1);
+    }
+
+    #[test]
+    fn non_type_start_when_no_type_tp() {
+        let store = toy_store();
+        let tps = tp("PREFIX e: <http://x/> SELECT * WHERE { ?x e:p ?y . ?x e:q ?z }");
+        let order = order_patterns(&tps, &store, false);
+        // p (1 triple) is more selective than q (5 triples).
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn order_is_a_permutation_and_connected() {
+        let store = toy_store();
+        let tps = tp(
+            "PREFIX e: <http://x/> SELECT * WHERE {
+                ?x a e:C2 . ?x e:p ?y . ?y e:q ?z . ?z a e:C3 . ?z e:p ?w }",
+        );
+        let order = order_patterns(&tps, &store, false);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        // Every TP after the first joins something before it (connected query).
+        for (k, &i) in order.iter().enumerate().skip(1) {
+            assert!(
+                order[..k]
+                    .iter()
+                    .any(|&j| join_type(&tps[i], &tps[j]).is_some()),
+                "TP {i} at position {k} is not connected to the prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn single_tp() {
+        let store = toy_store();
+        let tps = tp("PREFIX e: <http://x/> SELECT * WHERE { ?x e:p ?y }");
+        assert_eq!(order_patterns(&tps, &store, false), vec![0]);
+    }
+
+    #[test]
+    fn cartesian_fallback() {
+        let store = toy_store();
+        // Two disconnected components: order must still cover everything.
+        let tps = tp("PREFIX e: <http://x/> SELECT * WHERE { ?x e:p ?y . ?a e:q ?b }");
+        let order = order_patterns(&tps, &store, false);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+    }
+
+    #[test]
+    fn reasoning_changes_estimates() {
+        let store = toy_store();
+        let tps = tp("PREFIX e: <http://x/> SELECT * WHERE { ?x a e:C1 . ?x a e:C2 }");
+        // Without reasoning C1 has 0 direct instances (most selective);
+        // with reasoning C1 covers C2+C3 (6) and C2 (1) wins.
+        let no_reason = order_patterns(&tps, &store, false);
+        assert_eq!(no_reason[0], 0);
+        let with_reason = order_patterns(&tps, &store, true);
+        assert_eq!(with_reason[0], 1);
+    }
+}

@@ -1,0 +1,882 @@
+//! Recursive-descent parser for the supported SPARQL fragment.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! query    := prologue SELECT (DISTINCT)? (vars | '*') WHERE? group (LIMIT n)?
+//! prologue := (PREFIX name: <iri>)*
+//! group    := '{' unit* '}' (UNION group)*
+//! unit     := triples '.'? | FILTER '(' expr ')' | BIND '(' expr AS ?v ')'
+//! triples  := term pred-obj (';' pred-obj)*
+//! pred-obj := (term | 'a') term (',' term)*
+//! ```
+//!
+//! Expressions use standard precedence: `||` < `&&` < comparisons <
+//! additive < multiplicative < unary.
+
+use crate::ast::{ArithOp, Bind, CmpOp, Expr, Func, GroupPattern, Query, TermPattern, TriplePattern};
+use crate::error::SparqlParseError;
+use se_rdf::{Literal, Term};
+use std::collections::HashMap;
+
+/// Parses a SPARQL SELECT query.
+pub fn parse_query(input: &str) -> Result<Query, SparqlParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        prefixes: HashMap::new(),
+    };
+    p.parse_query()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    IriRef(String),
+    PName(String, String),
+    Var(String),
+    Str(String),
+    Num(f64),
+    Ident(String), // keywords and bare identifiers (case preserved)
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Dot,
+    Semi,
+    Comma,
+    Star,
+    OrOr,
+    AndAnd,
+    Bang,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Slash,
+    Caret2,
+}
+
+struct SpannedTok {
+    tok: Tok,
+    at: usize,
+}
+
+fn tokenize(input: &str) -> Result<Vec<SpannedTok>, SparqlParseError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let err = |at: usize, m: &str| SparqlParseError {
+        position: at,
+        message: m.to_string(),
+    };
+    while i < chars.len() {
+        let c = chars[i];
+        let at = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    toks.push(SpannedTok { tok: Tok::Le, at });
+                    i += 2;
+                    continue;
+                }
+                // IRI or less-than: an IRI ref has no whitespace before '>'.
+                let mut j = i + 1;
+                let mut iri = String::new();
+                let mut ok = false;
+                while j < chars.len() {
+                    if chars[j] == '>' {
+                        ok = true;
+                        break;
+                    }
+                    if chars[j].is_whitespace() {
+                        break;
+                    }
+                    iri.push(chars[j]);
+                    j += 1;
+                }
+                if ok && iri.contains(':') {
+                    toks.push(SpannedTok {
+                        tok: Tok::IriRef(iri),
+                        at,
+                    });
+                    i = j + 1;
+                } else {
+                    toks.push(SpannedTok { tok: Tok::Lt, at });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    toks.push(SpannedTok { tok: Tok::Ge, at });
+                    i += 2;
+                } else {
+                    toks.push(SpannedTok { tok: Tok::Gt, at });
+                    i += 1;
+                }
+            }
+            '?' | '$' => {
+                let mut j = i + 1;
+                let mut name = String::new();
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    name.push(chars[j]);
+                    j += 1;
+                }
+                if name.is_empty() {
+                    return Err(err(at, "empty variable name"));
+                }
+                toks.push(SpannedTok {
+                    tok: Tok::Var(name),
+                    at,
+                });
+                i = j;
+            }
+            '"' => {
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(j) {
+                        Some('"') => break,
+                        Some('\\') => {
+                            j += 1;
+                            match chars.get(j) {
+                                Some('n') => s.push('\n'),
+                                Some('t') => s.push('\t'),
+                                Some('r') => s.push('\r'),
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                Some(&c) => s.push(c),
+                                None => return Err(err(at, "unterminated string")),
+                            }
+                            j += 1;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            j += 1;
+                        }
+                        None => return Err(err(at, "unterminated string")),
+                    }
+                }
+                toks.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    at,
+                });
+                i = j + 1;
+            }
+            '{' => {
+                toks.push(SpannedTok { tok: Tok::LBrace, at });
+                i += 1;
+            }
+            '}' => {
+                toks.push(SpannedTok { tok: Tok::RBrace, at });
+                i += 1;
+            }
+            '(' => {
+                toks.push(SpannedTok { tok: Tok::LParen, at });
+                i += 1;
+            }
+            ')' => {
+                toks.push(SpannedTok { tok: Tok::RParen, at });
+                i += 1;
+            }
+            ';' => {
+                toks.push(SpannedTok { tok: Tok::Semi, at });
+                i += 1;
+            }
+            ',' => {
+                toks.push(SpannedTok { tok: Tok::Comma, at });
+                i += 1;
+            }
+            '*' => {
+                toks.push(SpannedTok { tok: Tok::Star, at });
+                i += 1;
+            }
+            '/' => {
+                toks.push(SpannedTok { tok: Tok::Slash, at });
+                i += 1;
+            }
+            '+' => {
+                toks.push(SpannedTok { tok: Tok::Plus, at });
+                i += 1;
+            }
+            '-' => {
+                toks.push(SpannedTok { tok: Tok::Minus, at });
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    toks.push(SpannedTok { tok: Tok::Ne, at });
+                    i += 2;
+                } else {
+                    toks.push(SpannedTok { tok: Tok::Bang, at });
+                    i += 1;
+                }
+            }
+            '=' => {
+                toks.push(SpannedTok { tok: Tok::Eq, at });
+                i += 1;
+            }
+            '|' => {
+                if chars.get(i + 1) == Some(&'|') {
+                    toks.push(SpannedTok { tok: Tok::OrOr, at });
+                    i += 2;
+                } else {
+                    return Err(err(at, "single '|' (expected '||')"));
+                }
+            }
+            '&' => {
+                if chars.get(i + 1) == Some(&'&') {
+                    toks.push(SpannedTok { tok: Tok::AndAnd, at });
+                    i += 2;
+                } else {
+                    return Err(err(at, "single '&' (expected '&&')"));
+                }
+            }
+            '^' => {
+                if chars.get(i + 1) == Some(&'^') {
+                    toks.push(SpannedTok { tok: Tok::Caret2, at });
+                    i += 2;
+                } else {
+                    return Err(err(at, "single '^' (expected '^^')"));
+                }
+            }
+            '.' => {
+                // A dot starting a number like `.5` is not supported; plain dot.
+                toks.push(SpannedTok { tok: Tok::Dot, at });
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut text = String::new();
+                let mut seen_dot = false;
+                while j < chars.len() {
+                    let d = chars[j];
+                    if d.is_ascii_digit() {
+                        text.push(d);
+                        j += 1;
+                    } else if d == '.'
+                        && !seen_dot
+                        && chars.get(j + 1).is_some_and(|c| c.is_ascii_digit())
+                    {
+                        seen_dot = true;
+                        text.push(d);
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| err(at, "malformed numeric literal"))?;
+                toks.push(SpannedTok {
+                    tok: Tok::Num(value),
+                    at,
+                });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                // Identifier, keyword, or prefixed name.
+                let mut j = i;
+                let mut text = String::new();
+                while j < chars.len()
+                    && (chars[j].is_alphanumeric() || chars[j] == '_' || chars[j] == '-')
+                {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                if chars.get(j) == Some(&':') {
+                    // prefixed name: prefix ':' local
+                    j += 1;
+                    let mut local = String::new();
+                    while j < chars.len()
+                        && (chars[j].is_alphanumeric()
+                            || chars[j] == '_'
+                            || chars[j] == '-'
+                            || (chars[j] == '.'
+                                && chars
+                                    .get(j + 1)
+                                    .is_some_and(|c| c.is_alphanumeric() || *c == '_')))
+                    {
+                        local.push(chars[j]);
+                        j += 1;
+                    }
+                    toks.push(SpannedTok {
+                        tok: Tok::PName(text, local),
+                        at,
+                    });
+                } else {
+                    toks.push(SpannedTok {
+                        tok: Tok::Ident(text),
+                        at,
+                    });
+                }
+                i = j;
+            }
+            other => return Err(err(at, &format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    tokens: Vec<SpannedTok>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> SparqlParseError {
+        SparqlParseError {
+            position: self.tokens.get(self.pos).map_or(usize::MAX, |t| t.at),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Option<&Tok> {
+        let t = self.tokens.get(self.pos).map(|t| &t.tok);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(id)) = self.peek() {
+            if id.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SparqlParseError> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, SparqlParseError> {
+        while self.keyword("PREFIX") {
+            let Some(Tok::PName(prefix, local)) = self.bump().cloned() else {
+                return Err(self.err("expected 'name:' after PREFIX"));
+            };
+            if !local.is_empty() {
+                return Err(self.err("prefix declaration must end with ':'"));
+            }
+            let Some(Tok::IriRef(iri)) = self.bump().cloned() else {
+                return Err(self.err("expected <iri> in PREFIX declaration"));
+            };
+            self.prefixes.insert(prefix, iri);
+        }
+        self.expect_keyword("SELECT")?;
+        let distinct = self.keyword("DISTINCT");
+        let mut select = Vec::new();
+        if self.eat(&Tok::Star) {
+            // SELECT * — leave `select` empty.
+        } else {
+            while let Some(Tok::Var(v)) = self.peek() {
+                select.push(v.clone());
+                self.pos += 1;
+            }
+            if select.is_empty() {
+                return Err(self.err("expected '*' or at least one variable after SELECT"));
+            }
+        }
+        let _ = self.keyword("WHERE");
+        let mut groups = vec![self.parse_group()?];
+        while self.keyword("UNION") {
+            groups.push(self.parse_group()?);
+        }
+        let mut limit = None;
+        if self.keyword("LIMIT") {
+            let Some(Tok::Num(n)) = self.bump().cloned() else {
+                return Err(self.err("expected a number after LIMIT"));
+            };
+            limit = Some(n as usize);
+        }
+        if self.pos != self.tokens.len() {
+            return Err(self.err("unexpected trailing tokens"));
+        }
+        Ok(Query {
+            select,
+            distinct,
+            limit,
+            groups,
+        })
+    }
+
+    fn parse_group(&mut self) -> Result<GroupPattern, SparqlParseError> {
+        if !self.eat(&Tok::LBrace) {
+            return Err(self.err("expected '{'"));
+        }
+        let mut group = GroupPattern::default();
+        loop {
+            if self.eat(&Tok::RBrace) {
+                break;
+            }
+            if self.keyword("FILTER") {
+                if !self.eat(&Tok::LParen) {
+                    return Err(self.err("expected '(' after FILTER"));
+                }
+                let e = self.parse_expr()?;
+                if !self.eat(&Tok::RParen) {
+                    return Err(self.err("expected ')' closing FILTER"));
+                }
+                group.filters.push(e);
+                let _ = self.eat(&Tok::Dot);
+                continue;
+            }
+            if self.keyword("BIND") {
+                if !self.eat(&Tok::LParen) {
+                    return Err(self.err("expected '(' after BIND"));
+                }
+                let e = self.parse_expr()?;
+                self.expect_keyword("AS")?;
+                let Some(Tok::Var(v)) = self.bump().cloned() else {
+                    return Err(self.err("expected variable after AS"));
+                };
+                if !self.eat(&Tok::RParen) {
+                    return Err(self.err("expected ')' closing BIND"));
+                }
+                group.binds.push(Bind { expr: e, var: v });
+                let _ = self.eat(&Tok::Dot);
+                continue;
+            }
+            self.parse_triples_block(&mut group)?;
+        }
+        Ok(group)
+    }
+
+    /// One `subject pred obj (',' obj)* (';' pred obj ...)* '.'?` block.
+    fn parse_triples_block(&mut self, group: &mut GroupPattern) -> Result<(), SparqlParseError> {
+        let subject = self.parse_term_pattern()?;
+        loop {
+            let predicate = self.parse_predicate_pattern()?;
+            loop {
+                let object = self.parse_term_pattern()?;
+                group.patterns.push(TriplePattern {
+                    subject: subject.clone(),
+                    predicate: predicate.clone(),
+                    object,
+                });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            if self.eat(&Tok::Semi) {
+                // A dangling ';' before '.' or '}' is tolerated.
+                if matches!(self.peek(), Some(Tok::Dot | Tok::RBrace)) {
+                    let _ = self.eat(&Tok::Dot);
+                    return Ok(());
+                }
+                continue;
+            }
+            let _ = self.eat(&Tok::Dot);
+            return Ok(());
+        }
+    }
+
+    fn parse_predicate_pattern(&mut self) -> Result<TermPattern, SparqlParseError> {
+        if let Some(Tok::Ident(id)) = self.peek() {
+            if id == "a" {
+                self.pos += 1;
+                return Ok(TermPattern::Term(Term::iri(se_rdf::vocab::rdf::TYPE)));
+            }
+        }
+        self.parse_term_pattern()
+    }
+
+    fn parse_term_pattern(&mut self) -> Result<TermPattern, SparqlParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Var(v)) => {
+                self.pos += 1;
+                Ok(TermPattern::Var(v))
+            }
+            Some(Tok::IriRef(iri)) => {
+                self.pos += 1;
+                Ok(TermPattern::Term(Term::iri(iri)))
+            }
+            Some(Tok::PName(prefix, local)) => {
+                self.pos += 1;
+                let iri = self.resolve_pname(&prefix, &local)?;
+                Ok(TermPattern::Term(Term::iri(iri)))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                // Optional ^^datatype
+                if self.eat(&Tok::Caret2) {
+                    let dt = match self.bump().cloned() {
+                        Some(Tok::IriRef(iri)) => iri,
+                        Some(Tok::PName(p, l)) => self.resolve_pname(&p, &l)?,
+                        _ => return Err(self.err("expected datatype IRI after '^^'")),
+                    };
+                    return Ok(TermPattern::Term(Term::Literal(Literal::typed(s, dt))));
+                }
+                Ok(TermPattern::Term(Term::literal(s)))
+            }
+            Some(Tok::Num(n)) => {
+                self.pos += 1;
+                let lit = if n.fract() == 0.0 {
+                    Literal::typed(format!("{}", n as i64), se_rdf::vocab::xsd::INTEGER)
+                } else {
+                    Literal::typed(format!("{n}"), se_rdf::vocab::xsd::DOUBLE)
+                };
+                Ok(TermPattern::Term(Term::Literal(lit)))
+            }
+            other => Err(self.err(format!("expected a term, got {other:?}"))),
+        }
+    }
+
+    fn resolve_pname(&self, prefix: &str, local: &str) -> Result<String, SparqlParseError> {
+        let ns = self
+            .prefixes
+            .get(prefix)
+            .ok_or_else(|| self.err(format!("undeclared prefix {prefix:?}")))?;
+        Ok(format!("{ns}{local}"))
+    }
+
+    // -------------------------------------------------------- expressions
+
+    fn parse_expr(&mut self) -> Result<Expr, SparqlParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, SparqlParseError> {
+        let mut left = self.parse_and()?;
+        while self.eat(&Tok::OrOr) {
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, SparqlParseError> {
+        let mut left = self.parse_cmp()?;
+        while self.eat(&Tok::AndAnd) {
+            let right = self.parse_cmp()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, SparqlParseError> {
+        let left = self.parse_additive()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => Some(CmpOp::Eq),
+            Some(Tok::Ne) => Some(CmpOp::Ne),
+            Some(Tok::Lt) => Some(CmpOp::Lt),
+            Some(Tok::Le) => Some(CmpOp::Le),
+            Some(Tok::Gt) => Some(CmpOp::Gt),
+            Some(Tok::Ge) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            return Ok(Expr::Cmp(op, Box::new(left), Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, SparqlParseError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            if self.eat(&Tok::Plus) {
+                let right = self.parse_multiplicative()?;
+                left = Expr::Arith(ArithOp::Add, Box::new(left), Box::new(right));
+            } else if self.eat(&Tok::Minus) {
+                let right = self.parse_multiplicative()?;
+                left = Expr::Arith(ArithOp::Sub, Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, SparqlParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            if self.eat(&Tok::Star) {
+                let right = self.parse_unary()?;
+                left = Expr::Arith(ArithOp::Mul, Box::new(left), Box::new(right));
+            } else if self.eat(&Tok::Slash) {
+                let right = self.parse_unary()?;
+                left = Expr::Arith(ArithOp::Div, Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, SparqlParseError> {
+        if self.eat(&Tok::Bang) {
+            return Ok(Expr::Not(Box::new(self.parse_unary()?)));
+        }
+        if self.eat(&Tok::Minus) {
+            return Ok(Expr::Neg(Box::new(self.parse_unary()?)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, SparqlParseError> {
+        match self.peek().cloned() {
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                if !self.eat(&Tok::RParen) {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(e)
+            }
+            Some(Tok::Var(v)) => {
+                self.pos += 1;
+                Ok(Expr::Var(v))
+            }
+            Some(Tok::Num(n)) => {
+                self.pos += 1;
+                Ok(Expr::Number(n))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Str(s))
+            }
+            Some(Tok::IriRef(iri)) => {
+                self.pos += 1;
+                Ok(Expr::Iri(iri))
+            }
+            Some(Tok::PName(prefix, local)) => {
+                self.pos += 1;
+                let iri = self.resolve_pname(&prefix, &local)?;
+                Ok(Expr::Iri(iri))
+            }
+            Some(Tok::Ident(id)) => {
+                self.pos += 1;
+                if id.eq_ignore_ascii_case("true") {
+                    return Ok(Expr::Bool(true));
+                }
+                if id.eq_ignore_ascii_case("false") {
+                    return Ok(Expr::Bool(false));
+                }
+                let func = match id.to_ascii_lowercase().as_str() {
+                    "regex" => Func::Regex,
+                    "str" => Func::Str,
+                    "if" => Func::If,
+                    "bound" => Func::Bound,
+                    "lang" => Func::Lang,
+                    "datatype" => Func::Datatype,
+                    other => return Err(self.err(format!("unknown function {other:?}"))),
+                };
+                if !self.eat(&Tok::LParen) {
+                    return Err(self.err("expected '(' after function name"));
+                }
+                let mut args = Vec::new();
+                if !self.eat(&Tok::RParen) {
+                    loop {
+                        args.push(self.parse_expr()?);
+                        if self.eat(&Tok::RParen) {
+                            break;
+                        }
+                        if !self.eat(&Tok::Comma) {
+                            return Err(self.err("expected ',' or ')' in argument list"));
+                        }
+                    }
+                }
+                Ok(Expr::Call(func, args))
+            }
+            other => Err(self.err(format!("expected an expression, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::TermPattern as TP;
+
+    #[test]
+    fn simple_select() {
+        let q = parse_query("SELECT ?x WHERE { ?x <http://x/p> <http://x/o> . }").unwrap();
+        assert_eq!(q.select, vec!["x"]);
+        assert_eq!(q.groups.len(), 1);
+        assert_eq!(q.groups[0].patterns.len(), 1);
+        let tp = &q.groups[0].patterns[0];
+        assert_eq!(tp.subject, TP::Var("x".into()));
+        assert_eq!(tp.predicate, TP::Term(Term::iri("http://x/p")));
+    }
+
+    #[test]
+    fn prefixes_and_a_keyword() {
+        let q = parse_query(
+            "PREFIX ex: <http://x/> SELECT ?s WHERE { ?s a ex:C ; ex:p ?o . }",
+        )
+        .unwrap();
+        let tps = &q.groups[0].patterns;
+        assert_eq!(tps.len(), 2);
+        assert!(tps[0].is_type_pattern());
+        assert_eq!(tps[0].object, TP::Term(Term::iri("http://x/C")));
+        assert_eq!(tps[1].predicate, TP::Term(Term::iri("http://x/p")));
+        assert_eq!(tps[1].subject, TP::Var("s".into()));
+    }
+
+    #[test]
+    fn semicolon_and_comma() {
+        let q = parse_query(
+            "PREFIX e: <http://x/> SELECT * WHERE { ?s e:p ?a , ?b ; e:q ?c . ?t e:r ?d }",
+        )
+        .unwrap();
+        assert_eq!(q.groups[0].patterns.len(), 4);
+        assert!(q.select.is_empty()); // SELECT *
+        assert_eq!(q.output_variables(), vec!["s", "a", "b", "c", "t", "d"]);
+    }
+
+    #[test]
+    fn filter_expression() {
+        let q = parse_query(
+            "SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (?v < 3.00 || ?v > 4.50) }",
+        )
+        .unwrap();
+        assert_eq!(q.groups[0].filters.len(), 1);
+        match &q.groups[0].filters[0] {
+            Expr::Or(l, r) => {
+                assert!(matches!(**l, Expr::Cmp(CmpOp::Lt, _, _)));
+                assert!(matches!(**r, Expr::Cmp(CmpOp::Gt, _, _)));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bind_with_nested_if_regex() {
+        let q = parse_query(
+            r#"SELECT ?newV WHERE {
+                ?y <http://x/v> ?v1 .
+                BIND(if(regex(str(?u1),"http://qudt.org/vocab/unit/BAR"),?v1,
+                     if(regex(str(?u1),"http://qudt.org/vocab/unit/HectoPA"),?v1/1000,0)) as ?newV)
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(q.groups[0].binds.len(), 1);
+        assert_eq!(q.groups[0].binds[0].var, "newV");
+        assert!(matches!(q.groups[0].binds[0].expr, Expr::Call(Func::If, _)));
+    }
+
+    #[test]
+    fn union_groups() {
+        let q = parse_query(
+            "PREFIX e: <http://x/> SELECT ?s WHERE { ?s a e:A } UNION { ?s a e:B }",
+        )
+        .unwrap();
+        assert_eq!(q.groups.len(), 2);
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let q = parse_query(
+            "SELECT DISTINCT ?s WHERE { ?s <http://x/p> ?o } LIMIT 10",
+        )
+        .unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn literal_objects() {
+        let q = parse_query(
+            r#"SELECT ?s WHERE { ?s <http://x/p> "plain" . ?s <http://x/q> 42 . ?s <http://x/r> 3.5 . }"#,
+        )
+        .unwrap();
+        let tps = &q.groups[0].patterns;
+        assert_eq!(tps[0].object, TP::Term(Term::literal("plain")));
+        assert_eq!(
+            tps[1].object,
+            TP::Term(Term::Literal(Literal::typed("42", se_rdf::vocab::xsd::INTEGER)))
+        );
+        assert_eq!(
+            tps[2].object,
+            TP::Term(Term::Literal(Literal::typed("3.5", se_rdf::vocab::xsd::DOUBLE)))
+        );
+    }
+
+    #[test]
+    fn typed_literal_object() {
+        let q = parse_query(
+            r#"SELECT ?s WHERE { ?s <http://x/p> "1"^^<http://www.w3.org/2001/XMLSchema#integer> }"#,
+        )
+        .unwrap();
+        assert_eq!(
+            q.groups[0].patterns[0].object,
+            TP::Term(Term::Literal(Literal::typed("1", se_rdf::vocab::xsd::INTEGER)))
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse_query("select ?x where { ?x <http://x/p> ?y }").is_ok());
+        assert!(parse_query("SELECT ?x WHERE { ?x <http://x/p> ?y . filter(bound(?y)) }").is_ok());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("FOO ?x WHERE { }").is_err());
+        assert!(parse_query("SELECT WHERE { ?s ?p ?o }").is_err());
+        assert!(parse_query("SELECT ?x WHERE { ?x <http://x/p> }").is_err());
+        assert!(parse_query("SELECT ?x WHERE { ?x ex:p ?y }").is_err()); // undeclared prefix
+        assert!(parse_query("SELECT ?x WHERE { ?x <http://x/p> ?y ").is_err()); // unclosed brace
+        assert!(parse_query("SELECT ?x WHERE { ?x <http://x/p> ?y } trailing").is_err());
+    }
+
+    #[test]
+    fn motivating_example_query_parses() {
+        // The full anomaly-detection query of §2 (with the FILTER after the
+        // BIND it references, as printed in the paper).
+        let q = parse_query(
+            r#"
+            PREFIX sosa: <http://www.w3.org/ns/sosa/>
+            PREFIX qudt: <http://qudt.org/schema/qudt/>
+            PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+            SELECT ?x ?s ?ts ?v1 WHERE {
+                ?x a sosa:Platform ; sosa:hosts ?s .
+                ?s sosa:observes ?o ; a sosa:Sensor .
+                ?o sosa:hasResult ?y ; a sosa:Observation ; sosa:resultTime ?ts .
+                ?y a sosa:Result ; qudt:numericValue ?v1 ; qudt:unit ?u1 .
+                ?u1 a qudt:PressureUnit .
+                FILTER (?newV < 3.00 || ?newV > 4.50)
+                BIND(if(regex(str(?u1),"http://qudt.org/vocab/unit/BAR"),?v1,
+                     if(regex(str(?u1),"http://qudt.org/vocab/unit/HectoPA"),?v1/1000,0)) as ?newV)
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(q.groups[0].patterns.len(), 11);
+        assert_eq!(q.groups[0].filters.len(), 1);
+        assert_eq!(q.groups[0].binds.len(), 1);
+        assert_eq!(q.select, vec!["x", "s", "ts", "v1"]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Runs the paper's 26-query LUBM workload (Appendix A) against
+//! SuccinctEdge and prints per-query latency and cardinality.
+//!
+//! ```text
+//! cargo run --release --example lubm_queries            # full 100K graph
+//! cargo run --release --example lubm_queries -- 10000   # 10K subset
+//! ```
+
+use std::time::Instant;
+use succinct_edge::datagen::{lubm, workload};
+use succinct_edge::ontology::lubm_ontology;
+use succinct_edge::sparql::{execute_query, QueryOptions};
+use succinct_edge::store::SuccinctEdgeStore;
+
+fn main() {
+    let limit: Option<usize> = std::env::args().nth(1).and_then(|a| a.parse().ok());
+    let mut graph = lubm::generate(1, 42);
+    if let Some(n) = limit {
+        graph.truncate(n);
+    }
+    println!("LUBM graph: {} triples", graph.len());
+
+    let onto = lubm_ontology();
+    let t0 = Instant::now();
+    let store = SuccinctEdgeStore::build(&onto, &graph).expect("LUBM graph is valid");
+    println!(
+        "store built in {:.1} ms ({} type / {} object / {} datatype triples)\n",
+        t0.elapsed().as_secs_f64() * 1e3,
+        store.stats().n_type_triples,
+        store.stats().n_object_triples,
+        store.stats().n_datatype_triples,
+    );
+
+    println!("{:<5} {:>9} {:>12}  notes", "query", "answers", "time (ms)");
+    for wq in workload::full_workload(&graph) {
+        let opts = if wq.reasoning {
+            QueryOptions::default()
+        } else {
+            QueryOptions::without_reasoning()
+        };
+        let t = Instant::now();
+        let rs = execute_query(&store, &wq.text, &opts).expect("workload query runs");
+        let dt = t.elapsed();
+        let note = match (wq.reasoning, wq.paper_cardinality) {
+            (true, _) => "RDFS reasoning (LiteMat intervals)",
+            (false, Some(_)) => "",
+            _ => "",
+        };
+        println!(
+            "{:<5} {:>9} {:>12.3}  {}",
+            wq.id,
+            rs.len(),
+            dt.as_secs_f64() * 1e3,
+            note
+        );
+    }
+}

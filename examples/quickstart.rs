@@ -1,0 +1,79 @@
+//! Quickstart: build a SuccinctEdge store from Turtle data and query it
+//! with SPARQL, with and without RDFS reasoning.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use succinct_edge::ontology::Ontology;
+use succinct_edge::rdf::parse_turtle;
+use succinct_edge::sparql::{execute_query, QueryOptions};
+use succinct_edge::store::SuccinctEdgeStore;
+
+fn main() {
+    // 1. Some RDF data (Turtle subset).
+    let data = r#"
+        @prefix ex: <http://example.org/> .
+        ex:alice a ex:Manager ; ex:worksFor ex:acme ; ex:age 42 .
+        ex:bob   a ex:Employee ; ex:worksFor ex:acme ; ex:age 37 .
+        ex:carol a ex:Person ; ex:memberOf ex:acme .
+        ex:acme  a ex:Organization .
+    "#;
+    let graph = parse_turtle(data).expect("valid turtle");
+    println!("parsed {} triples", graph.len());
+
+    // 2. An ontology: Manager ⊑ Employee ⊑ Person, worksFor ⊑ memberOf.
+    let mut onto = Ontology::new();
+    onto.add_class("http://example.org/Employee", "http://example.org/Person")
+        .add_class("http://example.org/Manager", "http://example.org/Employee")
+        .add_property("http://example.org/worksFor", "http://example.org/memberOf")
+        .add_datatype_property("http://example.org/age");
+
+    // 3. Build the store: LiteMat encodes the hierarchies, triples go into
+    //    the succinct PSO layers (object + datatype) and the RDFType store.
+    let store = SuccinctEdgeStore::build(&onto, &graph).expect("valid graph");
+    println!(
+        "store: {} triples, {} bytes in RAM, {} bytes on disk (triples), {} bytes (dictionaries)",
+        store.len(),
+        store.memory_footprint(),
+        store.triple_serialized_size(),
+        store.dictionary_serialized_size(),
+    );
+
+    // 4. Query. With reasoning (the default), `?s a ex:Person` covers
+    //    Employee and Manager via LiteMat identifier intervals; `ex:memberOf`
+    //    covers worksFor.
+    let query = r#"
+        PREFIX ex: <http://example.org/>
+        SELECT ?s WHERE { ?s a ex:Person . ?s ex:memberOf ex:acme }
+    "#;
+    let with = execute_query(&store, query, &QueryOptions::default()).expect("query runs");
+    println!("\nwith RDFS reasoning ({} answers):", with.len());
+    for row in &with.rows {
+        println!("  {}", row[0].as_ref().expect("bound"));
+    }
+
+    let without =
+        execute_query(&store, query, &QueryOptions::without_reasoning()).expect("query runs");
+    println!("\nwithout reasoning ({} answers):", without.len());
+    for row in &without.rows {
+        println!("  {}", row[0].as_ref().expect("bound"));
+    }
+
+    // 5. FILTER expressions work on datatype literals.
+    let filtered = execute_query(
+        &store,
+        r#"PREFIX ex: <http://example.org/>
+           SELECT ?s ?a WHERE { ?s ex:age ?a . FILTER(?a > 40) }"#,
+        &QueryOptions::default(),
+    )
+    .expect("query runs");
+    println!("\npeople over 40: {} answer(s)", filtered.len());
+    for row in &filtered.rows {
+        println!(
+            "  {} (age {})",
+            row[0].as_ref().expect("bound"),
+            row[1].as_ref().expect("bound").str_value()
+        );
+    }
+}

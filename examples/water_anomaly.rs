@@ -1,0 +1,65 @@
+//! The paper's motivating example (§2): anomaly detection over a potable
+//! water distribution network at the edge.
+//!
+//! Two stations measure pressure with *different* QUDT annotations and
+//! units (Bar at station 1, hectopascal at station 2). One single SPARQL
+//! query — written against the abstract `qudt:PressureUnit` concept —
+//! catches anomalies on both, because LiteMat reasoning resolves the unit
+//! hierarchy and a BIND normalizes the units.
+//!
+//! ```text
+//! cargo run --example water_anomaly
+//! ```
+
+use succinct_edge::datagen::water::{generate_with, WaterConfig};
+use succinct_edge::datagen::workload::water_anomaly_query;
+use succinct_edge::ontology::water_ontology;
+use succinct_edge::sparql::{exec, parse_query, QueryOptions};
+use succinct_edge::store::SuccinctEdgeStore;
+
+fn main() {
+    let onto = water_ontology();
+    let query = parse_query(&water_anomaly_query()).expect("workload query parses");
+    let opts = QueryOptions::default();
+    println!("continuous query:\n{}\n", water_anomaly_query());
+
+    // Simulate the edge deployment: a stream of measurement graph
+    // instances, one SuccinctEdge store per instance, the query runs once
+    // per instance (the paper's execution model).
+    let mut total_alerts = 0usize;
+    for tick in 0..10u64 {
+        let graph = generate_with(&WaterConfig {
+            stations: 2,
+            rounds: 6,
+            anomaly_rate: 0.25,
+            seed: 42 + tick,
+        });
+        let t0 = std::time::Instant::now();
+        let store = SuccinctEdgeStore::build(&onto, &graph).expect("sensor graph is valid");
+        let build_time = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let alerts = exec::execute(&store, &query, &opts).expect("query runs");
+        let query_time = t1.elapsed();
+
+        println!(
+            "instance {tick:2}: {} triples, build {:>7.3} ms, query {:>7.3} ms, {} alert(s)",
+            graph.len(),
+            build_time.as_secs_f64() * 1e3,
+            query_time.as_secs_f64() * 1e3,
+            alerts.len()
+        );
+        for row in &alerts.rows {
+            let station = row[0].as_ref().map_or("?", |t| t.str_value());
+            let ts = row[2].as_ref().map_or("?", |t| t.str_value());
+            let value = row[3].as_ref().map_or("?", |t| t.str_value());
+            println!("    ALERT station={station} time={ts} rawValue={value}");
+            total_alerts += 1;
+        }
+    }
+    println!("\n{total_alerts} alerts over 10 instances");
+    println!(
+        "note: alerts appear for BOTH stations although they annotate pressure \
+         with different concepts (PressureOrStressUnit vs PressureUnit) and \
+         different units (Bar vs hectopascal) — that is §2's point."
+    );
+}

@@ -1,0 +1,9 @@
+//! SuccinctEdge facade crate: re-exports the public API of the workspace.
+pub use se_core as store;
+pub use se_rdf as rdf;
+pub use se_sds as sds;
+pub use se_litemat as litemat;
+pub use se_ontology as ontology;
+pub use se_sparql as sparql;
+pub use se_baselines as baselines;
+pub use se_datagen as datagen;

@@ -1,0 +1,56 @@
+//! Persistence round-trip at system scale: a saved-and-reloaded store must
+//! answer the whole workload exactly like the original (the paper's
+//! administration model ships pre-encoded stores/dictionaries to edge
+//! devices, §4).
+
+use se_core::SuccinctEdgeStore;
+use se_datagen::{lubm, workload};
+use se_ontology::lubm_ontology;
+use se_sparql::{execute_query, QueryOptions, ResultSet};
+
+fn normalize(rs: &ResultSet) -> Vec<String> {
+    let mut rows: Vec<String> = rs.rows.iter().map(|r| format!("{r:?}")).collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn saved_store_answers_the_workload_identically() {
+    let mut graph = lubm::generate(1, 42);
+    graph.truncate(5_000);
+    let onto = lubm_ontology();
+    let original = SuccinctEdgeStore::build(&onto, &graph).unwrap();
+
+    let mut buf = Vec::new();
+    original.save(&mut buf).unwrap();
+    let reloaded = SuccinctEdgeStore::load(&mut buf.as_slice()).unwrap();
+    assert_eq!(reloaded.len(), original.len());
+
+    for wq in workload::full_workload(&graph) {
+        let opts = if wq.reasoning {
+            QueryOptions::default()
+        } else {
+            QueryOptions::without_reasoning()
+        };
+        let a = execute_query(&original, &wq.text, &opts).unwrap();
+        let b = execute_query(&reloaded, &wq.text, &opts).unwrap();
+        assert_eq!(normalize(&a), normalize(&b), "query {}", wq.id);
+    }
+}
+
+#[test]
+fn persisted_file_size_matches_figures_9_and_10_accounting() {
+    // The on-disk experiments (Figures 9/10) report serialized_size();
+    // the actual save() output must match that accounting.
+    let graph = se_datagen::water::generate(500, 7);
+    let onto = se_ontology::water_ontology();
+    let store = SuccinctEdgeStore::build(&onto, &graph).unwrap();
+    let mut buf = Vec::new();
+    store.save(&mut buf).unwrap();
+    let accounted = store.dictionary_serialized_size() + store.triple_serialized_size();
+    assert!(
+        buf.len() >= accounted && buf.len() <= accounted + 256,
+        "save() wrote {} bytes, accounting says {accounted}",
+        buf.len()
+    );
+}

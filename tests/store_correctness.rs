@@ -1,0 +1,214 @@
+//! Property-based correctness of the SuccinctEdge store against a naive
+//! triple-scan reference, on randomly generated graphs.
+
+use proptest::prelude::*;
+use se_core::{SuccinctEdgeStore, Value};
+use se_ontology::Ontology;
+use se_rdf::{Graph, Literal, Term, Triple};
+
+/// A small random graph over a closed vocabulary, with a two-level class
+/// hierarchy and a two-level property hierarchy.
+fn arb_graph() -> impl Strategy<Value = (Graph, Ontology)> {
+    let triple = (0usize..12, 0usize..4, 0usize..12, 0usize..3).prop_map(|(s, p, o, kind)| {
+        let subject = Term::iri(format!("http://x/i{s}"));
+        match kind {
+            0 => Triple::new(
+                subject,
+                Term::iri(se_rdf::vocab::rdf::TYPE),
+                Term::iri(format!("http://x/C{}", p % 3)),
+            ),
+            1 => Triple::new(
+                subject,
+                Term::iri(format!("http://x/p{p}")),
+                Term::iri(format!("http://x/i{o}")),
+            ),
+            _ => Triple::new(
+                subject,
+                Term::iri(format!("http://x/d{p}")),
+                Term::Literal(Literal::integer(o as i64)),
+            ),
+        }
+    });
+    proptest::collection::vec(triple, 0..120).prop_map(|triples| {
+        let mut onto = Ontology::new();
+        onto.add_class("http://x/C1", "http://x/C0");
+        onto.add_class("http://x/C2", "http://x/C0");
+        onto.add_property("http://x/p1", "http://x/p0");
+        for p in ["http://x/p0", "http://x/p2", "http://x/p3"] {
+            onto.add_object_property(p);
+        }
+        for d in ["http://x/d0", "http://x/d1", "http://x/d2", "http://x/d3"] {
+            onto.add_datatype_property(d);
+        }
+        let mut g = Graph::from_triples(triples);
+        g.dedup();
+        (g, onto)
+    })
+}
+
+fn decode_set(store: &SuccinctEdgeStore, values: &[Value]) -> Vec<String> {
+    let mut out: Vec<String> = values
+        .iter()
+        .map(|v| store.value_to_term(*v).unwrap().to_string())
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn objects_match_naive_scan((graph, onto) in arb_graph()) {
+        let store = SuccinctEdgeStore::build(&onto, &graph).unwrap();
+        for s in 0..12usize {
+            let subject = Term::iri(format!("http://x/i{s}"));
+            for p in 0..4usize {
+                for pred in [format!("http://x/p{p}"), format!("http://x/d{p}")] {
+                    let expected: Vec<String> = {
+                        let mut v: Vec<String> = graph
+                            .iter()
+                            .filter(|t| {
+                                t.subject == subject && t.predicate.as_iri() == Some(pred.as_str())
+                            })
+                            .map(|t| t.object.to_string())
+                            .collect();
+                        v.sort();
+                        v
+                    };
+                    let got = match (store.property_id(&pred), store.instance_id(&subject)) {
+                        (Some(pid), Some(sid)) => decode_set(&store, &store.objects(pid, sid)),
+                        _ => Vec::new(),
+                    };
+                    prop_assert_eq!(got, expected, "objects({}, {})", subject, pred);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subjects_match_naive_scan((graph, onto) in arb_graph()) {
+        let store = SuccinctEdgeStore::build(&onto, &graph).unwrap();
+        for o in 0..12usize {
+            let object = Term::iri(format!("http://x/i{o}"));
+            for p in 0..4usize {
+                let pred = format!("http://x/p{p}");
+                let expected: Vec<String> = {
+                    let mut v: Vec<String> = graph
+                        .iter()
+                        .filter(|t| {
+                            t.object == object && t.predicate.as_iri() == Some(pred.as_str())
+                        })
+                        .map(|t| t.subject.to_string())
+                        .collect();
+                    v.sort();
+                    v
+                };
+                let got = match (store.property_id(&pred), store.instance_id(&object)) {
+                    (Some(pid), Some(oid)) => {
+                        let subs = store.subjects(pid, &Value::Instance(oid));
+                        let mut v: Vec<String> = subs
+                            .iter()
+                            .map(|&s| store.value_to_term(Value::Instance(s)).unwrap().to_string())
+                            .collect();
+                        v.sort();
+                        v
+                    }
+                    _ => Vec::new(),
+                };
+                prop_assert_eq!(got, expected, "subjects({}, {})", pred, object);
+            }
+        }
+    }
+
+    #[test]
+    fn type_interval_equals_subclass_union((graph, onto) in arb_graph()) {
+        let store = SuccinctEdgeStore::build(&onto, &graph).unwrap();
+        // Reasoned subjects of C0 == explicit subjects of C0 ∪ C1 ∪ C2.
+        let iv = store.concept_interval("http://x/C0").unwrap();
+        let got: std::collections::BTreeSet<u64> =
+            store.subjects_of_concept_interval(iv).into_iter().collect();
+        let mut expected = std::collections::BTreeSet::new();
+        for c in ["http://x/C0", "http://x/C1", "http://x/C2"] {
+            if let Some(cid) = store.concept_id(c) {
+                expected.extend(store.subjects_of_concept(cid));
+            }
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn predicate_counts_match((graph, onto) in arb_graph()) {
+        let store = SuccinctEdgeStore::build(&onto, &graph).unwrap();
+        for p in 0..4usize {
+            for pred in [format!("http://x/p{p}"), format!("http://x/d{p}")] {
+                let expected = graph
+                    .iter()
+                    .filter(|t| t.predicate.as_iri() == Some(pred.as_str()))
+                    .count();
+                let got = store
+                    .property_id(&pred)
+                    .map_or(0, |pid| store.predicate_count(pid));
+                prop_assert_eq!(got, expected, "count({})", pred);
+            }
+        }
+        // Property-interval count for p0 covers p0 and p1.
+        let iv = store.property_interval("http://x/p0").unwrap();
+        let expected = graph
+            .iter()
+            .filter(|t| {
+                matches!(t.predicate.as_iri(), Some(p) if p == "http://x/p0" || p == "http://x/p1")
+            })
+            .count();
+        prop_assert_eq!(store.predicate_interval_count(iv), expected);
+    }
+
+    #[test]
+    fn total_triples_accounted((graph, onto) in arb_graph()) {
+        let store = SuccinctEdgeStore::build(&onto, &graph).unwrap();
+        prop_assert_eq!(store.len(), graph.len());
+        let stats = store.stats();
+        prop_assert_eq!(
+            stats.n_type_triples + stats.n_object_triples + stats.n_datatype_triples,
+            graph.len()
+        );
+    }
+}
+
+#[test]
+fn ntriples_to_store_roundtrip() {
+    // End-to-end: serialize a generated graph to N-Triples, parse it back,
+    // build a store, and compare query answers.
+    let graph = se_datagen::water::generate(250, 3);
+    let text = se_rdf::write_ntriples(&graph);
+    let reparsed = se_rdf::parse_ntriples(&text).unwrap();
+    assert_eq!(graph.len(), reparsed.len());
+
+    let onto = se_ontology::water_ontology();
+    let a = SuccinctEdgeStore::build(&onto, &graph).unwrap();
+    let b = SuccinctEdgeStore::build(&onto, &reparsed).unwrap();
+    let q = se_datagen::workload::water_anomaly_query();
+    let opts = se_sparql::QueryOptions::default();
+    let ra = se_sparql::execute_query(&a, &q, &opts).unwrap();
+    let rb = se_sparql::execute_query(&b, &q, &opts).unwrap();
+    let norm = |rs: &se_sparql::ResultSet| {
+        let mut v: Vec<String> = rs.rows.iter().map(|r| format!("{r:?}")).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(norm(&ra), norm(&rb));
+}
+
+#[test]
+fn store_sizes_scale_with_data() {
+    let onto = se_ontology::lubm_ontology();
+    let mut small = se_datagen::lubm::generate(1, 1);
+    small.truncate(1_000);
+    let mut large = se_datagen::lubm::generate(1, 1);
+    large.truncate(10_000);
+    let st_small = SuccinctEdgeStore::build(&onto, &small).unwrap();
+    let st_large = SuccinctEdgeStore::build(&onto, &large).unwrap();
+    assert!(st_large.memory_footprint() > st_small.memory_footprint());
+    assert!(st_large.triple_serialized_size() > st_small.triple_serialized_size());
+    assert!(st_large.dictionary_serialized_size() > st_small.dictionary_serialized_size());
+}
