@@ -51,7 +51,11 @@ fn write_u64(p: &mut [u8; PAGE_SIZE], off: usize, v: u64) {
 }
 
 fn read_key(p: &[u8; PAGE_SIZE], off: usize) -> Key {
-    (read_u64(p, off), read_u64(p, off + 8), read_u64(p, off + 16))
+    (
+        read_u64(p, off),
+        read_u64(p, off + 8),
+        read_u64(p, off + 16),
+    )
 }
 
 fn write_key(p: &mut [u8; PAGE_SIZE], off: usize, k: Key) {
@@ -173,7 +177,12 @@ impl BTree {
         Ok(out)
     }
 
-    fn insert_rec(&mut self, pool: &BufferPool, page: PageId, key: Key) -> io::Result<InsertResult> {
+    fn insert_rec(
+        &mut self,
+        pool: &BufferPool,
+        page: PageId,
+        key: Key,
+    ) -> io::Result<InsertResult> {
         let tag = pool.with_page(page, |p| p[0])?;
         if tag == TAG_LEAF {
             return self.insert_leaf(pool, page, key);
@@ -185,7 +194,12 @@ impl BTree {
         }
     }
 
-    fn insert_leaf(&mut self, pool: &BufferPool, page: PageId, key: Key) -> io::Result<InsertResult> {
+    fn insert_leaf(
+        &mut self,
+        pool: &BufferPool,
+        page: PageId,
+        key: Key,
+    ) -> io::Result<InsertResult> {
         // Read keys, insert in sorted position, split if over capacity.
         let (mut keys, next_leaf) = pool.with_page(page, |p| {
             let n = read_u16(p, 1) as usize;
@@ -400,7 +414,10 @@ mod tests {
         // range scan afterwards must re-read every leaf through the tiny
         // pool (≈ 2000 / LEAF_CAP leaves).
         let stats = pool.stats();
-        assert!(stats.misses as usize > 2_000 / LEAF_CAP, "scan must miss through a 2-frame pool");
+        assert!(
+            stats.misses as usize > 2_000 / LEAF_CAP,
+            "scan must miss through a 2-frame pool"
+        );
         std::fs::remove_file(&path).ok();
     }
 }

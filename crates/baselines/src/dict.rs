@@ -65,7 +65,11 @@ impl TermDict {
     /// Serialized (on-disk) size: length-prefixed strings with a kind tag
     /// (the Figure 9 metric).
     pub fn serialized_size(&self) -> usize {
-        8 + self.terms.iter().map(|t| 1 + 8 + term_bytes(t)).sum::<usize>()
+        8 + self
+            .terms
+            .iter()
+            .map(|t| 1 + 8 + term_bytes(t))
+            .sum::<usize>()
     }
 }
 

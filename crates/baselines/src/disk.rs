@@ -74,10 +74,7 @@ impl DiskStore {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
         let mut path = std::env::temp_dir();
-        path.push(format!(
-            "se-diskstore-{}-{unique}.db",
-            std::process::id()
-        ));
+        path.push(format!("se-diskstore-{}-{unique}.db", std::process::id()));
         Self::build(graph, path, pool_pages)
     }
 
@@ -259,7 +256,9 @@ mod tests {
     fn empty_graph() {
         let st = DiskStore::build_temp(&Graph::new(), 4).unwrap();
         assert!(st.is_empty());
-        let rs = st.query_str("SELECT ?s WHERE { ?s <http://x/p> ?o }").unwrap();
+        let rs = st
+            .query_str("SELECT ?s WHERE { ?s <http://x/p> ?o }")
+            .unwrap();
         assert!(rs.is_empty());
         st.destroy().unwrap();
     }

@@ -152,7 +152,11 @@ impl BufferPool {
     }
 
     /// Runs `f` over the (read-only) contents of `page`.
-    pub fn with_page<R>(&self, page: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> io::Result<R> {
+    pub fn with_page<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
+    ) -> io::Result<R> {
         let mut inner = self.inner.lock();
         let idx = inner.load(page)?;
         Ok(f(&inner.frames[idx].data))

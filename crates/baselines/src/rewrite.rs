@@ -32,9 +32,7 @@ pub fn rewrite_with_ontology(
     for group in &query.groups {
         groups.extend(rewrite_group(group, dicts)?);
         if groups.len() > MAX_BRANCHES {
-            return Err(format!(
-                "UNION rewriting exceeds {MAX_BRANCHES} branches"
-            ));
+            return Err(format!("UNION rewriting exceeds {MAX_BRANCHES} branches"));
         }
     }
     let n = groups.len();
@@ -136,8 +134,7 @@ mod tests {
 
     #[test]
     fn property_expansion() {
-        let q =
-            parse_query("PREFIX e: <http://x/> SELECT ?s WHERE { ?s e:memberOf ?o }").unwrap();
+        let q = parse_query("PREFIX e: <http://x/> SELECT ?s WHERE { ?s e:memberOf ?o }").unwrap();
         let (_, n) = rewrite_with_ontology(&q, &dicts()).unwrap();
         assert_eq!(n, 3, "memberOf, worksFor, headOf");
         let q = parse_query("PREFIX e: <http://x/> SELECT ?s WHERE { ?s e:worksFor ?o }").unwrap();
@@ -155,10 +152,9 @@ mod tests {
 
     #[test]
     fn combined_expansion_is_a_product() {
-        let q = parse_query(
-            "PREFIX e: <http://x/> SELECT ?s WHERE { ?s a e:A . ?s e:memberOf ?o }",
-        )
-        .unwrap();
+        let q =
+            parse_query("PREFIX e: <http://x/> SELECT ?s WHERE { ?s a e:A . ?s e:memberOf ?o }")
+                .unwrap();
         let (rw, n) = rewrite_with_ontology(&q, &dicts()).unwrap();
         assert_eq!(n, 9, "3 concepts × 3 properties");
         // Filters and binds are preserved per branch.

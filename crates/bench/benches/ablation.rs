@@ -28,7 +28,9 @@ fn ablations(c: &mut Criterion) {
         .unwrap();
     let rewritten = {
         let parsed = se_sparql::parse_query(&r2.text).unwrap();
-        se_baselines::rewrite_with_ontology(&parsed, &dicts).unwrap().0
+        se_baselines::rewrite_with_ontology(&parsed, &dicts)
+            .unwrap()
+            .0
     };
     let mut group = c.benchmark_group("ablation_reasoning_mode");
     group.sample_size(10);
@@ -36,7 +38,10 @@ fn ablations(c: &mut Criterion) {
         b.iter(|| execute_query(&store, &r2.text, &QueryOptions::default()).unwrap())
     });
     group.bench_function("union_rewriting_same_store", |b| {
-        b.iter(|| se_sparql::exec::execute(&store, &rewritten, &QueryOptions::without_reasoning()).unwrap())
+        b.iter(|| {
+            se_sparql::exec::execute(&store, &rewritten, &QueryOptions::without_reasoning())
+                .unwrap()
+        })
     });
     group.finish();
 
@@ -51,7 +56,10 @@ fn ablations(c: &mut Criterion) {
         b.iter(|| execute_query(&store, &m1.text, &QueryOptions::default()).unwrap())
     });
     group.bench_function("nested_loop_only", |b| {
-        let opts = QueryOptions { merge_join: false, ..QueryOptions::default() };
+        let opts = QueryOptions {
+            merge_join: false,
+            ..QueryOptions::default()
+        };
         b.iter(|| execute_query(&store, &m1.text, &opts).unwrap())
     });
     group.finish();
@@ -67,7 +75,10 @@ fn ablations(c: &mut Criterion) {
         b.iter(|| execute_query(&store, &m3.text, &QueryOptions::default()).unwrap())
     });
     group.bench_function("textual_order", |b| {
-        let opts = QueryOptions { optimize: false, ..QueryOptions::default() };
+        let opts = QueryOptions {
+            optimize: false,
+            ..QueryOptions::default()
+        };
         b.iter(|| execute_query(&store, &m3.text, &opts).unwrap())
     });
     group.finish();
@@ -101,7 +112,6 @@ fn ablations(c: &mut Criterion) {
     });
     group.finish();
 }
-
 
 criterion_group!(benches, ablations);
 criterion_main!(benches);

@@ -14,18 +14,19 @@ fn construction(c: &mut Criterion) {
             continue; // criterion covers the small/medium range; `tables` covers all
         }
         let onto = ontology_for(label);
-        group.bench_with_input(
-            BenchmarkId::new("succinct_edge", label),
-            graph,
-            |b, g| b.iter(|| SuccinctEdgeStore::build(&onto, g).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("multi_index_mem", label),
-            graph,
-            |b, g| b.iter(|| MultiIndexStore::build(g)),
-        );
+        group.bench_with_input(BenchmarkId::new("succinct_edge", label), graph, |b, g| {
+            b.iter(|| SuccinctEdgeStore::build(&onto, g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("multi_index_mem", label), graph, |b, g| {
+            b.iter(|| MultiIndexStore::build(g))
+        });
         group.bench_with_input(BenchmarkId::new("disk_store", label), graph, |b, g| {
-            b.iter(|| DiskStore::build_temp(g, DISK_POOL_PAGES).unwrap().destroy().unwrap())
+            b.iter(|| {
+                DiskStore::build_temp(g, DISK_POOL_PAGES)
+                    .unwrap()
+                    .destroy()
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -18,12 +18,14 @@ fn single_tp(c: &mut Criterion) {
         let mut group = c.benchmark_group(name);
         group.sample_size(10);
         for wq in &queries {
-            for (sys, sys_name) in [(&se, "succinct_edge"), (&mem, "multi_index_mem"), (&disk, "disk_store")] {
-                group.bench_with_input(
-                    BenchmarkId::new(sys_name, &wq.id),
-                    &wq.text,
-                    |b, text| b.iter(|| sys.run(text, wq.reasoning, &dicts)),
-                );
+            for (sys, sys_name) in [
+                (&se, "succinct_edge"),
+                (&mem, "multi_index_mem"),
+                (&disk, "disk_store"),
+            ] {
+                group.bench_with_input(BenchmarkId::new(sys_name, &wq.id), &wq.text, |b, text| {
+                    b.iter(|| sys.run(text, wq.reasoning, &dicts))
+                });
             }
         }
         group.finish();

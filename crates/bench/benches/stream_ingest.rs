@@ -1,0 +1,109 @@
+//! Write-path benchmarks for the incremental ingestion subsystem:
+//! batch ingestion throughput and continuous-query latency on the hybrid
+//! view, against the paper's original rebuild-per-instance model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use se_core::SuccinctEdgeStore;
+use se_datagen::water::{generate_stream, WaterConfig};
+use se_datagen::workload::water_anomaly_query;
+use se_ontology::water_ontology;
+use se_rdf::{Graph, Triple};
+use se_sparql::QueryOptions;
+use se_stream::{CompactionPolicy, HybridStore, StreamSession};
+use std::collections::BTreeSet;
+
+const BATCHES: usize = 32;
+
+fn stream_ingest(c: &mut Criterion) {
+    let onto = water_ontology();
+    let cfg = WaterConfig {
+        stations: 4,
+        rounds: 1,
+        anomaly_rate: 0.15,
+        seed: 21,
+    };
+    let batches = generate_stream(&cfg, BATCHES, 4);
+    let query = water_anomaly_query();
+
+    let mut group = c.benchmark_group("stream_ingest");
+    group.sample_size(10);
+
+    // One long-lived hybrid session: ingest + continuous query per batch,
+    // overlay compacting under a realistic policy.
+    group.bench_function("hybrid_ingest_and_query_32_batches", |b| {
+        b.iter(|| {
+            let store = HybridStore::build(&onto, &Graph::new())
+                .unwrap()
+                .with_policy(CompactionPolicy { max_overlay: 1024 });
+            let mut session = StreamSession::new(store);
+            session
+                .register_query("anomaly", &query, QueryOptions::default())
+                .unwrap();
+            let mut alerts = 0usize;
+            for batch in &batches {
+                let out = session.apply_batch(&batch.inserts, &batch.deletes).unwrap();
+                alerts += out.results[0].results.len();
+            }
+            alerts
+        })
+    });
+
+    // The paper's execution model: rebuild the whole store per batch.
+    group.bench_function("full_rebuild_and_query_32_batches", |b| {
+        b.iter(|| {
+            let mut reference: BTreeSet<Triple> = BTreeSet::new();
+            let mut alerts = 0usize;
+            for batch in &batches {
+                for t in &batch.deletes {
+                    reference.remove(t);
+                }
+                for t in &batch.inserts {
+                    reference.insert(t.clone());
+                }
+                let store = SuccinctEdgeStore::build(
+                    &onto,
+                    &Graph::from_triples(reference.iter().cloned()),
+                )
+                .unwrap();
+                alerts += se_sparql::execute_query(&store, &query, &QueryOptions::default())
+                    .unwrap()
+                    .len();
+            }
+            alerts
+        })
+    });
+
+    // Continuous-query latency on a view with a dirty (uncompacted)
+    // overlay — the steady-state read cost between compactions.
+    let mut dirty = HybridStore::build(&onto, &Graph::new())
+        .unwrap()
+        .with_policy(CompactionPolicy {
+            max_overlay: usize::MAX,
+        });
+    for batch in &batches {
+        dirty.apply(&batch.inserts, &batch.deletes).unwrap();
+    }
+    let parsed = se_sparql::parse_query(&query).unwrap();
+    let opts = QueryOptions::default();
+    group.bench_function("continuous_query_on_dirty_overlay", |b| {
+        b.iter(|| {
+            se_sparql::exec::execute(&dirty, &parsed, &opts)
+                .unwrap()
+                .len()
+        })
+    });
+
+    // Compaction cost: fold the accumulated overlay into the baseline.
+    group.bench_function("compaction_of_32_batch_overlay", |b| {
+        b.iter(|| {
+            let mut h = dirty.clone();
+            h.compact().unwrap();
+            h.baseline().len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, stream_ingest);
+criterion_main!(benches);

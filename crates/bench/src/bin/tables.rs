@@ -18,11 +18,11 @@
 //!   Fig 14 — RDFS-reasoning latency (R1–R6)
 //!   Tab 3  — workload summary
 
+use se_baselines::{DiskStore, MultiIndexStore};
 use se_bench::{
     fmt_kib, fmt_ms, median_time, ontology_for, paper_datasets, prepared_query, BuiltSystem,
     System, DISK_POOL_PAGES,
 };
-use se_baselines::{DiskStore, MultiIndexStore};
 use se_core::SuccinctEdgeStore;
 use se_datagen::workload;
 use se_ontology::lubm_ontology;
@@ -228,7 +228,14 @@ fn query_experiments(report: &mut String, ds: &se_bench::Datasets, runs: usize) 
         push_table(
             report,
             title,
-            &["query", "answers", "SuccinctEdge", "MultiIndex(mem)", "DiskStore", "UNION branches"],
+            &[
+                "query",
+                "answers",
+                "SuccinctEdge",
+                "MultiIndex(mem)",
+                "DiskStore",
+                "UNION branches",
+            ],
             &rows,
             note,
         );
@@ -304,7 +311,14 @@ fn table3(report: &mut String, ds: &se_bench::Datasets) {
     push_table(
         report,
         "Table 3 — query summary",
-        &["query", "TPs", "joins", "join types", "reasoning", "paper cardinality"],
+        &[
+            "query",
+            "TPs",
+            "joins",
+            "join types",
+            "reasoning",
+            "paper cardinality",
+        ],
         &rows,
         "Static summary of the reconstructed workload (paper Table 3). Join counts \
          are pairwise shared-variable edges of the query graph.",

@@ -39,7 +39,11 @@ impl System {
 
     /// All systems.
     pub fn all() -> [System; 3] {
-        [System::SuccinctEdge, System::MemoryBaseline, System::DiskBaseline]
+        [
+            System::SuccinctEdge,
+            System::MemoryBaseline,
+            System::DiskBaseline,
+        ]
     }
 }
 
@@ -98,9 +102,7 @@ impl BuiltSystem {
             System::SuccinctEdge => BuiltSystem::SuccinctEdge(Box::new(
                 SuccinctEdgeStore::build(ontology, graph).expect("valid input graph"),
             )),
-            System::MemoryBaseline => {
-                BuiltSystem::Memory(Box::new(MultiIndexStore::build(graph)))
-            }
+            System::MemoryBaseline => BuiltSystem::Memory(Box::new(MultiIndexStore::build(graph))),
             System::DiskBaseline => BuiltSystem::Disk(Box::new(
                 DiskStore::build_temp(graph, DISK_POOL_PAGES).expect("temp file writable"),
             )),
@@ -110,12 +112,7 @@ impl BuiltSystem {
     /// Runs a query. For reasoning queries, SuccinctEdge uses LiteMat
     /// intervals natively while the baselines execute the UNION rewriting
     /// (`rewritten`), mirroring §7.3.5.
-    pub fn run(
-        &self,
-        text: &str,
-        reasoning: bool,
-        dicts: &se_litemat::Dictionaries,
-    ) -> ResultSet {
+    pub fn run(&self, text: &str, reasoning: bool, dicts: &se_litemat::Dictionaries) -> ResultSet {
         match self {
             BuiltSystem::SuccinctEdge(st) => {
                 let opts = if reasoning {
@@ -123,7 +120,7 @@ impl BuiltSystem {
                 } else {
                     QueryOptions::without_reasoning()
                 };
-                se_sparql::execute_query(st, text, &opts).expect("workload query executes")
+                se_sparql::execute_query(st.as_ref(), text, &opts).expect("workload query executes")
             }
             BuiltSystem::Memory(st) => {
                 let q = prepared_query(text, reasoning, dicts);
@@ -193,7 +190,10 @@ mod tests {
     fn datasets_have_paper_sizes() {
         let ds = paper_datasets();
         let labels: Vec<&str> = ds.graphs.iter().map(|(l, _)| l.as_str()).collect();
-        assert_eq!(labels, vec!["250", "500", "1K", "5K", "10K", "25K", "50K", "100K"]);
+        assert_eq!(
+            labels,
+            vec!["250", "500", "1K", "5K", "10K", "25K", "50K", "100K"]
+        );
         assert_eq!(ds.graphs[0].1.len(), 250);
         assert_eq!(ds.graphs[2].1.len(), 1_000);
         assert!(ds.lubm_full.len() > 90_000);

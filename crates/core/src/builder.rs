@@ -46,7 +46,8 @@ pub struct BuildStats {
 
 /// Key under which a subject/object resource is stored in the instance
 /// dictionary. Blank nodes are prefixed to avoid colliding with IRIs.
-pub(crate) fn instance_key(term: &Term) -> Option<String> {
+/// Public so overlay stores (`se-stream`) encode terms identically.
+pub fn instance_key(term: &Term) -> Option<String> {
     match term {
         Term::Iri(iri) => Some(iri.to_string()),
         Term::Blank(label) => Some(format!("_:{label}")),
@@ -56,7 +57,7 @@ pub(crate) fn instance_key(term: &Term) -> Option<String> {
 
 /// Decodes an instance-dictionary key back into a [`Term`]; IRIs reuse the
 /// dictionary's shared `Arc` without copying.
-pub(crate) fn key_to_term_arc(key: std::sync::Arc<str>) -> Term {
+pub fn key_to_term_arc(key: std::sync::Arc<str>) -> Term {
     match key.strip_prefix("_:") {
         Some(label) => Term::blank(label.to_string()),
         None => Term::Iri(key),
@@ -163,9 +164,7 @@ pub(crate) fn build_store(
     // ---- step 4: freeze the layers -----------------------------------------
     object_triples.sort_unstable();
     object_triples.dedup();
-    datatype_triples.sort_unstable_by(|a, b| {
-        (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2))
-    });
+    datatype_triples.sort_unstable_by(|a, b| (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2)));
     datatype_triples.dedup();
     type_pairs.sort_unstable();
     type_pairs.dedup();
@@ -210,7 +209,10 @@ mod tests {
 
     #[test]
     fn key_roundtrip() {
-        assert_eq!(key_to_term_arc("http://x/a".into()), Term::iri("http://x/a"));
+        assert_eq!(
+            key_to_term_arc("http://x/a".into()),
+            Term::iri("http://x/a")
+        );
         assert_eq!(key_to_term_arc("_:b0".into()), Term::blank("b0"));
     }
 }

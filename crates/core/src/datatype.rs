@@ -29,7 +29,9 @@ impl DatatypeLayer {
     /// index `i`.
     pub fn build(triples: &[(u64, u64, Literal)]) -> Self {
         debug_assert!(
-            triples.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)),
+            triples
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)),
             "DatatypeLayer input must be sorted by (p, s)"
         );
         let mut preds = Vec::new();
@@ -199,10 +201,7 @@ impl DatatypeLayer {
             .bm_so
             .select1(s_begin + 1)
             .expect("pair start within bounds");
-        let end = self
-            .bm_so
-            .select1(s_end + 1)
-            .unwrap_or(self.literals.len());
+        let end = self.bm_so.select1(s_end + 1).unwrap_or(self.literals.len());
         end - begin
     }
 
@@ -393,7 +392,11 @@ mod tests {
     #[test]
     fn redundant_literals_are_kept() {
         // The flat store keeps duplicates — that is the design trade-off of §4.
-        let triples = vec![(1, 1, lit("3.14")), (1, 2, lit("3.14")), (1, 3, lit("3.14"))];
+        let triples = vec![
+            (1, 1, lit("3.14")),
+            (1, 2, lit("3.14")),
+            (1, 3, lit("3.14")),
+        ];
         let layer = DatatypeLayer::build(&triples);
         assert_eq!(layer.len(), 3);
         assert_eq!(layer.subjects_by_literal(1, &lit("3.14")), vec![1, 2, 3]);
@@ -419,7 +422,11 @@ mod tests {
     fn serialization_roundtrip() {
         let triples = vec![
             (1, 1, Literal::string("plain")),
-            (1, 2, Literal::typed("3.5", "http://www.w3.org/2001/XMLSchema#double")),
+            (
+                1,
+                2,
+                Literal::typed("3.5", "http://www.w3.org/2001/XMLSchema#double"),
+            ),
             (2, 1, Literal::lang("bonjour", "fr")),
         ];
         let layer = DatatypeLayer::build(&triples);

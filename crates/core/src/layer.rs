@@ -325,13 +325,7 @@ mod tests {
     /// p1 → {s1:{o1,o2}, s2:{o1}, s4:{o3}}, p2 → {s3:{o2}}.
     /// Ids: p1=1, p2=2, s1=1, s2=2, s3=3, s4=4, o1=1, o2=2, o3=3.
     fn figure5() -> Vec<(u64, u64, u64)> {
-        vec![
-            (1, 1, 1),
-            (1, 1, 2),
-            (1, 2, 1),
-            (1, 4, 3),
-            (2, 3, 2),
-        ]
+        vec![(1, 1, 1), (1, 1, 2), (1, 2, 1), (1, 4, 3), (2, 3, 2)]
     }
 
     #[test]
@@ -378,7 +372,10 @@ mod tests {
     #[test]
     fn scan_predicate_in_order() {
         let layer = TripleLayer::build(&figure5());
-        assert_eq!(layer.scan_predicate(1), vec![(1, 1), (1, 2), (2, 1), (4, 3)]);
+        assert_eq!(
+            layer.scan_predicate(1),
+            vec![(1, 1), (1, 2), (2, 1), (4, 3)]
+        );
         assert_eq!(layer.scan_predicate(2), vec![(3, 2)]);
     }
 
@@ -417,12 +414,7 @@ mod tests {
 
     #[test]
     fn predicate_range_is_contiguous() {
-        let triples: Vec<(u64, u64, u64)> = vec![
-            (10, 1, 1),
-            (12, 1, 1),
-            (14, 1, 1),
-            (20, 1, 1),
-        ];
+        let triples: Vec<(u64, u64, u64)> = vec![(10, 1, 1), (12, 1, 1), (14, 1, 1), (20, 1, 1)];
         let layer = TripleLayer::build(&triples);
         assert_eq!(layer.predicate_range(10, 15), 0..3);
         assert_eq!(layer.predicate_range(11, 15), 1..3);

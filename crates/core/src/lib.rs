@@ -28,11 +28,13 @@ pub mod datatype;
 pub mod error;
 pub mod layer;
 pub mod persist;
+pub mod source;
 pub mod store;
 pub mod typestore;
 pub mod value;
 
 pub use builder::BuildStats;
 pub use error::BuildError;
+pub use source::TripleSource;
 pub use store::SuccinctEdgeStore;
 pub use value::Value;

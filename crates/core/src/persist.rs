@@ -164,10 +164,7 @@ mod tests {
         let a = back.instance_id(&Term::iri("http://x/a")).unwrap();
         let objs = back.objects(age, a);
         assert_eq!(objs.len(), 1);
-        assert_eq!(
-            back.value_to_term(objs[0]).unwrap(),
-            Term::literal("42")
-        );
+        assert_eq!(back.value_to_term(objs[0]).unwrap(), Term::literal("42"));
     }
 
     #[test]

@@ -165,21 +165,31 @@ impl SuccinctEdgeStore {
         self.datatype_layer.subjects_by_literal(p, lit)
     }
 
-    /// `(?s, p, ?o)` — full predicate scan, `(subject, object)` pairs in
-    /// PSO order.
+    /// `(?s, p, ?o)` — full predicate scan, `(subject, object)` pairs
+    /// **sorted by subject** (ties: instances before literals).
+    ///
+    /// Each layer yields subject-sorted pairs; for the rare predicate that
+    /// carries both resource and literal objects the two runs are merged,
+    /// keeping the global subject order the merge join (§5.2) relies on.
     pub fn scan_predicate(&self, p: u64) -> Vec<(u64, Value)> {
-        let mut out: Vec<(u64, Value)> = self
-            .object_layer
-            .scan_predicate(p)
-            .into_iter()
-            .map(|(s, o)| (s, Value::Instance(o)))
-            .collect();
-        out.extend(
-            self.datatype_layer
-                .scan_predicate(p)
-                .into_iter()
-                .map(|(s, idx)| (s, Value::Literal(idx))),
-        );
+        let inst = self.object_layer.scan_predicate(p);
+        let lit = self.datatype_layer.scan_predicate(p);
+        let mut out = Vec::with_capacity(inst.len() + lit.len());
+        let (mut i, mut j) = (0, 0);
+        while i < inst.len() || j < lit.len() {
+            let take_inst = match (inst.get(i), lit.get(j)) {
+                (Some(a), Some(b)) => a.0 <= b.0,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_inst {
+                out.push((inst[i].0, Value::Instance(inst[i].1)));
+                i += 1;
+            } else {
+                out.push((lit[j].0, Value::Literal(lit[j].1)));
+                j += 1;
+            }
+        }
         out
     }
 
@@ -208,7 +218,12 @@ impl SuccinctEdgeStore {
         let mut out = Vec::new();
         for idx in self.object_layer.predicate_range(p_iv.lower, p_iv.upper) {
             let p = self.object_layer.predicate_at(idx);
-            out.extend(self.object_layer.objects(p, s).into_iter().map(Value::Instance));
+            out.extend(
+                self.object_layer
+                    .objects(p, s)
+                    .into_iter()
+                    .map(Value::Instance),
+            );
         }
         for idx in self.datatype_layer.predicate_range(p_iv.lower, p_iv.upper) {
             let p = self.datatype_layer.predicate_at(idx);
@@ -245,6 +260,22 @@ impl SuccinctEdgeStore {
         out.sort_unstable();
         out.dedup();
         out
+    }
+
+    /// Reasoning-enabled `(?s, p⊑, lit)`: subjects carrying the literal
+    /// under any property of the interval (each sub-property checked via
+    /// the datatype layer).
+    pub fn subjects_by_literal_interval(&self, p_iv: IdInterval, lit: &Literal) -> Vec<u64> {
+        let mut subs = Vec::new();
+        for idx in self.datatype_layer.predicate_range(p_iv.lower, p_iv.upper) {
+            subs.extend(
+                self.datatype_layer
+                    .subjects_by_literal(self.datatype_layer.predicate_at(idx), lit),
+            );
+        }
+        subs.sort_unstable();
+        subs.dedup();
+        subs
     }
 
     /// Reasoning-enabled `(?s, p⊑, ?o)`.
@@ -410,8 +441,16 @@ mod tests {
         let t = |s: &str, p: &str, o: Term| {
             se_rdf::Triple::new(iri(s), Term::iri(format!("http://x/{p}")), o)
         };
-        g.insert(se_rdf::Triple::new(iri("s1"), Term::iri(rdf::TYPE), iri("C1")));
-        g.insert(se_rdf::Triple::new(iri("s2"), Term::iri(rdf::TYPE), iri("C2")));
+        g.insert(se_rdf::Triple::new(
+            iri("s1"),
+            Term::iri(rdf::TYPE),
+            iri("C1"),
+        ));
+        g.insert(se_rdf::Triple::new(
+            iri("s2"),
+            Term::iri(rdf::TYPE),
+            iri("C2"),
+        ));
         g.insert(t("s1", "knows", iri("s2")));
         g.insert(t("s1", "knows", iri("s3")));
         g.insert(t("s2", "knows", iri("s3")));
@@ -483,7 +522,9 @@ mod tests {
             st.subjects_by_literal(age, &Literal::string("37")),
             vec![s2]
         );
-        assert!(st.subjects_by_literal(age, &Literal::string("99")).is_empty());
+        assert!(st
+            .subjects_by_literal(age, &Literal::string("99"))
+            .is_empty());
     }
 
     #[test]
@@ -510,6 +551,33 @@ mod tests {
         assert_eq!(st.scan_predicate(knows).len(), 3);
         let age = st.property_id("http://x/age").unwrap();
         assert_eq!(st.scan_predicate(age).len(), 2);
+    }
+
+    #[test]
+    fn scan_predicate_mixed_objects_is_subject_sorted() {
+        // A predicate carrying both resource and literal objects: the two
+        // layer runs must merge into one subject-sorted list (the merge
+        // join's contract), not concatenate.
+        let mut g = Graph::new();
+        for i in 0..6 {
+            g.insert(se_rdf::Triple::new(
+                iri(&format!("s{i}")),
+                Term::iri("http://x/mixed"),
+                if i % 2 == 0 {
+                    iri("target")
+                } else {
+                    Term::literal(format!("v{i}"))
+                },
+            ));
+        }
+        let st = SuccinctEdgeStore::build(&Ontology::new(), &g).unwrap();
+        let p = st.property_id("http://x/mixed").unwrap();
+        let pairs = st.scan_predicate(p);
+        assert_eq!(pairs.len(), 6);
+        let subjects: Vec<u64> = pairs.iter().map(|(s, _)| *s).collect();
+        let mut sorted = subjects.clone();
+        sorted.sort_unstable();
+        assert_eq!(subjects, sorted, "scan must be globally subject-sorted");
     }
 
     #[test]
@@ -624,7 +692,10 @@ mod tests {
         let la = st.objects(v, a)[0];
         let lb = st.objects(v, b)[0];
         assert_ne!(la, lb, "flat store keeps duplicates");
-        assert!(st.values_join(la, lb), "join equality sees through duplicates");
+        assert!(
+            st.values_join(la, lb),
+            "join equality sees through duplicates"
+        );
     }
 
     #[test]

@@ -109,6 +109,20 @@ impl RdfTypeStore {
             .count()
     }
 
+    /// `(concept, subject)` pairs whose concept lies in `interval`, in
+    /// `(concept, subject)` order — the raw pairs behind
+    /// [`RdfTypeStore::subjects_of_interval`], needed by overlay stores
+    /// that must tombstone individual pairs before deduplication.
+    pub fn pairs_in_interval(&self, interval: IdInterval) -> Vec<(u64, u64)> {
+        self.by_concept
+            .range(
+                Included(&(interval.lower, 0)),
+                Excluded(&(interval.upper, 0)),
+            )
+            .map(|(&(c, s), ())| (c, s))
+            .collect()
+    }
+
     /// Iterates over `(subject, concept)` pairs in subject order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.by_subject.iter().map(|(&(s, c), ())| (s, c))
@@ -142,9 +156,15 @@ mod tests {
     #[test]
     fn interval_subjects_cover_sub_concepts() {
         let st = sample();
-        let b = IdInterval { lower: 24, upper: 28 };
+        let b = IdInterval {
+            lower: 24,
+            upper: 28,
+        };
         assert_eq!(st.subjects_of_interval(b), vec![2, 3, 4, 5]);
-        let a = IdInterval { lower: 20, upper: 24 };
+        let a = IdInterval {
+            lower: 20,
+            upper: 24,
+        };
         assert_eq!(st.subjects_of_interval(a), vec![1]);
     }
 
@@ -152,7 +172,10 @@ mod tests {
     fn interval_subjects_dedup() {
         let mut st = sample();
         st.insert(3, 26); // subject 3 typed with two concepts in [24,28)
-        let b = IdInterval { lower: 24, upper: 28 };
+        let b = IdInterval {
+            lower: 24,
+            upper: 28,
+        };
         assert_eq!(st.subjects_of_interval(b), vec![2, 3, 4, 5]);
     }
 
@@ -170,7 +193,10 @@ mod tests {
         let st = sample();
         assert!(st.has_type(3, 25));
         assert!(!st.has_type(3, 24));
-        let b = IdInterval { lower: 24, upper: 28 };
+        let b = IdInterval {
+            lower: 24,
+            upper: 28,
+        };
         assert!(st.has_type_in_interval(3, b));
         assert!(st.has_type_in_interval(2, b));
         assert!(!st.has_type_in_interval(1, b));
@@ -179,9 +205,27 @@ mod tests {
     #[test]
     fn counting() {
         let st = sample();
-        assert_eq!(st.count_interval(IdInterval { lower: 24, upper: 28 }), 4);
-        assert_eq!(st.count_interval(IdInterval { lower: 0, upper: 100 }), 5);
-        assert_eq!(st.count_interval(IdInterval { lower: 30, upper: 40 }), 0);
+        assert_eq!(
+            st.count_interval(IdInterval {
+                lower: 24,
+                upper: 28
+            }),
+            4
+        );
+        assert_eq!(
+            st.count_interval(IdInterval {
+                lower: 0,
+                upper: 100
+            }),
+            5
+        );
+        assert_eq!(
+            st.count_interval(IdInterval {
+                lower: 30,
+                upper: 40
+            }),
+            0
+        );
     }
 
     #[test]

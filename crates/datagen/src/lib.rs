@@ -23,3 +23,4 @@ pub mod workload;
 
 pub use lubm::generate as generate_lubm;
 pub use water::generate as generate_water;
+pub use water::{generate_stream, StreamBatch};

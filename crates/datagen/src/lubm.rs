@@ -146,9 +146,17 @@ fn generate_department(g: &mut Graph, univ: &Term, u: usize, d: usize, rng: &mut
         let s = Term::iri(format!("{}/GraduateStudent{i}", ctx.ns));
         a(g, &s, "GraduateStudent");
         lit(g, &s, "name", format!("GraduateStudent{i}"));
-        lit(g, &s, "emailAddress", format!("GraduateStudent{i}@Department{d}.University{u}.edu"));
+        lit(
+            g,
+            &s,
+            "emailAddress",
+            format!("GraduateStudent{i}@Department{d}.University{u}.edu"),
+        );
         rel(g, &s, "memberOf", &dept);
-        let ug_univ = Term::iri(format!("http://www.University{}.edu", rng.random_range(0..=u.max(4))));
+        let ug_univ = Term::iri(format!(
+            "http://www.University{}.edu",
+            rng.random_range(0..=u.max(4))
+        ));
         rel(g, &s, "undergraduateDegreeFrom", &ug_univ);
         for _ in 0..rng.random_range(1..=3) {
             let c = &ctx.grad_courses[rng.random_range(0..ctx.grad_courses.len())];
@@ -200,12 +208,20 @@ fn generate_faculty(
         "emailAddress",
         format!("{kind}{i}@{}", ctx.ns.trim_start_matches("http://www.")),
     );
-    lit(g, &f, "telephone", format!("xxx-xxx-{:04}", rng.random_range(0..10_000)));
+    lit(
+        g,
+        &f,
+        "telephone",
+        format!("xxx-xxx-{:04}", rng.random_range(0..10_000)),
+    );
     rel(g, &f, "worksFor", &ctx.dept);
     // Degrees from random universities (a small closed world keeps the
     // ?s,P,O selectivities realistic).
     let deg = |rng: &mut StdRng| {
-        Term::iri(format!("http://www.University{}.edu", rng.random_range(0..=u.max(4))))
+        Term::iri(format!(
+            "http://www.University{}.edu",
+            rng.random_range(0..=u.max(4))
+        ))
     };
     let d0 = deg(rng);
     rel(g, &f, "undergraduateDegreeFrom", &d0);
@@ -287,9 +303,8 @@ mod tests {
         let g = generate(1, 42);
         let has_type = |c: &str| {
             let cls = lubm::iri(c);
-            g.iter().any(|t| {
-                t.is_type_triple() && t.object.as_iri() == Some(cls.as_str())
-            })
+            g.iter()
+                .any(|t| t.is_type_triple() && t.object.as_iri() == Some(cls.as_str()))
         };
         for c in [
             "University",
@@ -353,8 +368,7 @@ mod tests {
         let n_depts = g
             .iter()
             .filter(|t| {
-                t.is_type_triple()
-                    && t.object.as_iri() == Some(lubm::iri("Department").as_str())
+                t.is_type_triple() && t.object.as_iri() == Some(lubm::iri("Department").as_str())
             })
             .count();
         let n_heads = g

@@ -155,6 +155,25 @@ fn emit_observation(
     unit_iri: &str,
     unit_class: &str,
 ) {
+    let (own, shared) = observation_triples(blank, sensor, round, value, unit_iri, unit_class);
+    for t in own {
+        g.insert(t);
+    }
+    g.insert(shared);
+}
+
+/// The triples of one observation, split into the observation-specific
+/// part (blank-node subgraph + sensor edge — safe to retire later) and the
+/// shared unit-typing triple (referenced by every observation using the
+/// unit, so never retired with an individual observation).
+fn observation_triples(
+    blank: &mut usize,
+    sensor: &Term,
+    round: usize,
+    value: f64,
+    unit_iri: &str,
+    unit_class: &str,
+) -> (Vec<Triple>, Triple) {
     // Blank nodes for observation and result, as in the paper's Figure 1
     // ("green nodes are blank nodes").
     let obs = Term::blank(format!("obs{}", *blank));
@@ -164,49 +183,167 @@ fn emit_observation(
     // annotation — the unit node is what `?u1 a qudt:PressureUnit` binds.
     let unit = Term::iri(unit_iri.to_string());
     *blank += 1;
-    g.insert(Triple::new(
-        sensor.clone(),
-        Term::iri(sosa::OBSERVES),
-        obs.clone(),
-    ));
-    g.insert(Triple::new(
-        obs.clone(),
-        Term::iri(rdf::TYPE),
-        Term::iri(sosa::OBSERVATION),
-    ));
-    g.insert(Triple::new(
-        obs.clone(),
-        Term::iri(sosa::HAS_RESULT),
-        res.clone(),
-    ));
-    g.insert(Triple::new(
-        obs.clone(),
-        Term::iri(sosa::RESULT_TIME),
-        Term::Literal(Literal::typed(
-            format!("2020-11-01T{:02}:00:00Z", round % 24),
-            xsd::DATE_TIME,
-        )),
-    ));
-    g.insert(Triple::new(
-        res.clone(),
-        Term::iri(rdf::TYPE),
-        Term::iri(sosa::RESULT),
-    ));
-    g.insert(Triple::new(
-        res.clone(),
-        Term::iri(qudt::NUMERIC_VALUE),
-        Term::Literal(Literal::double((value * 1000.0).round() / 1000.0)),
-    ));
-    g.insert(Triple::new(
-        res.clone(),
-        Term::iri(qudt::UNIT),
-        unit.clone(),
-    ));
-    g.insert(Triple::new(
+    let own = vec![
+        Triple::new(sensor.clone(), Term::iri(sosa::OBSERVES), obs.clone()),
+        Triple::new(
+            obs.clone(),
+            Term::iri(rdf::TYPE),
+            Term::iri(sosa::OBSERVATION),
+        ),
+        Triple::new(obs.clone(), Term::iri(sosa::HAS_RESULT), res.clone()),
+        Triple::new(
+            obs.clone(),
+            Term::iri(sosa::RESULT_TIME),
+            Term::Literal(Literal::typed(
+                format!("2020-11-01T{:02}:00:00Z", round % 24),
+                xsd::DATE_TIME,
+            )),
+        ),
+        Triple::new(res.clone(), Term::iri(rdf::TYPE), Term::iri(sosa::RESULT)),
+        Triple::new(
+            res.clone(),
+            Term::iri(qudt::NUMERIC_VALUE),
+            Term::Literal(Literal::double((value * 1000.0).round() / 1000.0)),
+        ),
+        Triple::new(res, Term::iri(qudt::UNIT), unit.clone()),
+    ];
+    let shared = Triple::new(
         unit,
         Term::iri(rdf::TYPE),
         Term::iri(unit_class.to_string()),
-    ));
+    );
+    (own, shared)
+}
+
+/// One streamed batch of sensor data: fresh measurement rounds to insert
+/// and expired observations to delete.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamBatch {
+    /// Newly arrived triples (topology on the first batch, then one
+    /// measurement round per sensor).
+    pub inserts: Graph,
+    /// Retired triples (observation subgraphs older than the retention
+    /// window; shared unit-typing triples are never retired).
+    pub deletes: Graph,
+}
+
+/// Generates a deterministic stream of measurement batches over the §2
+/// two-profile station topology.
+///
+/// Batch 0 carries the static topology plus the first measurement round;
+/// every later batch carries one round per sensor. Once a round falls out
+/// of the `retain_rounds` window, its observation subgraphs (blank-node
+/// observations/results and the `sosa:observes` edges) are emitted as
+/// deletions — the sliding-window ingestion pattern of an edge deployment.
+pub fn generate_stream(
+    cfg: &WaterConfig,
+    batches: usize,
+    retain_rounds: usize,
+) -> Vec<StreamBatch> {
+    assert!(retain_rounds >= 1, "retention window must keep >= 1 round");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut blank = 0usize;
+    let mut out = Vec::with_capacity(batches);
+    // Per-round observation-specific triples, for later retirement.
+    let mut round_own: Vec<Vec<Triple>> = Vec::with_capacity(batches);
+
+    // Static topology (batch 0).
+    let mut topology = Graph::new();
+    let mut sensors: Vec<(Term, Term, bool)> = Vec::new(); // (pressure, chem, profile1)
+    for st in 0..cfg.stations {
+        let profile1 = st % 2 == 0;
+        let station = Term::iri(format!("http://engie.example/station/{}", st + 1));
+        topology.insert(Triple::new(
+            station.clone(),
+            Term::iri(rdf::TYPE),
+            Term::iri(sosa::PLATFORM),
+        ));
+        let pressure = Term::iri(format!("http://engie.example/sensor/pressure{}", st + 1));
+        let chem = Term::iri(format!("http://engie.example/sensor/chem{}", st + 1));
+        for sensor in [&pressure, &chem] {
+            topology.insert(Triple::new(
+                station.clone(),
+                Term::iri(sosa::HOSTS),
+                sensor.clone(),
+            ));
+            topology.insert(Triple::new(
+                sensor.clone(),
+                Term::iri(rdf::TYPE),
+                Term::iri(sosa::SENSOR),
+            ));
+        }
+        sensors.push((pressure, chem, profile1));
+    }
+
+    for round in 0..batches {
+        let mut inserts = if round == 0 {
+            topology.clone()
+        } else {
+            Graph::new()
+        };
+        let mut own_this_round = Vec::new();
+        for (pressure_sensor, chem_sensor, profile1) in &sensors {
+            // -------- pressure observation --------
+            let anomalous = rng.random_bool(cfg.anomaly_rate);
+            let bar = if anomalous {
+                if rng.random_bool(0.5) {
+                    rng.random_range(0.5..2.9)
+                } else {
+                    rng.random_range(4.6..7.0)
+                }
+            } else {
+                rng.random_range(3.0..4.5)
+            };
+            let (value, unit_iri, unit_class) = if *profile1 {
+                (bar, qudt::BAR, qudt::PRESSURE_OR_STRESS_UNIT)
+            } else {
+                (bar * 1000.0, qudt::HECTO_PA, qudt::PRESSURE_UNIT)
+            };
+            let (own, shared) = observation_triples(
+                &mut blank,
+                pressure_sensor,
+                round,
+                value,
+                unit_iri,
+                unit_class,
+            );
+            for t in &own {
+                inserts.insert(t.clone());
+            }
+            inserts.insert(shared);
+            own_this_round.extend(own);
+            // -------- chemistry observation --------
+            let chem_value = rng.random_range(0.1..2.0);
+            let chem_class = if *profile1 {
+                qudt::CHEMISTRY
+            } else {
+                qudt::AMOUNT_OF_SUBSTANCE_UNIT
+            };
+            let (own, shared) = observation_triples(
+                &mut blank,
+                chem_sensor,
+                round,
+                chem_value,
+                "http://qudt.org/vocab/unit/MOL-PER-L",
+                chem_class,
+            );
+            for t in &own {
+                inserts.insert(t.clone());
+            }
+            inserts.insert(shared);
+            own_this_round.extend(own);
+        }
+        round_own.push(own_this_round);
+
+        let mut deletes = Graph::new();
+        if round >= retain_rounds {
+            for t in &round_own[round - retain_rounds] {
+                deletes.insert(t.clone());
+            }
+        }
+        out.push(StreamBatch { inserts, deletes });
+    }
+    out
 }
 
 #[cfg(test)]
@@ -244,9 +381,8 @@ mod tests {
     fn units_differ_between_profiles() {
         let g = generate(500, 1);
         let unit_used = |u: &str| {
-            g.iter().any(|t| {
-                t.predicate.as_iri() == Some(qudt::UNIT) && t.object.as_iri() == Some(u)
-            })
+            g.iter()
+                .any(|t| t.predicate.as_iri() == Some(qudt::UNIT) && t.object.as_iri() == Some(u))
         };
         assert!(unit_used(qudt::BAR));
         assert!(unit_used(qudt::HECTO_PA));
@@ -273,6 +409,66 @@ mod tests {
         }
         // Observations and results are blank nodes.
         assert!(g.iter().any(|t| matches!(&t.subject, Term::Blank(_))));
+    }
+
+    #[test]
+    fn stream_batches_are_deterministic_and_windowed() {
+        let cfg = WaterConfig {
+            stations: 2,
+            rounds: 1,
+            anomaly_rate: 0.2,
+            seed: 11,
+        };
+        let a = generate_stream(&cfg, 8, 3);
+        let b = generate_stream(&cfg, 8, 3);
+        assert_eq!(a, b, "same seed, same stream");
+        assert_eq!(a.len(), 8);
+        // Batch 0 carries topology; all batches carry observations.
+        assert!(a[0].inserts.len() > a[1].inserts.len());
+        // No deletions until the window fills.
+        for batch in &a[..3] {
+            assert!(batch.deletes.is_empty());
+        }
+        // Afterwards every batch retires one round.
+        for batch in &a[3..] {
+            assert!(!batch.deletes.is_empty());
+            // Shared unit-typing triples are never retired.
+            for t in &batch.deletes {
+                let retires_unit_typing = t.is_type_triple()
+                    && t.subject
+                        .as_iri()
+                        .is_some_and(|s| s.contains("/vocab/unit/"));
+                assert!(!retires_unit_typing, "retired shared unit typing: {t}");
+            }
+        }
+        // Deleted triples were inserted in an earlier batch.
+        let all_inserted: std::collections::HashSet<_> =
+            a.iter().flat_map(|b| b.inserts.iter().cloned()).collect();
+        for batch in &a {
+            for t in &batch.deletes {
+                assert!(all_inserted.contains(t), "deletion of never-inserted {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_covers_both_profiles() {
+        let cfg = WaterConfig {
+            stations: 2,
+            rounds: 1,
+            anomaly_rate: 0.0,
+            seed: 5,
+        };
+        let batches = generate_stream(&cfg, 4, 2);
+        let has_class = |c: &str| {
+            batches.iter().any(|b| {
+                b.inserts
+                    .iter()
+                    .any(|t| t.is_type_triple() && t.object.as_iri() == Some(c))
+            })
+        };
+        assert!(has_class(qudt::PRESSURE_OR_STRESS_UNIT));
+        assert!(has_class(qudt::PRESSURE_UNIT));
     }
 
     #[test]

@@ -81,7 +81,10 @@ impl fmt::Display for EncodingError {
                 write!(f, "LiteMat encoding needs {total_bits} bits (max 64)")
             }
             EncodingError::MultipleParents { term } => {
-                write!(f, "term {term} has multiple parents (single inheritance required)")
+                write!(
+                    f,
+                    "term {term} has multiple parents (single inheritance required)"
+                )
             }
         }
     }
@@ -223,13 +226,7 @@ impl LiteMatEncoding {
         for (term, code, len) in raw {
             let id = code << (total_len - len);
             let term: Arc<str> = Arc::from(term);
-            by_term.insert(
-                term.clone(),
-                TermEncoding {
-                    id,
-                    local_len: len,
-                },
-            );
+            by_term.insert(term.clone(), TermEncoding { id, local_len: len });
             by_id.insert(id, term);
         }
         Ok(Self {
@@ -429,12 +426,9 @@ mod tests {
 
     #[test]
     fn orphans_attach_to_root() {
-        let enc = LiteMatEncoding::encode(
-            "Thing",
-            &[("A".into(), "Thing".into())],
-            &["Orphan".into()],
-        )
-        .unwrap();
+        let enc =
+            LiteMatEncoding::encode("Thing", &[("A".into(), "Thing".into())], &["Orphan".into()])
+                .unwrap();
         assert!(enc.is_subsumed_by("Orphan", "Thing"));
         assert!(!enc.is_subsumed_by("Orphan", "A"));
     }
@@ -451,8 +445,7 @@ mod tests {
 
     #[test]
     fn single_child_uses_one_bit() {
-        let enc =
-            LiteMatEncoding::encode("R", &[("A".into(), "R".into())], &[]).unwrap();
+        let enc = LiteMatEncoding::encode("R", &[("A".into(), "R".into())], &[]).unwrap();
         // R = 1, A = 11; normalized: R = 10 (2), A = 11 (3).
         assert_eq!(enc.total_len(), 2);
         assert_eq!(enc.id("R"), Some(2));
@@ -580,18 +573,21 @@ mod tests {
         /// Random single-inheritance forests: term i's parent is a random
         /// term j < i (or the root).
         fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(String, String)>> {
-            proptest::collection::vec(0usize..n.max(1), 1..n)
-                .prop_map(|parents| {
-                    parents
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &p)| {
-                            let child = format!("T{}", i + 1);
-                            let parent = if p > i { "R".to_string() } else { format!("T{p}") };
-                            (child, parent)
-                        })
-                        .collect()
-                })
+            proptest::collection::vec(0usize..n.max(1), 1..n).prop_map(|parents| {
+                parents
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| {
+                        let child = format!("T{}", i + 1);
+                        let parent = if p > i {
+                            "R".to_string()
+                        } else {
+                            format!("T{p}")
+                        };
+                        (child, parent)
+                    })
+                    .collect()
+            })
         }
 
         fn ancestors(edges: &[(String, String)], term: &str) -> Vec<String> {

@@ -152,7 +152,10 @@ impl Ontology {
         // Single property space: topProperty ⊒ {topObjectProperty ⊒ object
         // props, topDataProperty ⊒ datatype props}.
         let mut property_edges = self.property_edges.clone();
-        property_edges.push((owl::TOP_OBJECT_PROPERTY.to_string(), TOP_PROPERTY.to_string()));
+        property_edges.push((
+            owl::TOP_OBJECT_PROPERTY.to_string(),
+            TOP_PROPERTY.to_string(),
+        ));
         property_edges.push((owl::TOP_DATA_PROPERTY.to_string(), TOP_PROPERTY.to_string()));
         for p in &self.extra_object_properties {
             property_edges.push((p.clone(), owl::TOP_OBJECT_PROPERTY.to_string()));
@@ -285,7 +288,13 @@ pub fn lubm_ontology() -> Ontology {
         o.add_object_property(&c(p));
     }
     // ---- datatype properties ----------------------------------------------
-    for p in ["name", "emailAddress", "telephone", "researchInterest", "officeNumber"] {
+    for p in [
+        "name",
+        "emailAddress",
+        "telephone",
+        "researchInterest",
+        "officeNumber",
+    ] {
         o.add_datatype_property(&c(p));
     }
     // ---- domains / ranges --------------------------------------------------
@@ -303,11 +312,17 @@ pub fn lubm_ontology() -> Ontology {
 pub fn water_ontology() -> Ontology {
     let mut o = Ontology::new();
     // SOSA classes (flat, under owl:Thing).
-    for cl in [sosa::PLATFORM, sosa::SENSOR, sosa::OBSERVATION, sosa::RESULT] {
+    for cl in [
+        sosa::PLATFORM,
+        sosa::SENSOR,
+        sosa::OBSERVATION,
+        sosa::RESULT,
+    ] {
         o.extra_classes.push(cl.to_string());
     }
     // QUDT unit hierarchy of §2.
-    o.extra_classes.push("http://qudt.org/schema/qudt/Unit".to_string());
+    o.extra_classes
+        .push("http://qudt.org/schema/qudt/Unit".to_string());
     for (sub, sup) in [
         (qudt::SCIENCE_UNIT, "http://qudt.org/schema/qudt/Unit"),
         (qudt::CHEMISTRY, qudt::SCIENCE_UNIT),
@@ -319,7 +334,13 @@ pub fn water_ontology() -> Ontology {
         o.add_class(sub, sup);
     }
     // Object properties.
-    for p in [sosa::HOSTS, sosa::OBSERVES, sosa::HAS_RESULT, sosa::MADE_BY_SENSOR, qudt::UNIT] {
+    for p in [
+        sosa::HOSTS,
+        sosa::OBSERVES,
+        sosa::HAS_RESULT,
+        sosa::MADE_BY_SENSOR,
+        qudt::UNIT,
+    ] {
         o.add_object_property(p);
     }
     // Datatype properties.
@@ -410,11 +431,19 @@ mod tests {
             Term::iri(owl::OBJECT_PROPERTY),
         ));
         let onto = Ontology::from_graph(&g);
-        assert_eq!(onto.class_edges, vec![("http://x/Sub".into(), "http://x/Sup".into())]);
-        assert_eq!(onto.property_edges, vec![("http://x/p".into(), "http://x/q".into())]);
+        assert_eq!(
+            onto.class_edges,
+            vec![("http://x/Sub".into(), "http://x/Sup".into())]
+        );
+        assert_eq!(
+            onto.property_edges,
+            vec![("http://x/p".into(), "http://x/q".into())]
+        );
         assert_eq!(onto.domain_of("http://x/p"), Some("http://x/Sub"));
         assert_eq!(onto.range_of("http://x/p"), None);
-        assert!(onto.extra_object_properties.contains(&"http://x/q".to_string()));
+        assert!(onto
+            .extra_object_properties
+            .contains(&"http://x/q".to_string()));
         let dicts = onto.encode().unwrap();
         assert!(dicts
             .concepts

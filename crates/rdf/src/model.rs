@@ -166,8 +166,14 @@ impl Triple {
     /// Panics (debug builds) if the subject is a literal or the predicate is
     /// not an IRI — such triples are not valid RDF.
     pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
-        debug_assert!(subject.is_resource(), "triple subject must be IRI or blank node");
-        debug_assert!(matches!(predicate, Term::Iri(_)), "triple predicate must be an IRI");
+        debug_assert!(
+            subject.is_resource(),
+            "triple subject must be IRI or blank node"
+        );
+        debug_assert!(
+            matches!(predicate, Term::Iri(_)),
+            "triple predicate must be an IRI"
+        );
         Self {
             subject,
             predicate,
@@ -366,8 +372,16 @@ mod tests {
 
     #[test]
     fn graph_dedup_and_truncate() {
-        let t1 = Triple::new(Term::iri("http://x/s"), Term::iri("http://x/p"), Term::literal("1"));
-        let t2 = Triple::new(Term::iri("http://x/s"), Term::iri("http://x/p"), Term::literal("2"));
+        let t1 = Triple::new(
+            Term::iri("http://x/s"),
+            Term::iri("http://x/p"),
+            Term::literal("1"),
+        );
+        let t2 = Triple::new(
+            Term::iri("http://x/s"),
+            Term::iri("http://x/p"),
+            Term::literal("2"),
+        );
         let mut g = Graph::from_triples([t2.clone(), t1.clone(), t1.clone()]);
         assert_eq!(g.len(), 3);
         g.dedup();

@@ -19,7 +19,11 @@ pub struct NtError {
 
 impl fmt::Display for NtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "N-Triples parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -95,7 +99,12 @@ impl<'a> Cursor<'a> {
     pub(crate) fn error(&self, message: impl Into<String>) -> NtError {
         NtError {
             line: self.line,
-            message: format!("{} (at column {} of {:?})", message.into(), self.pos + 1, self.source),
+            message: format!(
+                "{} (at column {} of {:?})",
+                message.into(),
+                self.pos + 1,
+                self.source
+            ),
         }
     }
 
@@ -231,7 +240,8 @@ impl<'a> Cursor<'a> {
                 .ok_or_else(|| self.error(format!("invalid hex digit {c:?} in unicode escape")))?;
             code = code * 16 + d;
         }
-        char::from_u32(code).ok_or_else(|| self.error(format!("invalid unicode code point U+{code:X}")))
+        char::from_u32(code)
+            .ok_or_else(|| self.error(format!("invalid unicode code point U+{code:X}")))
     }
 }
 
@@ -264,7 +274,10 @@ mod tests {
             g.triples()[1].object,
             Term::Literal(Literal::typed("3.14", vocab::xsd::DOUBLE))
         );
-        assert_eq!(g.triples()[2].object, Term::Literal(Literal::lang("hello", "en")));
+        assert_eq!(
+            g.triples()[2].object,
+            Term::Literal(Literal::lang("hello", "en"))
+        );
     }
 
     #[test]
@@ -356,10 +369,8 @@ mod tests {
                 // Literals incl. characters that need escaping
                 "[ -~]{0,20}".prop_map(Term::literal),
                 ("[ -~]{0,10}", "[a-z]{2,3}").prop_map(|(v, l)| Term::Literal(Literal::lang(v, l))),
-                "[0-9]{1,5}".prop_map(|v| Term::Literal(Literal::typed(
-                    v,
-                    crate::vocab::xsd::INTEGER
-                ))),
+                "[0-9]{1,5}"
+                    .prop_map(|v| Term::Literal(Literal::typed(v, crate::vocab::xsd::INTEGER))),
             ]
         }
 

@@ -334,20 +334,14 @@ mod tests {
 
     #[test]
     fn parses_prefixed_names() {
-        let g = parse_turtle(
-            "@prefix ex: <http://example.org/> .\nex:s ex:p ex:o .",
-        )
-        .unwrap();
+        let g = parse_turtle("@prefix ex: <http://example.org/> .\nex:s ex:p ex:o .").unwrap();
         assert_eq!(g.len(), 1);
         assert_eq!(g.triples()[0].subject, Term::iri("http://example.org/s"));
     }
 
     #[test]
     fn a_keyword_is_rdf_type() {
-        let g = parse_turtle(
-            "@prefix ex: <http://example.org/> .\nex:s a ex:C .",
-        )
-        .unwrap();
+        let g = parse_turtle("@prefix ex: <http://example.org/> .\nex:s a ex:C .").unwrap();
         assert_eq!(g.triples()[0].predicate, Term::iri(vocab::rdf::TYPE));
     }
 
@@ -365,8 +359,8 @@ mod tests {
 
     #[test]
     fn numeric_literals() {
-        let g = parse_turtle("@prefix ex: <http://x/> .\nex:s ex:p 42 ; ex:q 3.5 ; ex:r -7 .")
-            .unwrap();
+        let g =
+            parse_turtle("@prefix ex: <http://x/> .\nex:s ex:p 42 ; ex:q 3.5 ; ex:r -7 .").unwrap();
         assert_eq!(
             g.triples()[0].object,
             Term::Literal(Literal::typed("42", vocab::xsd::INTEGER))

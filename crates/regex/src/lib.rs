@@ -41,7 +41,11 @@ pub struct RegexError {
 
 impl fmt::Display for RegexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex error at offset {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex error at offset {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -58,13 +62,20 @@ enum Ast {
     /// `.` — any character.
     AnyChar,
     /// A character class.
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     /// `^`.
     StartAnchor,
     /// `$`.
     EndAnchor,
     /// `x*` / `x+` / `x?`.
-    Repeat { inner: Box<Ast>, min: u32, many: bool },
+    Repeat {
+        inner: Box<Ast>,
+        min: u32,
+        many: bool,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -273,15 +284,27 @@ impl Parser {
             let atom = match self.peek() {
                 Some('*') => {
                     self.bump();
-                    Ast::Repeat { inner: Box::new(atom), min: 0, many: true }
+                    Ast::Repeat {
+                        inner: Box::new(atom),
+                        min: 0,
+                        many: true,
+                    }
                 }
                 Some('+') => {
                     self.bump();
-                    Ast::Repeat { inner: Box::new(atom), min: 1, many: true }
+                    Ast::Repeat {
+                        inner: Box::new(atom),
+                        min: 1,
+                        many: true,
+                    }
                 }
                 Some('?') => {
                     self.bump();
-                    Ast::Repeat { inner: Box::new(atom), min: 0, many: false }
+                    Ast::Repeat {
+                        inner: Box::new(atom),
+                        min: 0,
+                        many: false,
+                    }
                 }
                 _ => atom,
             };
@@ -316,7 +339,10 @@ impl Parser {
         let Some(c) = self.bump() else {
             return Err(self.error("dangling backslash"));
         };
-        let class = |item: ClassItem| Ast::Class { negated: false, items: vec![item] };
+        let class = |item: ClassItem| Ast::Class {
+            negated: false,
+            items: vec![item],
+        };
         Ok(match c {
             'd' => class(ClassItem::Digit(true)),
             'D' => class(ClassItem::Digit(false)),
@@ -389,7 +415,10 @@ mod tests {
     #[test]
     fn literal_substring_match() {
         // The paper's actual use: unanchored IRI substring tests.
-        assert!(m("http://qudt.org/vocab/unit/BAR", "http://qudt.org/vocab/unit/BAR"));
+        assert!(m(
+            "http://qudt.org/vocab/unit/BAR",
+            "http://qudt.org/vocab/unit/BAR"
+        ));
         assert!(m("unit/BAR", "http://qudt.org/vocab/unit/BAR"));
         assert!(!m("unit/HectoPA", "http://qudt.org/vocab/unit/BAR"));
         assert!(m("", "anything"));

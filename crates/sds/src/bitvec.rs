@@ -68,7 +68,11 @@ impl BitVec {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds (len {})",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -78,7 +82,11 @@ impl BitVec {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn set(&mut self, i: usize, bit: bool) {
-        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds (len {})",
+            self.len
+        );
         let mask = 1u64 << (i % 64);
         if bit {
             self.words[i / 64] |= mask;

@@ -22,7 +22,10 @@ impl IntVector {
     /// # Panics
     /// Panics if `width` is 0 or greater than 64.
     pub fn new(width: u32) -> Self {
-        assert!((1..=64).contains(&width), "width must be in 1..=64, got {width}");
+        assert!(
+            (1..=64).contains(&width),
+            "width must be in 1..=64, got {width}"
+        );
         Self {
             words: Vec::new(),
             len: 0,
@@ -32,7 +35,10 @@ impl IntVector {
 
     /// Creates an empty vector with room for `n` elements of `width` bits.
     pub fn with_capacity(width: u32, n: usize) -> Self {
-        assert!((1..=64).contains(&width), "width must be in 1..=64, got {width}");
+        assert!(
+            (1..=64).contains(&width),
+            "width must be in 1..=64, got {width}"
+        );
         Self {
             words: Vec::with_capacity((n * width as usize).div_ceil(64)),
             len: 0,
@@ -102,7 +108,11 @@ impl IntVector {
         let bit_pos = i * self.width as usize;
         let word = bit_pos / 64;
         let offset = (bit_pos % 64) as u32;
-        let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
         let lo = self.words[word] >> offset;
         if offset + self.width <= 64 {
             lo & mask
@@ -125,7 +135,11 @@ impl IntVector {
         let bit_pos = i * self.width as usize;
         let word = bit_pos / 64;
         let offset = (bit_pos % 64) as u32;
-        let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
         self.words[word] &= !(mask << offset);
         self.words[word] |= v << offset;
         if offset + self.width > 64 {
@@ -167,7 +181,10 @@ impl Serialize for IntVector {
         let len = r.read_u64()? as usize;
         let width = r.read_u32()?;
         if !(1..=64).contains(&width) {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad int-vector width"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad int-vector width",
+            ));
         }
         let n_words = (len * width as usize).div_ceil(64);
         let mut words = Vec::with_capacity(n_words);

@@ -105,7 +105,11 @@ impl RsBitVec {
     /// returned.
     #[inline]
     pub fn rank1(&self, i: usize) -> usize {
-        assert!(i <= self.len(), "rank index {i} out of bounds (len {})", self.len());
+        assert!(
+            i <= self.len(),
+            "rank index {i} out of bounds (len {})",
+            self.len()
+        );
         if i == 0 {
             return 0;
         }
@@ -187,7 +191,11 @@ impl RsBitVec {
             // Bits beyond len() in the last word are zero-padding; cap them.
             let valid = (self.len() - w_idx * 64).min(64);
             let word = !self.bits.words()[w_idx];
-            let word = if valid == 64 { word } else { word & ((1u64 << valid) - 1) };
+            let word = if valid == 64 {
+                word
+            } else {
+                word & ((1u64 << valid) - 1)
+            };
             let zeros_in_word = word.count_ones() as u64;
             if remaining <= zeros_in_word {
                 let pos = select_in_word(word, remaining as u32);
@@ -240,9 +248,7 @@ fn select_in_word(mut word: u64, k: u32) -> u32 {
 
 impl HeapSize for RsBitVec {
     fn heap_size(&self) -> usize {
-        self.bits.heap_size()
-            + self.super_ranks.capacity() * 8
-            + self.block_ranks.capacity() * 2
+        self.bits.heap_size() + self.super_ranks.capacity() * 8 + self.block_ranks.capacity() * 2
     }
 }
 

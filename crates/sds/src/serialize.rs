@@ -69,7 +69,8 @@ pub trait Serialize: Sized {
     /// Serializes into a fresh byte buffer.
     fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(self.serialized_size());
-        self.serialize(&mut buf).expect("serializing to Vec cannot fail");
+        self.serialize(&mut buf)
+            .expect("serializing to Vec cannot fail");
         buf
     }
 

@@ -133,7 +133,11 @@ impl WaveletTree {
     /// The SDS `rank` operation: number of occurrences of `symbol` in
     /// `[0, i)`. `i` may equal `len()`.
     pub fn rank(&self, i: usize, symbol: u64) -> usize {
-        assert!(i <= self.len, "rank index {i} out of bounds (len {})", self.len);
+        assert!(
+            i <= self.len,
+            "rank index {i} out of bounds (len {})",
+            self.len
+        );
         if symbol > self.max_symbol || self.len == 0 {
             return 0;
         }
@@ -204,7 +208,11 @@ impl WaveletTree {
 
     /// Number of occurrences of `symbol` in `[a, b)`.
     pub fn count_range(&self, a: usize, b: usize, symbol: u64) -> usize {
-        assert!(a <= b && b <= self.len, "invalid range [{a}, {b}) for len {}", self.len);
+        assert!(
+            a <= b && b <= self.len,
+            "invalid range [{a}, {b}) for len {}",
+            self.len
+        );
         self.rank(b, symbol) - self.rank(a, symbol)
     }
 
@@ -215,7 +223,11 @@ impl WaveletTree {
     /// through the tree exactly as the paper describes ("it efficiently
     /// prunes searches by just computing the boundaries").
     pub fn range_search(&self, a: usize, b: usize, symbol: u64) -> Vec<usize> {
-        assert!(a <= b && b <= self.len, "invalid range [{a}, {b}) for len {}", self.len);
+        assert!(
+            a <= b && b <= self.len,
+            "invalid range [{a}, {b}) for len {}",
+            self.len
+        );
         if symbol > self.max_symbol {
             return Vec::new();
         }
@@ -260,7 +272,10 @@ impl Serialize for WaveletTree {
         let width = r.read_u32()?;
         let max_symbol = r.read_u64()?;
         if !(1..=64).contains(&width) {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad wavelet-tree width"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad wavelet-tree width",
+            ));
         }
         let mut levels = Vec::with_capacity(width as usize);
         for _ in 0..width {
@@ -275,7 +290,13 @@ impl Serialize for WaveletTree {
     }
 
     fn serialized_size(&self) -> usize {
-        8 + 4 + 8 + self.levels.iter().map(Serialize::serialized_size).sum::<usize>()
+        8 + 4
+            + 8
+            + self
+                .levels
+                .iter()
+                .map(Serialize::serialized_size)
+                .sum::<usize>()
     }
 }
 

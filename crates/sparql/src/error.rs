@@ -13,7 +13,11 @@ pub struct SparqlParseError {
 
 impl fmt::Display for SparqlParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SPARQL parse error at offset {}: {}", self.position, self.message)
+        write!(
+            f,
+            "SPARQL parse error at offset {}: {}",
+            self.position, self.message
+        )
     }
 }
 

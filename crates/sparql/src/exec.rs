@@ -17,7 +17,7 @@ use crate::ast::{GroupPattern, Query, TermPattern, TriplePattern};
 use crate::error::QueryError;
 use crate::expr::{eval, Env, EvalValue};
 use crate::optimizer::order_patterns;
-use se_core::{SuccinctEdgeStore, Value};
+use se_core::{TripleSource, Value};
 use se_litemat::IdInterval;
 use se_rdf::Term;
 use std::collections::{HashMap, HashSet};
@@ -93,8 +93,8 @@ enum Slot {
 type Row = Vec<Option<Slot>>;
 
 /// Executes a parsed query.
-pub fn execute(
-    store: &SuccinctEdgeStore,
+pub fn execute<S: TripleSource + ?Sized>(
+    store: &S,
     query: &Query,
     options: &QueryOptions,
 ) -> Result<ResultSet, QueryError> {
@@ -128,7 +128,7 @@ pub fn execute(
     })
 }
 
-fn slot_to_term(store: &SuccinctEdgeStore, slot: &Slot) -> Term {
+fn slot_to_term<S: TripleSource + ?Sized>(store: &S, slot: &Slot) -> Term {
     match slot {
         Slot::Enc(v) => store
             .value_to_term(*v)
@@ -140,8 +140,8 @@ fn slot_to_term(store: &SuccinctEdgeStore, slot: &Slot) -> Term {
 type GroupRows<'a> = Vec<(HashMap<&'a str, usize>, Row)>;
 
 /// Evaluates one group: BGP (ordered), then BINDs, then FILTERs.
-fn execute_group<'a>(
-    store: &SuccinctEdgeStore,
+fn execute_group<'a, S: TripleSource + ?Sized>(
+    store: &S,
     group: &'a GroupPattern,
     options: &QueryOptions,
 ) -> Result<GroupRows<'a>, QueryError> {
@@ -195,8 +195,8 @@ fn execute_group<'a>(
     Ok(rows.into_iter().map(|r| (var_index.clone(), r)).collect())
 }
 
-fn row_env<'a>(
-    store: &SuccinctEdgeStore,
+fn row_env<'a, S: TripleSource + ?Sized>(
+    store: &S,
     row: &Row,
     var_index: &HashMap<&'a str, usize>,
 ) -> Env<'a> {
@@ -221,7 +221,12 @@ enum Pos {
     NoMatch,
 }
 
-fn resolve_subject(store: &SuccinctEdgeStore, pat: &TermPattern, row: &Row, vars: &HashMap<&str, usize>) -> Pos {
+fn resolve_subject<S: TripleSource + ?Sized>(
+    store: &S,
+    pat: &TermPattern,
+    row: &Row,
+    vars: &HashMap<&str, usize>,
+) -> Pos {
     match pat {
         TermPattern::Term(t) => match store.instance_id(t) {
             Some(id) => Pos::Enc(Value::Instance(id)),
@@ -238,7 +243,12 @@ fn resolve_subject(store: &SuccinctEdgeStore, pat: &TermPattern, row: &Row, vars
     }
 }
 
-fn resolve_object(store: &SuccinctEdgeStore, pat: &TermPattern, row: &Row, vars: &HashMap<&str, usize>) -> Pos {
+fn resolve_object<S: TripleSource + ?Sized>(
+    store: &S,
+    pat: &TermPattern,
+    row: &Row,
+    vars: &HashMap<&str, usize>,
+) -> Pos {
     match pat {
         TermPattern::Term(t) => match t {
             Term::Literal(_) => Pos::Term(t.clone()),
@@ -259,7 +269,7 @@ fn resolve_object(store: &SuccinctEdgeStore, pat: &TermPattern, row: &Row, vars:
 }
 
 /// Subject position as an instance id, if it denotes one.
-fn pos_subject_id(store: &SuccinctEdgeStore, pos: &Pos) -> Option<u64> {
+fn pos_subject_id<S: TripleSource + ?Sized>(store: &S, pos: &Pos) -> Option<u64> {
     match pos {
         Pos::Enc(Value::Instance(id)) => Some(*id),
         Pos::Term(t) if t.is_resource() => store.instance_id(t),
@@ -274,7 +284,7 @@ enum PSpec {
     NoMatch,
 }
 
-fn predicate_spec(store: &SuccinctEdgeStore, iri: &str, reasoning: bool) -> PSpec {
+fn predicate_spec<S: TripleSource + ?Sized>(store: &S, iri: &str, reasoning: bool) -> PSpec {
     if reasoning {
         match store.property_interval(iri) {
             Some(iv) if iv.is_singleton() => PSpec::Exact(iv.lower),
@@ -289,7 +299,11 @@ fn predicate_spec(store: &SuccinctEdgeStore, iri: &str, reasoning: bool) -> PSpe
     }
 }
 
-fn concept_spec(store: &SuccinctEdgeStore, iri: &str, reasoning: bool) -> Option<IdInterval> {
+fn concept_spec<S: TripleSource + ?Sized>(
+    store: &S,
+    iri: &str,
+    reasoning: bool,
+) -> Option<IdInterval> {
     if reasoning {
         store.concept_interval(iri)
     } else {
@@ -300,8 +314,8 @@ fn concept_spec(store: &SuccinctEdgeStore, iri: &str, reasoning: bool) -> Option
     }
 }
 
-fn eval_pattern(
-    store: &SuccinctEdgeStore,
+fn eval_pattern<S: TripleSource + ?Sized>(
+    store: &S,
     tp: &TriplePattern,
     rows: Vec<Row>,
     vars: &HashMap<&str, usize>,
@@ -401,7 +415,7 @@ fn eval_pattern(
     Ok(out)
 }
 
-fn subjects_for(store: &SuccinctEdgeStore, spec: &PSpec, o_pos: &Pos) -> Vec<u64> {
+fn subjects_for<S: TripleSource + ?Sized>(store: &S, spec: &PSpec, o_pos: &Pos) -> Vec<u64> {
     match o_pos {
         Pos::Enc(v) => match spec {
             PSpec::Exact(p) => store.subjects(*p, v),
@@ -410,18 +424,7 @@ fn subjects_for(store: &SuccinctEdgeStore, spec: &PSpec, o_pos: &Pos) -> Vec<u64
         },
         Pos::Term(Term::Literal(lit)) => match spec {
             PSpec::Exact(p) => store.subjects_by_literal(*p, lit),
-            PSpec::Interval(iv) => {
-                // Literal objects under a property interval: check each
-                // sub-property via the datatype layer.
-                let mut subs = Vec::new();
-                let layer = store.datatype_layer();
-                for idx in layer.predicate_range(iv.lower, iv.upper) {
-                    subs.extend(layer.subjects_by_literal(layer.predicate_at(idx), lit));
-                }
-                subs.sort_unstable();
-                subs.dedup();
-                subs
-            }
+            PSpec::Interval(iv) => store.subjects_by_literal_interval(*iv, lit),
             PSpec::NoMatch => Vec::new(),
         },
         Pos::Term(t) => match store.instance_id(t) {
@@ -432,7 +435,12 @@ fn subjects_for(store: &SuccinctEdgeStore, spec: &PSpec, o_pos: &Pos) -> Vec<u64
     }
 }
 
-fn check_membership(store: &SuccinctEdgeStore, spec: &PSpec, s_id: u64, o_pos: &Pos) -> bool {
+fn check_membership<S: TripleSource + ?Sized>(
+    store: &S,
+    spec: &PSpec,
+    s_id: u64,
+    o_pos: &Pos,
+) -> bool {
     match o_pos {
         Pos::Enc(v) => match spec {
             PSpec::Exact(p) => store.contains(*p, s_id, v),
@@ -463,8 +471,8 @@ fn check_membership(store: &SuccinctEdgeStore, spec: &PSpec, s_id: u64, o_pos: &
 
 /// Merge join (§5.2 Figure 7): both the intermediate relation (sorted here)
 /// and the predicate's `(s, o)` pairs (PSO order) are subject-sorted.
-fn merge_join_subject(
-    store: &SuccinctEdgeStore,
+fn merge_join_subject<S: TripleSource + ?Sized>(
+    store: &S,
     p: u64,
     rows: Vec<Row>,
     s_col: usize,
@@ -516,9 +524,7 @@ fn merge_join_subject(
                         (Term::Literal(lit), Value::Literal(idx)) => {
                             store.literal(idx) == Some(lit)
                         }
-                        (other, Value::Instance(oid)) => {
-                            store.instance_id(other) == Some(oid)
-                        }
+                        (other, Value::Instance(oid)) => store.instance_id(other) == Some(oid),
                         _ => false,
                     };
                     if matches {
@@ -534,8 +540,8 @@ fn merge_join_subject(
     out
 }
 
-fn eval_type_pattern(
-    store: &SuccinctEdgeStore,
+fn eval_type_pattern<S: TripleSource + ?Sized>(
+    store: &S,
     tp: &TriplePattern,
     rows: Vec<Row>,
     vars: &HashMap<&str, usize>,
@@ -566,12 +572,10 @@ fn eval_type_pattern(
                         lower: *c,
                         upper: *c + 1,
                     }),
-                    Some(Slot::Term(Term::Iri(c))) => {
-                        match concept_spec(store, c, false) {
-                            Some(iv) => CPos::Interval(iv),
-                            None => CPos::NoMatch,
-                        }
-                    }
+                    Some(Slot::Term(Term::Iri(c))) => match concept_spec(store, c, false) {
+                        Some(iv) => CPos::Interval(iv),
+                        None => CPos::NoMatch,
+                    },
                     Some(_) => CPos::NoMatch,
                     None => CPos::Free(col),
                 }
@@ -611,7 +615,7 @@ fn eval_type_pattern(
             }
             // (?s, type, ?c) — full scan of the RDFType store.
             (Pos::Free(s_col), CPos::Free(c_col)) => {
-                for (s, c) in store.type_store().iter() {
+                for (s, c) in store.type_pairs() {
                     let mut new_row = row.clone();
                     new_row[*s_col] = Some(Slot::Enc(Value::Instance(s)));
                     new_row[c_col] = Some(Slot::Enc(Value::Concept(c)));
@@ -627,6 +631,7 @@ fn eval_type_pattern(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use se_core::SuccinctEdgeStore;
     use se_ontology::Ontology;
     use se_rdf::{Graph, Literal, Triple};
 
@@ -645,12 +650,10 @@ mod tests {
         o.add_datatype_property("http://x/age");
         o.add_datatype_property("http://x/name");
         let mut g = Graph::new();
-        let t = |s: &str, p: &str, o: Term| {
-            Triple::new(iri(s), Term::iri(format!("http://x/{p}")), o)
-        };
-        let ty = |s: &str, c: &str| {
-            Triple::new(iri(s), Term::iri(se_rdf::vocab::rdf::TYPE), iri(c))
-        };
+        let t =
+            |s: &str, p: &str, o: Term| Triple::new(iri(s), Term::iri(format!("http://x/{p}")), o);
+        let ty =
+            |s: &str, c: &str| Triple::new(iri(s), Term::iri(se_rdf::vocab::rdf::TYPE), iri(c));
         g.extend([
             ty("alice", "Manager"),
             ty("bob", "Employee"),

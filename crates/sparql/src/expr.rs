@@ -73,10 +73,9 @@ impl EvalValue {
                 Literal::double(n)
             }),
             EvalValue::Str(s) => Term::literal(s),
-            EvalValue::Bool(b) => Term::Literal(Literal::typed(
-                b.to_string(),
-                se_rdf::vocab::xsd::BOOLEAN,
-            )),
+            EvalValue::Bool(b) => {
+                Term::Literal(Literal::typed(b.to_string(), se_rdf::vocab::xsd::BOOLEAN))
+            }
         }
     }
 }
@@ -150,7 +149,9 @@ pub fn eval(expr: &Expr, env: &Env<'_>) -> Result<EvalValue, String> {
             Ok(EvalValue::Num(out))
         }
         Expr::Neg(e) => {
-            let v = eval(e, env)?.as_num().ok_or("non-numeric operand in negation")?;
+            let v = eval(e, env)?
+                .as_num()
+                .ok_or("non-numeric operand in negation")?;
             Ok(EvalValue::Num(-v))
         }
         Expr::Call(func, args) => eval_call(*func, args, env),
@@ -199,7 +200,10 @@ fn eval_call(func: Func, args: &[Expr], env: &Env<'_>) -> Result<EvalValue, Stri
         if args.len() == n {
             Ok(())
         } else {
-            Err(format!("{func:?} expects {n} arguments, got {}", args.len()))
+            Err(format!(
+                "{func:?} expects {n} arguments, got {}",
+                args.len()
+            ))
         }
     };
     match func {
@@ -270,7 +274,8 @@ mod tests {
 
     #[test]
     fn numeric_comparison_with_literals() {
-        let e = filter_expr("SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (?v < 3.00 || ?v > 4.50) }");
+        let e =
+            filter_expr("SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (?v < 3.00 || ?v > 4.50) }");
         let low = env_with(&[("v", EvalValue::Term(Term::Literal(Literal::double(2.5))))]);
         let mid = env_with(&[("v", EvalValue::Term(Term::Literal(Literal::double(4.0))))]);
         let high = env_with(&[("v", EvalValue::Term(Term::Literal(Literal::double(5.0))))]);
@@ -321,9 +326,8 @@ mod tests {
     #[test]
     fn or_true_absorbs_error() {
         // SPARQL: (error || true) = true.
-        let e = filter_expr(
-            "SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (?missing > 1 || ?v > 1) }",
-        );
+        let e =
+            filter_expr("SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (?missing > 1 || ?v > 1) }");
         let env = env_with(&[("v", EvalValue::Num(5.0))]);
         assert_eq!(eval(&e, &env).unwrap(), EvalValue::Bool(true));
     }
@@ -355,9 +359,8 @@ mod tests {
 
     #[test]
     fn iri_equality() {
-        let e = filter_expr(
-            "SELECT ?u WHERE { ?s <http://x/p> ?u . FILTER (?u = <http://x/target>) }",
-        );
+        let e =
+            filter_expr("SELECT ?u WHERE { ?s <http://x/p> ?u . FILTER (?u = <http://x/target>) }");
         let yes = env_with(&[("u", EvalValue::Term(Term::iri("http://x/target")))]);
         let no = env_with(&[("u", EvalValue::Term(Term::iri("http://x/other")))]);
         assert_eq!(eval(&e, &yes).unwrap(), EvalValue::Bool(true));
@@ -394,9 +397,7 @@ mod tests {
 
     #[test]
     fn lang_and_datatype() {
-        let e = filter_expr(
-            r#"SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (lang(?v) = "fr") }"#,
-        );
+        let e = filter_expr(r#"SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (lang(?v) = "fr") }"#);
         let fr = env_with(&[(
             "v",
             EvalValue::Term(Term::Literal(Literal::lang("bonjour", "fr"))),

@@ -31,11 +31,11 @@ pub use error::{QueryError, SparqlParseError};
 pub use exec::{QueryOptions, ResultSet};
 pub use parser::parse_query;
 
-use se_core::SuccinctEdgeStore;
+use se_core::TripleSource;
 
-/// Parses and executes `query` against `store` with `options`.
-pub fn execute_query(
-    store: &SuccinctEdgeStore,
+/// Parses and executes `query` against any [`TripleSource`] with `options`.
+pub fn execute_query<S: TripleSource + ?Sized>(
+    store: &S,
     query: &str,
     options: &QueryOptions,
 ) -> Result<ResultSet, QueryError> {

@@ -17,7 +17,7 @@
 //!    directly on the SDS structures (the paper's Algorithm 2).
 
 use crate::ast::{TermPattern, TriplePattern};
-use se_core::SuccinctEdgeStore;
+use se_core::TripleSource;
 use se_rdf::Term;
 use std::collections::HashSet;
 
@@ -114,7 +114,7 @@ fn shape_priority(tp: &TriplePattern, bound: &HashSet<&str>) -> u8 {
 
 /// Estimated result cardinality of a TP from the creation-time statistics
 /// and the run-time SDS counts.
-fn estimate(tp: &TriplePattern, store: &SuccinctEdgeStore, reasoning: bool) -> usize {
+fn estimate<S: TripleSource + ?Sized>(tp: &TriplePattern, store: &S, reasoning: bool) -> usize {
     if tp.is_type_pattern() {
         match &tp.object {
             TermPattern::Term(Term::Iri(c)) => {
@@ -128,7 +128,7 @@ fn estimate(tp: &TriplePattern, store: &SuccinctEdgeStore, reasoning: bool) -> u
                 };
                 iv.map_or(0, |iv| store.type_count(iv))
             }
-            _ => store.type_store().len(),
+            _ => store.type_total(),
         }
     } else {
         match &tp.predicate {
@@ -138,7 +138,9 @@ fn estimate(tp: &TriplePattern, store: &SuccinctEdgeStore, reasoning: bool) -> u
                         .property_interval(p)
                         .map_or(0, |iv| store.predicate_interval_count(iv))
                 } else {
-                    store.property_id(p).map_or(0, |id| store.predicate_count(id))
+                    store
+                        .property_id(p)
+                        .map_or(0, |id| store.predicate_count(id))
                 }
             }
             _ => store.len(),
@@ -147,9 +149,9 @@ fn estimate(tp: &TriplePattern, store: &SuccinctEdgeStore, reasoning: bool) -> u
 }
 
 /// The paper's Algorithm 1: computes a left-deep TP execution order.
-pub fn order_patterns(
+pub fn order_patterns<S: TripleSource + ?Sized>(
     patterns: &[TriplePattern],
-    store: &SuccinctEdgeStore,
+    store: &S,
     reasoning: bool,
 ) -> Vec<usize> {
     let n = patterns.len();
@@ -233,6 +235,7 @@ pub fn order_patterns(
 mod tests {
     use super::*;
     use crate::parser::parse_query;
+    use se_core::SuccinctEdgeStore;
     use se_ontology::Ontology;
     use se_rdf::{Graph, Triple};
 
@@ -250,7 +253,11 @@ mod tests {
         let mut g = Graph::new();
         let iri = |s: &str| Term::iri(format!("http://x/{s}"));
         // C2 is rarer than C3.
-        g.insert(Triple::new(iri("a"), Term::iri(se_rdf::vocab::rdf::TYPE), iri("C2")));
+        g.insert(Triple::new(
+            iri("a"),
+            Term::iri(se_rdf::vocab::rdf::TYPE),
+            iri("C2"),
+        ));
         for i in 0..5 {
             g.insert(Triple::new(
                 iri(&format!("b{i}")),
@@ -279,9 +286,7 @@ mod tests {
     fn ss_preferred_over_so() {
         // Two TPs join the first via SS and SO respectively; SS runs first.
         let store = toy_store();
-        let tps = tp(
-            "PREFIX e: <http://x/> SELECT * WHERE { ?x a e:C2 . ?y e:q ?x . ?x e:p ?z }",
-        );
+        let tps = tp("PREFIX e: <http://x/> SELECT * WHERE { ?x a e:C2 . ?y e:q ?x . ?x e:p ?z }");
         let order = order_patterns(&tps, &store, false);
         assert_eq!(order[0], 0, "type TP with SS join starts");
         assert_eq!(order[1], 2, "SS join (?x e:p ?z) beats SO join (?y e:q ?x)");
@@ -290,9 +295,7 @@ mod tests {
     #[test]
     fn starts_with_most_selective_type_tp() {
         let store = toy_store();
-        let tps = tp(
-            "PREFIX e: <http://x/> SELECT * WHERE { ?x a e:C3 . ?x a e:C2 . ?x e:p ?z }",
-        );
+        let tps = tp("PREFIX e: <http://x/> SELECT * WHERE { ?x a e:C3 . ?x a e:C2 . ?x e:p ?z }");
         let order = order_patterns(&tps, &store, false);
         // C2 (1 instance) is more selective than C3 (5 instances).
         assert_eq!(order[0], 1);
@@ -310,10 +313,8 @@ mod tests {
     #[test]
     fn order_is_a_permutation_and_connected() {
         let store = toy_store();
-        let tps = tp(
-            "PREFIX e: <http://x/> SELECT * WHERE {
-                ?x a e:C2 . ?x e:p ?y . ?y e:q ?z . ?z a e:C3 . ?z e:p ?w }",
-        );
+        let tps = tp("PREFIX e: <http://x/> SELECT * WHERE {
+                ?x a e:C2 . ?x e:p ?y . ?y e:q ?z . ?z a e:C3 . ?z e:p ?w }");
         let order = order_patterns(&tps, &store, false);
         let mut sorted = order.clone();
         sorted.sort_unstable();

@@ -14,7 +14,9 @@
 //! Expressions use standard precedence: `||` < `&&` < comparisons <
 //! additive < multiplicative < unary.
 
-use crate::ast::{ArithOp, Bind, CmpOp, Expr, Func, GroupPattern, Query, TermPattern, TriplePattern};
+use crate::ast::{
+    ArithOp, Bind, CmpOp, Expr, Func, GroupPattern, Query, TermPattern, TriplePattern,
+};
 use crate::error::SparqlParseError;
 use se_rdf::{Literal, Term};
 use std::collections::HashMap;
@@ -176,19 +178,31 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, SparqlParseError> {
                 i = j + 1;
             }
             '{' => {
-                toks.push(SpannedTok { tok: Tok::LBrace, at });
+                toks.push(SpannedTok {
+                    tok: Tok::LBrace,
+                    at,
+                });
                 i += 1;
             }
             '}' => {
-                toks.push(SpannedTok { tok: Tok::RBrace, at });
+                toks.push(SpannedTok {
+                    tok: Tok::RBrace,
+                    at,
+                });
                 i += 1;
             }
             '(' => {
-                toks.push(SpannedTok { tok: Tok::LParen, at });
+                toks.push(SpannedTok {
+                    tok: Tok::LParen,
+                    at,
+                });
                 i += 1;
             }
             ')' => {
-                toks.push(SpannedTok { tok: Tok::RParen, at });
+                toks.push(SpannedTok {
+                    tok: Tok::RParen,
+                    at,
+                });
                 i += 1;
             }
             ';' => {
@@ -196,7 +210,10 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, SparqlParseError> {
                 i += 1;
             }
             ',' => {
-                toks.push(SpannedTok { tok: Tok::Comma, at });
+                toks.push(SpannedTok {
+                    tok: Tok::Comma,
+                    at,
+                });
                 i += 1;
             }
             '*' => {
@@ -204,7 +221,10 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, SparqlParseError> {
                 i += 1;
             }
             '/' => {
-                toks.push(SpannedTok { tok: Tok::Slash, at });
+                toks.push(SpannedTok {
+                    tok: Tok::Slash,
+                    at,
+                });
                 i += 1;
             }
             '+' => {
@@ -212,7 +232,10 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, SparqlParseError> {
                 i += 1;
             }
             '-' => {
-                toks.push(SpannedTok { tok: Tok::Minus, at });
+                toks.push(SpannedTok {
+                    tok: Tok::Minus,
+                    at,
+                });
                 i += 1;
             }
             '!' => {
@@ -238,7 +261,10 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, SparqlParseError> {
             }
             '&' => {
                 if chars.get(i + 1) == Some(&'&') {
-                    toks.push(SpannedTok { tok: Tok::AndAnd, at });
+                    toks.push(SpannedTok {
+                        tok: Tok::AndAnd,
+                        at,
+                    });
                     i += 2;
                 } else {
                     return Err(err(at, "single '&' (expected '&&')"));
@@ -246,7 +272,10 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, SparqlParseError> {
             }
             '^' => {
                 if chars.get(i + 1) == Some(&'^') {
-                    toks.push(SpannedTok { tok: Tok::Caret2, at });
+                    toks.push(SpannedTok {
+                        tok: Tok::Caret2,
+                        at,
+                    });
                     i += 2;
                 } else {
                     return Err(err(at, "single '^' (expected '^^')"));
@@ -734,10 +763,8 @@ mod tests {
 
     #[test]
     fn prefixes_and_a_keyword() {
-        let q = parse_query(
-            "PREFIX ex: <http://x/> SELECT ?s WHERE { ?s a ex:C ; ex:p ?o . }",
-        )
-        .unwrap();
+        let q = parse_query("PREFIX ex: <http://x/> SELECT ?s WHERE { ?s a ex:C ; ex:p ?o . }")
+            .unwrap();
         let tps = &q.groups[0].patterns;
         assert_eq!(tps.len(), 2);
         assert!(tps[0].is_type_pattern());
@@ -759,10 +786,9 @@ mod tests {
 
     #[test]
     fn filter_expression() {
-        let q = parse_query(
-            "SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (?v < 3.00 || ?v > 4.50) }",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT ?v WHERE { ?s <http://x/p> ?v . FILTER (?v < 3.00 || ?v > 4.50) }")
+                .unwrap();
         assert_eq!(q.groups[0].filters.len(), 1);
         match &q.groups[0].filters[0] {
             Expr::Or(l, r) => {
@@ -790,19 +816,15 @@ mod tests {
 
     #[test]
     fn union_groups() {
-        let q = parse_query(
-            "PREFIX e: <http://x/> SELECT ?s WHERE { ?s a e:A } UNION { ?s a e:B }",
-        )
-        .unwrap();
+        let q =
+            parse_query("PREFIX e: <http://x/> SELECT ?s WHERE { ?s a e:A } UNION { ?s a e:B }")
+                .unwrap();
         assert_eq!(q.groups.len(), 2);
     }
 
     #[test]
     fn distinct_and_limit() {
-        let q = parse_query(
-            "SELECT DISTINCT ?s WHERE { ?s <http://x/p> ?o } LIMIT 10",
-        )
-        .unwrap();
+        let q = parse_query("SELECT DISTINCT ?s WHERE { ?s <http://x/p> ?o } LIMIT 10").unwrap();
         assert!(q.distinct);
         assert_eq!(q.limit, Some(10));
     }
@@ -817,11 +839,17 @@ mod tests {
         assert_eq!(tps[0].object, TP::Term(Term::literal("plain")));
         assert_eq!(
             tps[1].object,
-            TP::Term(Term::Literal(Literal::typed("42", se_rdf::vocab::xsd::INTEGER)))
+            TP::Term(Term::Literal(Literal::typed(
+                "42",
+                se_rdf::vocab::xsd::INTEGER
+            )))
         );
         assert_eq!(
             tps[2].object,
-            TP::Term(Term::Literal(Literal::typed("3.5", se_rdf::vocab::xsd::DOUBLE)))
+            TP::Term(Term::Literal(Literal::typed(
+                "3.5",
+                se_rdf::vocab::xsd::DOUBLE
+            )))
         );
     }
 
@@ -833,7 +861,10 @@ mod tests {
         .unwrap();
         assert_eq!(
             q.groups[0].patterns[0].object,
-            TP::Term(Term::Literal(Literal::typed("1", se_rdf::vocab::xsd::INTEGER)))
+            TP::Term(Term::Literal(Literal::typed(
+                "1",
+                se_rdf::vocab::xsd::INTEGER
+            )))
         );
     }
 

@@ -1,0 +1,163 @@
+//! Continuous queries: parsed SPARQL queries registered once and
+//! re-evaluated against the hybrid view after every ingested batch —
+//! the paper's execution model ("these queries are executed once per
+//! graph instance", §1) without rebuilding the store per instance.
+
+use crate::error::StreamError;
+use crate::hybrid::{HybridStore, IngestReport};
+use se_core::TripleSource;
+use se_rdf::Graph;
+use se_sparql::ast::Query;
+use se_sparql::error::{QueryError, SparqlParseError};
+use se_sparql::{parse_query, QueryOptions, ResultSet};
+
+/// One registered continuous query.
+#[derive(Debug, Clone)]
+pub struct ContinuousQuery {
+    /// Caller-chosen identifier (reported with every result).
+    pub id: String,
+    /// The parsed query (parsed once at registration).
+    pub query: Query,
+    /// Execution options (reasoning on/off, optimizer switches).
+    pub options: QueryOptions,
+}
+
+/// The answer of one continuous query after a batch.
+#[derive(Debug, Clone)]
+pub struct ContinuousResult {
+    /// The query's registration id.
+    pub id: String,
+    /// Its answer set over the post-batch hybrid view.
+    pub results: ResultSet,
+}
+
+/// Holds parsed continuous queries and evaluates them on demand.
+#[derive(Debug, Clone, Default)]
+pub struct ContinuousQueryRegistry {
+    queries: Vec<ContinuousQuery>,
+}
+
+impl ContinuousQueryRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses and registers a query under `id`. Re-registering an id
+    /// replaces the previous query.
+    pub fn register(
+        &mut self,
+        id: impl Into<String>,
+        text: &str,
+        options: QueryOptions,
+    ) -> Result<(), SparqlParseError> {
+        let id = id.into();
+        let query = parse_query(text)?;
+        self.queries.retain(|q| q.id != id);
+        self.queries.push(ContinuousQuery { id, query, options });
+        Ok(())
+    }
+
+    /// Removes the query registered under `id`; returns whether it existed.
+    pub fn deregister(&mut self, id: &str) -> bool {
+        let before = self.queries.len();
+        self.queries.retain(|q| q.id != id);
+        self.queries.len() != before
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The registered queries, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &ContinuousQuery> + '_ {
+        self.queries.iter()
+    }
+
+    /// Evaluates every registered query against `source`.
+    pub fn evaluate_all<S: TripleSource + ?Sized>(
+        &self,
+        source: &S,
+    ) -> Result<Vec<ContinuousResult>, QueryError> {
+        self.queries
+            .iter()
+            .map(|q| {
+                Ok(ContinuousResult {
+                    id: q.id.clone(),
+                    results: se_sparql::exec::execute(source, &q.query, &q.options)?,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Outcome of one streamed batch: what the ingest did plus every
+/// continuous-query answer over the new state.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Ingest accounting (insert/delete/no-op counts, compaction flag).
+    pub report: IngestReport,
+    /// Continuous-query answers, in registration order.
+    pub results: Vec<ContinuousResult>,
+}
+
+/// A streaming session: a [`HybridStore`] plus a
+/// [`ContinuousQueryRegistry`], driven batch by batch.
+#[derive(Debug, Clone)]
+pub struct StreamSession {
+    store: HybridStore,
+    registry: ContinuousQueryRegistry,
+}
+
+impl StreamSession {
+    /// Wraps an existing hybrid store.
+    pub fn new(store: HybridStore) -> Self {
+        Self {
+            store,
+            registry: ContinuousQueryRegistry::new(),
+        }
+    }
+
+    /// Parses and registers a continuous query.
+    pub fn register_query(
+        &mut self,
+        id: impl Into<String>,
+        text: &str,
+        options: QueryOptions,
+    ) -> Result<(), SparqlParseError> {
+        self.registry.register(id, text, options)
+    }
+
+    /// The underlying hybrid store.
+    pub fn store(&self) -> &HybridStore {
+        &self.store
+    }
+
+    /// Mutable access (manual compaction, policy changes).
+    pub fn store_mut(&mut self) -> &mut HybridStore {
+        &mut self.store
+    }
+
+    /// The query registry.
+    pub fn registry(&self) -> &ContinuousQueryRegistry {
+        &self.registry
+    }
+
+    /// Ingests one batch (deletes, then inserts), compacts if the policy
+    /// demands it, and re-evaluates every registered query.
+    pub fn apply_batch(
+        &mut self,
+        inserts: &Graph,
+        deletes: &Graph,
+    ) -> Result<BatchOutcome, StreamError> {
+        let report = self.store.apply(inserts, deletes)?;
+        let results = self.registry.evaluate_all(&self.store)?;
+        Ok(BatchOutcome { report, results })
+    }
+}

@@ -1,0 +1,350 @@
+//! The mutable delta overlay: inserted/deleted triples in identifier
+//! space, held in red-black trees (`se-rbtree`) until compaction folds
+//! them into the succinct baseline.
+//!
+//! Every triple is keyed in **PSO** and **POS** order (mirroring the
+//! baseline's single logical PSO index), `rdf:type` triples in the two
+//! RDFType access paths `(concept, subject)` and `(subject, concept)`.
+//! The tree *value* is a [`DeltaState`] recording how the triple relates
+//! to the immutable baseline — `se-rbtree` intentionally has no deletion,
+//! so state transitions overwrite in place:
+//!
+//! | state      | in baseline? | visible in hybrid view? |
+//! |------------|--------------|-------------------------|
+//! | `Added`    | no           | yes                     |
+//! | `Deleted`  | yes          | no (tombstone)          |
+//! | `Restored` | yes          | yes (tombstone undone)  |
+//! | `Cancelled`| no           | no (insert undone)      |
+//!
+//! The [`HybridStore`](crate::HybridStore) performs the transitions (it
+//! knows baseline membership); the `DeltaStore` enforces none of it and
+//! simply stores what it is told.
+//!
+//! Literals are interned in a content-deduplicated side table; a delta
+//! literal id is local to this overlay and is surfaced to the query layer
+//! offset by [`crate::OVERFLOW_BASE`].
+
+use se_rbtree::RbTree;
+use se_rdf::Literal;
+use std::collections::HashMap;
+use std::ops::Bound::{Excluded, Included};
+
+/// How a delta entry relates to the immutable baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaState {
+    /// Not in the baseline; present in the hybrid view.
+    Added,
+    /// In the baseline; tombstoned out of the hybrid view.
+    Deleted,
+    /// In the baseline; a tombstone was cancelled by a re-insert.
+    Restored,
+    /// Not in the baseline; an overlay insert was cancelled by a delete.
+    Cancelled,
+}
+
+impl DeltaState {
+    /// `true` if the triple is visible in the hybrid view.
+    pub fn present(self) -> bool {
+        matches!(self, DeltaState::Added | DeltaState::Restored)
+    }
+}
+
+/// Object position of a delta triple: an instance id or an interned
+/// delta-local literal id. Instances order before literals, matching the
+/// "object layer before datatype layer" convention of the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeltaObj {
+    /// Instance identifier (shared id space with the baseline).
+    Inst(u64),
+    /// Delta-local literal id (index into the overlay's literal table).
+    Lit(u64),
+}
+
+/// The mutable overlay of inserted/deleted triples, in identifier space.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaStore {
+    /// Non-type triples, `(p, s, o)` order.
+    pso: RbTree<(u64, u64, DeltaObj), DeltaState>,
+    /// Non-type triples, `(p, o, s)` order.
+    pos: RbTree<(u64, DeltaObj, u64), DeltaState>,
+    /// `rdf:type` triples, `(concept, subject)` order.
+    type_cs: RbTree<(u64, u64), DeltaState>,
+    /// `rdf:type` triples, `(subject, concept)` order.
+    type_sc: RbTree<(u64, u64), DeltaState>,
+    /// Content-deduplicated literal table.
+    literals: Vec<Literal>,
+    literal_ids: HashMap<Literal, u64>,
+    /// Number of entries currently in [`DeltaState::Added`].
+    n_added: usize,
+    /// Number of entries currently in [`DeltaState::Deleted`].
+    n_deleted: usize,
+}
+
+impl DeltaStore {
+    /// An empty overlay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of overlay entries (any state) — the compaction trigger
+    /// metric: it measures overlay memory, not net triple count.
+    pub fn overlay_len(&self) -> usize {
+        self.pso.len() + self.type_cs.len()
+    }
+
+    /// Net effect on the triple count: `added - deleted`.
+    pub fn net_triples(&self) -> isize {
+        self.n_added as isize - self.n_deleted as isize
+    }
+
+    /// Entries in [`DeltaState::Added`].
+    pub fn added(&self) -> usize {
+        self.n_added
+    }
+
+    /// Entries in [`DeltaState::Deleted`].
+    pub fn deleted(&self) -> usize {
+        self.n_deleted
+    }
+
+    /// `true` if the overlay holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.overlay_len() == 0
+    }
+
+    // ------------------------------------------------------------- literals
+
+    /// Interns a literal, returning its delta-local id.
+    pub fn intern_literal(&mut self, lit: &Literal) -> u64 {
+        if let Some(&id) = self.literal_ids.get(lit) {
+            return id;
+        }
+        let id = self.literals.len() as u64;
+        self.literals.push(lit.clone());
+        self.literal_ids.insert(lit.clone(), id);
+        id
+    }
+
+    /// The delta-local id of a literal, if interned.
+    pub fn literal_id(&self, lit: &Literal) -> Option<u64> {
+        self.literal_ids.get(lit).copied()
+    }
+
+    /// The literal at delta-local id `id`.
+    pub fn literal(&self, id: u64) -> Option<&Literal> {
+        self.literals.get(id as usize)
+    }
+
+    // ---------------------------------------------------------- transitions
+
+    fn bump(&mut self, old: Option<DeltaState>, new: DeltaState) {
+        match old {
+            Some(DeltaState::Added) => self.n_added -= 1,
+            Some(DeltaState::Deleted) => self.n_deleted -= 1,
+            _ => {}
+        }
+        match new {
+            DeltaState::Added => self.n_added += 1,
+            DeltaState::Deleted => self.n_deleted += 1,
+            _ => {}
+        }
+    }
+
+    /// Sets the state of a non-type triple.
+    pub fn set(&mut self, p: u64, s: u64, o: DeltaObj, state: DeltaState) {
+        let old = self.pso.insert((p, s, o), state);
+        self.pos.insert((p, o, s), state);
+        self.bump(old, state);
+    }
+
+    /// Sets the state of an `rdf:type` triple.
+    pub fn set_type(&mut self, s: u64, c: u64, state: DeltaState) {
+        let old = self.type_cs.insert((c, s), state);
+        self.type_sc.insert((s, c), state);
+        self.bump(old, state);
+    }
+
+    /// Current state of a non-type triple, if the overlay has an entry.
+    pub fn state(&self, p: u64, s: u64, o: DeltaObj) -> Option<DeltaState> {
+        self.pso.get(&(p, s, o)).copied()
+    }
+
+    /// Current state of an `rdf:type` triple.
+    pub fn type_state(&self, s: u64, c: u64) -> Option<DeltaState> {
+        self.type_sc.get(&(s, c)).copied()
+    }
+
+    // --------------------------------------------------------------- access
+
+    /// Overlay entries for `(p, s, ?o)`, in object order.
+    pub fn objects(&self, p: u64, s: u64) -> Vec<(DeltaObj, DeltaState)> {
+        if s == u64::MAX {
+            // Guard the exclusive upper bound below.
+            return self
+                .pso
+                .range(
+                    Included(&(p, s, DeltaObj::Inst(0))),
+                    Excluded(&(p + 1, 0, DeltaObj::Inst(0))),
+                )
+                .map(|(&(_, _, o), &st)| (o, st))
+                .collect();
+        }
+        self.pso
+            .range(
+                Included(&(p, s, DeltaObj::Inst(0))),
+                Excluded(&(p, s + 1, DeltaObj::Inst(0))),
+            )
+            .map(|(&(_, _, o), &st)| (o, st))
+            .collect()
+    }
+
+    /// Overlay entries for `(?s, p, o)`, in subject order.
+    pub fn subjects(&self, p: u64, o: DeltaObj) -> Vec<(u64, DeltaState)> {
+        self.pos
+            .range(Included(&(p, o, 0)), Excluded(&(p, o, u64::MAX)))
+            .map(|(&(_, _, s), &st)| (s, st))
+            .collect()
+    }
+
+    /// Overlay entries for `(?s, p, ?o)`, in `(s, o)` order.
+    pub fn scan(&self, p: u64) -> Vec<(u64, DeltaObj, DeltaState)> {
+        self.pso
+            .range(
+                Included(&(p, 0, DeltaObj::Inst(0))),
+                Excluded(&(p + 1, 0, DeltaObj::Inst(0))),
+            )
+            .map(|(&(_, s, o), &st)| (s, o, st))
+            .collect()
+    }
+
+    /// Distinct predicates with overlay entries in `[lo, hi)`, ascending.
+    pub fn predicates_in(&self, lo: u64, hi: u64) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .pso
+            .range(
+                Included(&(lo, 0, DeltaObj::Inst(0))),
+                Excluded(&(hi, 0, DeltaObj::Inst(0))),
+            )
+            .map(|(&(p, _, _), _)| p)
+            .collect();
+        out.dedup();
+        out
+    }
+
+    /// All non-type overlay entries, in `(p, s, o)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, DeltaObj, DeltaState)> + '_ {
+        self.pso.iter().map(|(&(p, s, o), &st)| (p, s, o, st))
+    }
+
+    /// Overlay entries for `(?s, rdf:type, c)` with `c ∈ [lo, hi)`, in
+    /// `(concept, subject)` order.
+    pub fn type_subjects_in(&self, lo: u64, hi: u64) -> Vec<(u64, u64, DeltaState)> {
+        self.type_cs
+            .range(Included(&(lo, 0)), Excluded(&(hi, 0)))
+            .map(|(&(c, s), &st)| (c, s, st))
+            .collect()
+    }
+
+    /// Overlay entries for `(s, rdf:type, ?c)` with `c ∈ [lo, hi)`, in
+    /// concept order.
+    pub fn type_concepts_of(&self, s: u64, lo: u64, hi: u64) -> Vec<(u64, DeltaState)> {
+        self.type_sc
+            .range(Included(&(s, lo)), Excluded(&(s, hi)))
+            .map(|(&(_, c), &st)| (c, st))
+            .collect()
+    }
+
+    /// All `rdf:type` overlay entries, in `(subject, concept)` order.
+    pub fn type_iter(&self) -> impl Iterator<Item = (u64, u64, DeltaState)> + '_ {
+        self.type_sc.iter().map(|(&(s, c), &st)| (s, c, st))
+    }
+
+    /// Drops every overlay entry (after a compaction).
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_update_counters() {
+        let mut d = DeltaStore::new();
+        d.set(1, 2, DeltaObj::Inst(3), DeltaState::Added);
+        assert_eq!((d.added(), d.deleted()), (1, 0));
+        d.set(1, 2, DeltaObj::Inst(3), DeltaState::Cancelled);
+        assert_eq!((d.added(), d.deleted()), (0, 0));
+        d.set_type(9, 8, DeltaState::Deleted);
+        assert_eq!((d.added(), d.deleted()), (0, 1));
+        d.set_type(9, 8, DeltaState::Restored);
+        assert_eq!((d.added(), d.deleted()), (0, 0));
+        assert_eq!(d.overlay_len(), 2);
+        assert_eq!(d.net_triples(), 0);
+    }
+
+    #[test]
+    fn pso_and_pos_agree() {
+        let mut d = DeltaStore::new();
+        d.set(1, 5, DeltaObj::Inst(7), DeltaState::Added);
+        d.set(1, 6, DeltaObj::Inst(7), DeltaState::Added);
+        d.set(1, 5, DeltaObj::Inst(8), DeltaState::Deleted);
+        d.set(2, 5, DeltaObj::Inst(7), DeltaState::Added);
+        assert_eq!(
+            d.objects(1, 5),
+            vec![
+                (DeltaObj::Inst(7), DeltaState::Added),
+                (DeltaObj::Inst(8), DeltaState::Deleted)
+            ]
+        );
+        assert_eq!(
+            d.subjects(1, DeltaObj::Inst(7)),
+            vec![(5, DeltaState::Added), (6, DeltaState::Added)]
+        );
+        assert_eq!(d.scan(1).len(), 3);
+        assert_eq!(d.predicates_in(0, 10), vec![1, 2]);
+        assert_eq!(d.predicates_in(2, 10), vec![2]);
+    }
+
+    #[test]
+    fn literal_interning_deduplicates() {
+        let mut d = DeltaStore::new();
+        let a = d.intern_literal(&Literal::string("x"));
+        let b = d.intern_literal(&Literal::string("x"));
+        let c = d.intern_literal(&Literal::string("y"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(d.literal(a), Some(&Literal::string("x")));
+        assert_eq!(d.literal_id(&Literal::string("y")), Some(c));
+        assert_eq!(d.literal(99), None);
+    }
+
+    #[test]
+    fn instances_order_before_literals() {
+        let mut d = DeltaStore::new();
+        let l = d.intern_literal(&Literal::string("v"));
+        d.set(1, 5, DeltaObj::Lit(l), DeltaState::Added);
+        d.set(1, 5, DeltaObj::Inst(9), DeltaState::Added);
+        let objs: Vec<DeltaObj> = d.objects(1, 5).into_iter().map(|(o, _)| o).collect();
+        assert_eq!(objs, vec![DeltaObj::Inst(9), DeltaObj::Lit(l)]);
+    }
+
+    #[test]
+    fn type_access_paths() {
+        let mut d = DeltaStore::new();
+        d.set_type(10, 3, DeltaState::Added);
+        d.set_type(11, 3, DeltaState::Added);
+        d.set_type(10, 4, DeltaState::Deleted);
+        assert_eq!(
+            d.type_subjects_in(3, 4),
+            vec![(3, 10, DeltaState::Added), (3, 11, DeltaState::Added)]
+        );
+        assert_eq!(
+            d.type_concepts_of(10, 0, u64::MAX),
+            vec![(3, DeltaState::Added), (4, DeltaState::Deleted)]
+        );
+        assert_eq!(d.type_state(10, 4), Some(DeltaState::Deleted));
+        assert_eq!(d.type_state(12, 4), None);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type of the ingestion subsystem.
+
+use se_core::BuildError;
+use se_sparql::error::QueryError;
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong while ingesting, compacting or persisting.
+#[derive(Debug)]
+pub enum StreamError {
+    /// A triple violating the store's shape rules (literal subject,
+    /// non-IRI predicate, `rdf:type` with a literal object).
+    Malformed(String),
+    /// Rebuilding the succinct baseline failed.
+    Build(BuildError),
+    /// Persistence I/O failed.
+    Io(io::Error),
+    /// A continuous query failed to execute.
+    Query(QueryError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Malformed(msg) => write!(f, "malformed triple: {msg}"),
+            StreamError::Build(e) => write!(f, "compaction rebuild failed: {e}"),
+            StreamError::Io(e) => write!(f, "persistence I/O failed: {e}"),
+            StreamError::Query(e) => write!(f, "continuous query failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Build(e) => Some(e),
+            StreamError::Io(e) => Some(e),
+            StreamError::Query(e) => Some(e),
+            StreamError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<BuildError> for StreamError {
+    fn from(e: BuildError) -> Self {
+        StreamError::Build(e)
+    }
+}
+
+impl From<io::Error> for StreamError {
+    fn from(e: io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+impl From<QueryError> for StreamError {
+    fn from(e: QueryError) -> Self {
+        StreamError::Query(e)
+    }
+}

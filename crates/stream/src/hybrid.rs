@@ -1,0 +1,1045 @@
+//! The hybrid query view: an immutable [`SuccinctEdgeStore`] baseline plus
+//! the mutable [`DeltaStore`] overlay, merged at **pattern-access
+//! granularity** behind the [`TripleSource`] trait.
+//!
+//! Every access first consults the overlay: baseline answers are filtered
+//! through tombstones ([`DeltaState::Deleted`]) and overlay insertions
+//! ([`DeltaState::Added`]) are merged in, preserving the ordering
+//! contracts of the trait (subject-sorted scans for the merge join,
+//! ascending deduplicated subject lists).
+//!
+//! # Dictionary overflow
+//!
+//! Terms unseen at build time cannot be encoded by the frozen baseline
+//! dictionaries. The hybrid store therefore keeps three *overflow*
+//! dictionaries:
+//!
+//! * **instances** continue the baseline's dense id space (`base_len..`);
+//! * **properties** and **concepts** receive ids above [`OVERFLOW_BASE`].
+//!   They carry no LiteMat prefix code, so their subsumption interval is
+//!   the singleton `[id, id+1)` — reasoning over a *new* term sees only
+//!   its own assertions until the next compaction folds the term into the
+//!   ontology (via the builder's augmentation step) and re-encodes it;
+//! * **literals** of overlay triples live in the delta's content-interned
+//!   table and surface as `Value::Literal(OVERFLOW_BASE + local)`.
+//!
+//! # Compaction
+//!
+//! When the overlay grows past [`CompactionPolicy::max_overlay`] entries,
+//! [`HybridStore::compact`] materializes baseline + delta into a term
+//! graph and rebuilds the succinct layers from scratch, clearing the
+//! overlay. The rebuilt store persists through the unchanged
+//! `SuccinctEdgeStore` format, so `save`/`load` round-trips keep working.
+
+use crate::delta::{DeltaObj, DeltaState, DeltaStore};
+use crate::error::StreamError;
+use se_core::builder::{instance_key, key_to_term_arc};
+use se_core::{SuccinctEdgeStore, TripleSource, Value};
+use se_litemat::IdInterval;
+use se_ontology::Ontology;
+use se_rdf::{Graph, Literal, Term, Triple};
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// First identifier of the overflow id space for properties, concepts and
+/// overlay literals. LiteMat codes and flat-literal indices stay far below
+/// this in any realistic store.
+pub const OVERFLOW_BASE: u64 = 1 << 62;
+
+/// When to fold the overlay into the succinct baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionPolicy {
+    /// Rebuild once the overlay holds at least this many entries
+    /// (inserted or tombstoned triples).
+    pub max_overlay: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        Self { max_overlay: 4096 }
+    }
+}
+
+/// Outcome of one [`HybridStore::apply`] batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Triples that became visible.
+    pub inserted: usize,
+    /// Triples that became invisible.
+    pub deleted: usize,
+    /// Operations with no effect (duplicate inserts, deletes of absent
+    /// triples).
+    pub noops: usize,
+    /// `true` if this batch triggered a compaction.
+    pub compacted: bool,
+}
+
+/// Counters over the store's lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HybridStats {
+    /// Number of compactions performed.
+    pub compactions: usize,
+    /// Total triples inserted (effective, not no-ops).
+    pub total_inserted: usize,
+    /// Total triples deleted (effective).
+    pub total_deleted: usize,
+}
+
+/// Overflow dictionary for properties or concepts: ids above
+/// [`OVERFLOW_BASE`], no hierarchy.
+#[derive(Debug, Clone, Default)]
+struct OverflowDict {
+    ids: HashMap<Arc<str>, u64>,
+    terms: Vec<Arc<str>>,
+}
+
+impl OverflowDict {
+    fn get_or_insert(&mut self, iri: &str) -> u64 {
+        if let Some(&id) = self.ids.get(iri) {
+            return id;
+        }
+        let id = OVERFLOW_BASE + self.terms.len() as u64;
+        let arc: Arc<str> = Arc::from(iri);
+        self.ids.insert(arc.clone(), id);
+        self.terms.push(arc);
+        id
+    }
+
+    fn id(&self, iri: &str) -> Option<u64> {
+        self.ids.get(iri).copied()
+    }
+
+    fn term(&self, id: u64) -> Option<Arc<str>> {
+        self.terms
+            .get(id.checked_sub(OVERFLOW_BASE)? as usize)
+            .cloned()
+    }
+
+    fn clear(&mut self) {
+        self.ids.clear();
+        self.terms.clear();
+    }
+}
+
+/// Overflow instance dictionary: continues the baseline's dense id space.
+#[derive(Debug, Clone, Default)]
+struct OverflowInstances {
+    ids: HashMap<Arc<str>, u64>,
+    terms: Vec<Arc<str>>,
+    base_len: u64,
+}
+
+impl OverflowInstances {
+    fn get_or_insert(&mut self, key: &str) -> u64 {
+        if let Some(&id) = self.ids.get(key) {
+            return id;
+        }
+        let id = self.base_len + self.terms.len() as u64;
+        let arc: Arc<str> = Arc::from(key);
+        self.ids.insert(arc.clone(), id);
+        self.terms.push(arc);
+        id
+    }
+
+    fn id(&self, key: &str) -> Option<u64> {
+        self.ids.get(key).copied()
+    }
+
+    fn term(&self, id: u64) -> Option<Arc<str>> {
+        self.terms
+            .get(id.checked_sub(self.base_len)? as usize)
+            .cloned()
+    }
+
+    fn reset(&mut self, base_len: u64) {
+        self.ids.clear();
+        self.terms.clear();
+        self.base_len = base_len;
+    }
+}
+
+/// A SuccinctEdge baseline with a mutable delta overlay: ingests triple
+/// batches, answers every [`TripleSource`] access over the merged view,
+/// and periodically compacts the overlay back into the succinct layers.
+#[derive(Debug, Clone)]
+pub struct HybridStore {
+    base: SuccinctEdgeStore,
+    ontology: Ontology,
+    delta: DeltaStore,
+    ovf_instances: OverflowInstances,
+    ovf_properties: OverflowDict,
+    ovf_concepts: OverflowDict,
+    policy: CompactionPolicy,
+    stats: HybridStats,
+}
+
+impl HybridStore {
+    /// Wraps a built baseline. `ontology` is retained for compactions.
+    pub fn new(base: SuccinctEdgeStore, ontology: Ontology) -> Self {
+        let base_len = base.dictionaries().instances.len() as u64;
+        Self {
+            base,
+            ontology,
+            delta: DeltaStore::new(),
+            ovf_instances: OverflowInstances {
+                base_len,
+                ..Default::default()
+            },
+            ovf_properties: OverflowDict::default(),
+            ovf_concepts: OverflowDict::default(),
+            policy: CompactionPolicy::default(),
+            stats: HybridStats::default(),
+        }
+    }
+
+    /// Builds the baseline from `graph` and wraps it.
+    pub fn build(ontology: &Ontology, graph: &Graph) -> Result<Self, StreamError> {
+        let base = SuccinctEdgeStore::build(ontology, graph)?;
+        Ok(Self::new(base, ontology.clone()))
+    }
+
+    /// Replaces the compaction policy.
+    pub fn with_policy(mut self, policy: CompactionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The current immutable baseline.
+    pub fn baseline(&self) -> &SuccinctEdgeStore {
+        &self.base
+    }
+
+    /// The mutable overlay.
+    pub fn delta(&self) -> &DeltaStore {
+        &self.delta
+    }
+
+    /// The ontology used for (re)builds.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &HybridStats {
+        &self.stats
+    }
+
+    /// The compaction policy in force.
+    pub fn policy(&self) -> CompactionPolicy {
+        self.policy
+    }
+
+    // ------------------------------------------------------------ id routing
+
+    fn base_instance_count(&self) -> u64 {
+        self.ovf_instances.base_len
+    }
+
+    fn is_base_instance(&self, id: u64) -> bool {
+        id < self.base_instance_count()
+    }
+
+    fn term_of_instance(&self, id: u64) -> Option<Term> {
+        if self.is_base_instance(id) {
+            self.base
+                .dictionaries()
+                .instances
+                .term_arc(id)
+                .map(key_to_term_arc)
+        } else {
+            self.ovf_instances.term(id).map(key_to_term_arc)
+        }
+    }
+
+    /// Resolves or allocates the hybrid instance id of a resource term.
+    fn encode_instance(&mut self, term: &Term) -> Result<u64, StreamError> {
+        let key = instance_key(term).ok_or_else(|| {
+            StreamError::Malformed(format!("literal in resource position: {term}"))
+        })?;
+        if let Some(id) = self.base.dictionaries().instances.id(&key) {
+            return Ok(id);
+        }
+        Ok(self.ovf_instances.get_or_insert(&key))
+    }
+
+    fn encode_property(&mut self, iri: &str) -> u64 {
+        self.base
+            .property_id(iri)
+            .unwrap_or_else(|| self.ovf_properties.get_or_insert(iri))
+    }
+
+    fn encode_concept(&mut self, iri: &str) -> u64 {
+        self.base
+            .concept_id(iri)
+            .unwrap_or_else(|| self.ovf_concepts.get_or_insert(iri))
+    }
+
+    /// The literal content behind a hybrid literal id (baseline flat-store
+    /// index or overflow delta id).
+    fn literal_content(&self, idx: u64) -> Option<&Literal> {
+        if idx >= OVERFLOW_BASE {
+            self.delta.literal(idx - OVERFLOW_BASE)
+        } else {
+            self.base.literal(idx)
+        }
+    }
+
+    /// Delta key of a query `Value` object, if expressible (a literal
+    /// unknown to the overlay has no key — and no overlay entries).
+    fn delta_key_of(&self, o: &Value) -> Option<DeltaObj> {
+        match o {
+            Value::Instance(id) => Some(DeltaObj::Inst(*id)),
+            Value::Literal(idx) => {
+                let lit = self.literal_content(*idx)?;
+                self.delta.literal_id(lit).map(DeltaObj::Lit)
+            }
+            _ => None,
+        }
+    }
+
+    fn obj_to_value(&self, o: DeltaObj) -> Value {
+        match o {
+            DeltaObj::Inst(id) => Value::Instance(id),
+            DeltaObj::Lit(local) => Value::Literal(OVERFLOW_BASE + local),
+        }
+    }
+
+    /// `true` if the baseline value at `(p, s, v)` is tombstoned.
+    fn tombstoned(&self, p: u64, s: u64, v: &Value) -> bool {
+        match self.delta_key_of(v) {
+            Some(key) => self.delta.state(p, s, key) == Some(DeltaState::Deleted),
+            None => false,
+        }
+    }
+
+    // -------------------------------------------------------------- ingestion
+
+    /// Applies one batch: deletions first, then insertions (an insert of a
+    /// triple deleted in the same batch wins). Compacts afterwards if the
+    /// overlay crossed the policy threshold.
+    pub fn apply(&mut self, inserts: &Graph, deletes: &Graph) -> Result<IngestReport, StreamError> {
+        let mut report = IngestReport::default();
+        for t in deletes {
+            if self.delete_triple(t)? {
+                report.deleted += 1;
+            } else {
+                report.noops += 1;
+            }
+        }
+        for t in inserts {
+            if self.insert_triple(t)? {
+                report.inserted += 1;
+            } else {
+                report.noops += 1;
+            }
+        }
+        self.stats.total_inserted += report.inserted;
+        self.stats.total_deleted += report.deleted;
+        if self.delta.overlay_len() >= self.policy.max_overlay {
+            self.compact()?;
+            report.compacted = true;
+        }
+        Ok(report)
+    }
+
+    /// Inserts one triple. Returns `true` if it became visible (`false`
+    /// for duplicates).
+    pub fn insert_triple(&mut self, t: &Triple) -> Result<bool, StreamError> {
+        self.mutate_triple(t, true)
+    }
+
+    /// Deletes one triple. Returns `true` if it stopped being visible
+    /// (`false` if it was not present).
+    pub fn delete_triple(&mut self, t: &Triple) -> Result<bool, StreamError> {
+        self.mutate_triple(t, false)
+    }
+
+    /// Applies one insert/delete. Ids are resolved read-only first so
+    /// no-op operations (duplicate inserts, deletes of absent triples)
+    /// allocate nothing in the overflow dictionaries or the literal table
+    /// — otherwise a stream of no-ops referencing fresh terms would grow
+    /// memory that no compaction bounds.
+    fn mutate_triple(&mut self, t: &Triple, insert: bool) -> Result<bool, StreamError> {
+        let Some(p_iri) = t.predicate.as_iri() else {
+            return Err(StreamError::Malformed(format!("non-IRI predicate: {t}")));
+        };
+        if t.subject.is_literal() {
+            return Err(StreamError::Malformed(format!("literal subject: {t}")));
+        }
+        let p_iri = p_iri.to_string();
+        let s_key = instance_key(&t.subject).expect("subject validated as resource");
+        let s_resolved = self
+            .base
+            .dictionaries()
+            .instances
+            .id(&s_key)
+            .or_else(|| self.ovf_instances.id(&s_key));
+
+        if t.is_type_triple() {
+            let Some(c_iri) = t.object.as_iri() else {
+                return Err(StreamError::Malformed(format!(
+                    "rdf:type with non-IRI object: {t}"
+                )));
+            };
+            let c_resolved = self
+                .base
+                .concept_id(c_iri)
+                .or_else(|| self.ovf_concepts.id(c_iri));
+            let (Some(s), Some(c)) = (s_resolved, c_resolved) else {
+                // A term is entirely unknown: the triple cannot be present.
+                if !insert {
+                    return Ok(false);
+                }
+                let s = self.encode_instance(&t.subject)?;
+                let c = self.encode_concept(c_iri);
+                self.delta.set_type(s, c, DeltaState::Added);
+                return Ok(true);
+            };
+            let base_has =
+                c < OVERFLOW_BASE && self.is_base_instance(s) && self.base.has_type(s, c);
+            let old = self.delta.type_state(s, c);
+            return Ok(match transition(old, base_has, insert) {
+                Some(new) => {
+                    self.delta.set_type(s, c, new);
+                    true
+                }
+                None => false,
+            });
+        }
+
+        let p_resolved = self
+            .base
+            .property_id(&p_iri)
+            .or_else(|| self.ovf_properties.id(&p_iri));
+        match &t.object {
+            Term::Literal(lit) => {
+                let (Some(s), Some(p)) = (s_resolved, p_resolved) else {
+                    if !insert {
+                        return Ok(false);
+                    }
+                    let s = self.encode_instance(&t.subject)?;
+                    let p = self.encode_property(&p_iri);
+                    let local = self.delta.intern_literal(lit);
+                    self.delta
+                        .set(p, s, DeltaObj::Lit(local), DeltaState::Added);
+                    return Ok(true);
+                };
+                let base_has = p < OVERFLOW_BASE
+                    && self.is_base_instance(s)
+                    && self.base.subjects_by_literal(p, lit).contains(&s);
+                let old = self
+                    .delta
+                    .literal_id(lit)
+                    .and_then(|l| self.delta.state(p, s, DeltaObj::Lit(l)));
+                Ok(match transition(old, base_has, insert) {
+                    Some(new) => {
+                        let local = self.delta.intern_literal(lit);
+                        self.delta.set(p, s, DeltaObj::Lit(local), new);
+                        true
+                    }
+                    None => false,
+                })
+            }
+            other => {
+                let o_key = instance_key(other).expect("non-literal object is a resource");
+                let o_resolved = self
+                    .base
+                    .dictionaries()
+                    .instances
+                    .id(&o_key)
+                    .or_else(|| self.ovf_instances.id(&o_key));
+                let (Some(s), Some(p), Some(o)) = (s_resolved, p_resolved, o_resolved) else {
+                    if !insert {
+                        return Ok(false);
+                    }
+                    let s = self.encode_instance(&t.subject)?;
+                    let p = self.encode_property(&p_iri);
+                    let o = self.encode_instance(other)?;
+                    self.delta.set(p, s, DeltaObj::Inst(o), DeltaState::Added);
+                    return Ok(true);
+                };
+                let base_has = p < OVERFLOW_BASE
+                    && self.is_base_instance(s)
+                    && self.is_base_instance(o)
+                    && self.base.contains(p, s, &Value::Instance(o));
+                let old = self.delta.state(p, s, DeltaObj::Inst(o));
+                Ok(match transition(old, base_has, insert) {
+                    Some(new) => {
+                        self.delta.set(p, s, DeltaObj::Inst(o), new);
+                        true
+                    }
+                    None => false,
+                })
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- compaction
+
+    /// Materializes the current hybrid view as a term-space graph
+    /// (baseline minus tombstones plus overlay insertions).
+    pub fn materialize(&self) -> Graph {
+        let mut g = Graph::new();
+        let decode_inst = |id: u64| self.term_of_instance(id).expect("dictionary-complete id");
+        let prop_term = |id: u64| -> Term {
+            let iri = if id >= OVERFLOW_BASE {
+                self.ovf_properties.term(id)
+            } else {
+                self.base.dictionaries().properties.term_arc(id)
+            };
+            Term::Iri(iri.expect("dictionary-complete property id"))
+        };
+        let concept_term = |id: u64| -> Term {
+            let iri = if id >= OVERFLOW_BASE {
+                self.ovf_concepts.term(id)
+            } else {
+                self.base.dictionaries().concepts.term_arc(id)
+            };
+            Term::Iri(iri.expect("dictionary-complete concept id"))
+        };
+        let rdf_type = Term::iri(se_rdf::vocab::rdf::TYPE);
+
+        // Baseline, minus tombstones.
+        for (p, s, o) in self.base.object_layer().iter() {
+            if self.delta.state(p, s, DeltaObj::Inst(o)) != Some(DeltaState::Deleted) {
+                g.insert(Triple::new(decode_inst(s), prop_term(p), decode_inst(o)));
+            }
+        }
+        for (p, s, li) in self.base.datatype_layer().iter() {
+            let lit = self.base.literal(li).expect("in-range literal index");
+            let dead = self
+                .delta
+                .literal_id(lit)
+                .map(|local| self.delta.state(p, s, DeltaObj::Lit(local)))
+                == Some(Some(DeltaState::Deleted));
+            if !dead {
+                g.insert(Triple::new(
+                    decode_inst(s),
+                    prop_term(p),
+                    Term::Literal(lit.clone()),
+                ));
+            }
+        }
+        for (s, c) in self.base.type_store().iter() {
+            if self.delta.type_state(s, c) != Some(DeltaState::Deleted) {
+                g.insert(Triple::new(
+                    decode_inst(s),
+                    rdf_type.clone(),
+                    concept_term(c),
+                ));
+            }
+        }
+
+        // Overlay insertions.
+        for (p, s, o, st) in self.delta.iter() {
+            if st == DeltaState::Added {
+                let object = match o {
+                    DeltaObj::Inst(id) => decode_inst(id),
+                    DeltaObj::Lit(local) => {
+                        Term::Literal(self.delta.literal(local).expect("interned literal").clone())
+                    }
+                };
+                g.insert(Triple::new(decode_inst(s), prop_term(p), object));
+            }
+        }
+        for (s, c, st) in self.delta.type_iter() {
+            if st == DeltaState::Added {
+                g.insert(Triple::new(
+                    decode_inst(s),
+                    rdf_type.clone(),
+                    concept_term(c),
+                ));
+            }
+        }
+        g
+    }
+
+    /// Rebuilds the succinct baseline from baseline + overlay and clears
+    /// the overlay. Overflow terms are folded into the dictionaries by the
+    /// builder's augmentation step and become reasoning-capable.
+    pub fn compact(&mut self) -> Result<(), StreamError> {
+        let graph = self.materialize();
+        self.base = SuccinctEdgeStore::build(&self.ontology, &graph)?;
+        self.delta.clear();
+        self.ovf_instances
+            .reset(self.base.dictionaries().instances.len() as u64);
+        self.ovf_properties.clear();
+        self.ovf_concepts.clear();
+        self.stats.compactions += 1;
+        Ok(())
+    }
+
+    // -------------------------------------------------------------- persistence
+
+    /// Compacts, then writes the baseline in the standard
+    /// `SuccinctEdgeStore` persistent format.
+    pub fn save_to_file(&mut self, path: &Path) -> Result<(), StreamError> {
+        if !self.delta.is_empty() {
+            self.compact()?;
+        }
+        self.base.save_to_file(path)?;
+        Ok(())
+    }
+
+    /// Loads a persisted baseline and wraps it with an empty overlay.
+    pub fn load_from_file(path: &Path, ontology: Ontology) -> Result<Self, StreamError> {
+        let base = SuccinctEdgeStore::load_from_file(path)?;
+        Ok(Self::new(base, ontology))
+    }
+
+    // ----------------------------------------------------- merged access parts
+
+    /// Base + delta predicates intersecting `[lo, hi)`, ascending.
+    fn merged_predicates(&self, lo: u64, hi: u64) -> Vec<u64> {
+        let mut preds = BTreeSet::new();
+        for idx in self.base.object_layer().predicate_range(lo, hi) {
+            preds.insert(self.base.object_layer().predicate_at(idx));
+        }
+        for idx in self.base.datatype_layer().predicate_range(lo, hi) {
+            preds.insert(self.base.datatype_layer().predicate_at(idx));
+        }
+        preds.extend(self.delta.predicates_in(lo, hi));
+        preds.into_iter().collect()
+    }
+
+    /// Subject-sorted merge of a filtered baseline pair list with overlay
+    /// additions (both inputs subject-sorted).
+    fn merge_pairs(
+        &self,
+        base: Vec<(u64, Value)>,
+        added: Vec<(u64, Value)>,
+        p: u64,
+    ) -> Vec<(u64, Value)> {
+        let mut out = Vec::with_capacity(base.len() + added.len());
+        let (mut i, mut j) = (0, 0);
+        while i < base.len() || j < added.len() {
+            let take_base = match (base.get(i), added.get(j)) {
+                (Some(b), Some(a)) => b.0 <= a.0,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_base {
+                let (s, v) = base[i];
+                i += 1;
+                if !self.tombstoned(p, s, &v) {
+                    out.push((s, v));
+                }
+            } else {
+                out.push(added[j]);
+                j += 1;
+            }
+        }
+        out
+    }
+}
+
+/// State transition of one triple given its overlay state, baseline
+/// membership and the requested operation. `None` means no-op.
+fn transition(old: Option<DeltaState>, base_has: bool, insert: bool) -> Option<DeltaState> {
+    use DeltaState::*;
+    if insert {
+        match old {
+            None if base_has => None,
+            None => Some(Added),
+            Some(Added) | Some(Restored) => None,
+            Some(Deleted) => Some(Restored),
+            Some(Cancelled) => Some(Added),
+        }
+    } else {
+        match old {
+            None if base_has => Some(Deleted),
+            None => None,
+            Some(Added) => Some(Cancelled),
+            Some(Restored) => Some(Deleted),
+            Some(Deleted) | Some(Cancelled) => None,
+        }
+    }
+}
+
+impl TripleSource for HybridStore {
+    fn instance_id(&self, term: &Term) -> Option<u64> {
+        self.base.instance_id(term).or_else(|| {
+            let key = instance_key(term)?;
+            self.ovf_instances.id(&key)
+        })
+    }
+
+    fn property_id(&self, iri: &str) -> Option<u64> {
+        self.base
+            .property_id(iri)
+            .or_else(|| self.ovf_properties.id(iri))
+    }
+
+    fn concept_id(&self, iri: &str) -> Option<u64> {
+        self.base
+            .concept_id(iri)
+            .or_else(|| self.ovf_concepts.id(iri))
+    }
+
+    fn property_interval(&self, iri: &str) -> Option<IdInterval> {
+        self.base.property_interval(iri).or_else(|| {
+            self.ovf_properties.id(iri).map(|id| IdInterval {
+                lower: id,
+                upper: id + 1,
+            })
+        })
+    }
+
+    fn concept_interval(&self, iri: &str) -> Option<IdInterval> {
+        self.base.concept_interval(iri).or_else(|| {
+            self.ovf_concepts.id(iri).map(|id| IdInterval {
+                lower: id,
+                upper: id + 1,
+            })
+        })
+    }
+
+    fn value_to_term(&self, value: Value) -> Option<Term> {
+        match value {
+            Value::Instance(id) => self.term_of_instance(id),
+            Value::Concept(id) => {
+                if id >= OVERFLOW_BASE {
+                    self.ovf_concepts.term(id).map(Term::Iri)
+                } else {
+                    self.base.value_to_term(value)
+                }
+            }
+            Value::Property(id) => {
+                if id >= OVERFLOW_BASE {
+                    self.ovf_properties.term(id).map(Term::Iri)
+                } else {
+                    self.base.value_to_term(value)
+                }
+            }
+            Value::Literal(idx) => self.literal_content(idx).map(|l| Term::Literal(l.clone())),
+        }
+    }
+
+    fn literal(&self, idx: u64) -> Option<&Literal> {
+        self.literal_content(idx)
+    }
+
+    fn objects(&self, p: u64, s: u64) -> Vec<Value> {
+        let mut out = Vec::new();
+        if p < OVERFLOW_BASE && self.is_base_instance(s) {
+            for v in self.base.objects(p, s) {
+                if !self.tombstoned(p, s, &v) {
+                    out.push(v);
+                }
+            }
+        }
+        for (o, st) in self.delta.objects(p, s) {
+            if st == DeltaState::Added {
+                out.push(self.obj_to_value(o));
+            }
+        }
+        out
+    }
+
+    fn subjects(&self, p: u64, o: &Value) -> Vec<u64> {
+        match o {
+            Value::Instance(oid) => {
+                let mut out = Vec::new();
+                if p < OVERFLOW_BASE && self.is_base_instance(*oid) {
+                    out.extend(
+                        self.base
+                            .subjects(p, o)
+                            .into_iter()
+                            .filter(|&s| !self.tombstoned(p, s, o)),
+                    );
+                }
+                for (s, st) in self.delta.subjects(p, DeltaObj::Inst(*oid)) {
+                    if st == DeltaState::Added {
+                        out.push(s);
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+            Value::Literal(idx) => match self.literal_content(*idx) {
+                Some(lit) => {
+                    let lit = lit.clone();
+                    self.subjects_by_literal(p, &lit)
+                }
+                None => Vec::new(),
+            },
+            _ => Vec::new(),
+        }
+    }
+
+    fn subjects_by_literal(&self, p: u64, lit: &Literal) -> Vec<u64> {
+        let mut out = Vec::new();
+        let local = self.delta.literal_id(lit);
+        if p < OVERFLOW_BASE {
+            out.extend(
+                self.base
+                    .subjects_by_literal(p, lit)
+                    .into_iter()
+                    .filter(|&s| {
+                        local.map(|l| self.delta.state(p, s, DeltaObj::Lit(l)))
+                            != Some(Some(DeltaState::Deleted))
+                    }),
+            );
+        }
+        if let Some(l) = local {
+            for (s, st) in self.delta.subjects(p, DeltaObj::Lit(l)) {
+                if st == DeltaState::Added {
+                    out.push(s);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn scan_predicate(&self, p: u64) -> Vec<(u64, Value)> {
+        let (mut added_inst, mut added_lit) = (Vec::new(), Vec::new());
+        for (s, o, st) in self.delta.scan(p) {
+            if st == DeltaState::Added {
+                match o {
+                    DeltaObj::Inst(_) => added_inst.push((s, self.obj_to_value(o))),
+                    DeltaObj::Lit(_) => added_lit.push((s, self.obj_to_value(o))),
+                }
+            }
+        }
+        let (base_inst, base_lit) = if p < OVERFLOW_BASE {
+            (
+                self.base
+                    .object_layer()
+                    .scan_predicate(p)
+                    .into_iter()
+                    .map(|(s, o)| (s, Value::Instance(o)))
+                    .collect(),
+                self.base
+                    .datatype_layer()
+                    .scan_predicate(p)
+                    .into_iter()
+                    .map(|(s, i)| (s, Value::Literal(i)))
+                    .collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let inst = self.merge_pairs(base_inst, added_inst, p);
+        let lit = self.merge_pairs(base_lit, added_lit, p);
+        // Merge the instance and literal runs into one globally
+        // subject-sorted list (ties: instances first) — the trait contract
+        // the merge join relies on.
+        let mut out = Vec::with_capacity(inst.len() + lit.len());
+        let (mut i, mut j) = (0, 0);
+        while i < inst.len() || j < lit.len() {
+            let take_inst = match (inst.get(i), lit.get(j)) {
+                (Some(a), Some(b)) => a.0 <= b.0,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_inst {
+                out.push(inst[i]);
+                i += 1;
+            } else {
+                out.push(lit[j]);
+                j += 1;
+            }
+        }
+        out
+    }
+
+    fn contains(&self, p: u64, s: u64, o: &Value) -> bool {
+        if let Some(key) = self.delta_key_of(o) {
+            if let Some(st) = self.delta.state(p, s, key) {
+                return st.present();
+            }
+        }
+        if p >= OVERFLOW_BASE || !self.is_base_instance(s) {
+            return false;
+        }
+        match o {
+            Value::Instance(oid) => self.is_base_instance(*oid) && self.base.contains(p, s, o),
+            Value::Literal(idx) => match self.literal_content(*idx) {
+                Some(lit) => self.base.subjects_by_literal(p, lit).contains(&s),
+                None => false,
+            },
+            _ => false,
+        }
+    }
+
+    fn objects_interval(&self, p_iv: IdInterval, s: u64) -> Vec<Value> {
+        let mut out = Vec::new();
+        for p in self.merged_predicates(p_iv.lower, p_iv.upper) {
+            out.extend(self.objects(p, s));
+        }
+        out
+    }
+
+    fn subjects_interval(&self, p_iv: IdInterval, o: &Value) -> Vec<u64> {
+        let mut out = Vec::new();
+        for p in self.merged_predicates(p_iv.lower, p_iv.upper) {
+            out.extend(self.subjects(p, o));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn subjects_by_literal_interval(&self, p_iv: IdInterval, lit: &Literal) -> Vec<u64> {
+        let mut out = Vec::new();
+        for p in self.merged_predicates(p_iv.lower, p_iv.upper) {
+            out.extend(self.subjects_by_literal(p, lit));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn scan_interval(&self, p_iv: IdInterval) -> Vec<(u64, Value)> {
+        let mut out = Vec::new();
+        for p in self.merged_predicates(p_iv.lower, p_iv.upper) {
+            out.extend(self.scan_predicate(p));
+        }
+        out
+    }
+
+    fn subjects_of_concept(&self, c: u64) -> Vec<u64> {
+        self.subjects_of_concept_interval(IdInterval {
+            lower: c,
+            upper: c + 1,
+        })
+    }
+
+    fn subjects_of_concept_interval(&self, iv: IdInterval) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .base
+            .type_store()
+            .pairs_in_interval(iv)
+            .into_iter()
+            .filter(|&(c, s)| self.delta.type_state(s, c) != Some(DeltaState::Deleted))
+            .map(|(_, s)| s)
+            .collect();
+        for (_, s, st) in self.delta.type_subjects_in(iv.lower, iv.upper) {
+            if st == DeltaState::Added {
+                out.push(s);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn concepts_of_subject(&self, s: u64) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        if self.is_base_instance(s) {
+            out.extend(
+                self.base
+                    .concepts_of_subject(s)
+                    .into_iter()
+                    .filter(|&c| self.delta.type_state(s, c) != Some(DeltaState::Deleted)),
+            );
+        }
+        for (c, st) in self.delta.type_concepts_of(s, 0, u64::MAX) {
+            if st == DeltaState::Added {
+                out.push(c);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn has_type(&self, s: u64, c: u64) -> bool {
+        match self.delta.type_state(s, c) {
+            Some(st) => st.present(),
+            None => self.is_base_instance(s) && c < OVERFLOW_BASE && self.base.has_type(s, c),
+        }
+    }
+
+    fn has_type_in_interval(&self, s: u64, iv: IdInterval) -> bool {
+        let overlay = self.delta.type_concepts_of(s, iv.lower, iv.upper);
+        if overlay.iter().any(|&(_, st)| st.present()) {
+            return true;
+        }
+        if !self.is_base_instance(s) {
+            return false;
+        }
+        if overlay.iter().all(|&(_, st)| st != DeltaState::Deleted) {
+            return self.base.has_type_in_interval(s, iv);
+        }
+        // Some base types of `s` in the interval are tombstoned: check the
+        // survivors individually.
+        self.base
+            .concepts_of_subject(s)
+            .into_iter()
+            .any(|c| iv.contains(c) && self.delta.type_state(s, c) != Some(DeltaState::Deleted))
+    }
+
+    fn type_pairs(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .base
+            .type_store()
+            .iter()
+            .filter(|&(s, c)| self.delta.type_state(s, c) != Some(DeltaState::Deleted))
+            .collect();
+        for (s, c, st) in self.delta.type_iter() {
+            if st == DeltaState::Added {
+                out.push((s, c));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn len(&self) -> usize {
+        (self.base.len() as isize + self.delta.net_triples()) as usize
+    }
+
+    fn predicate_count(&self, p: u64) -> usize {
+        let base = if p < OVERFLOW_BASE {
+            self.base.predicate_count(p)
+        } else {
+            0
+        };
+        let mut n = base as isize;
+        for (_, _, st) in self.delta.scan(p) {
+            match st {
+                DeltaState::Added => n += 1,
+                DeltaState::Deleted => n -= 1,
+                _ => {}
+            }
+        }
+        n.max(0) as usize
+    }
+
+    fn predicate_interval_count(&self, iv: IdInterval) -> usize {
+        self.merged_predicates(iv.lower, iv.upper)
+            .into_iter()
+            .map(|p| self.predicate_count(p))
+            .sum()
+    }
+
+    fn type_count(&self, iv: IdInterval) -> usize {
+        let mut n = self.base.type_count(iv) as isize;
+        for (_, _, st) in self.delta.type_subjects_in(iv.lower, iv.upper) {
+            match st {
+                DeltaState::Added => n += 1,
+                DeltaState::Deleted => n -= 1,
+                _ => {}
+            }
+        }
+        n.max(0) as usize
+    }
+
+    fn type_total(&self) -> usize {
+        let mut n = self.base.type_store().len() as isize;
+        for (_, _, st) in self.delta.type_iter() {
+            match st {
+                DeltaState::Added => n += 1,
+                DeltaState::Deleted => n -= 1,
+                _ => {}
+            }
+        }
+        n.max(0) as usize
+    }
+}

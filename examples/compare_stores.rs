@@ -43,15 +43,36 @@ fn main() {
 
     // ---- sizes (Figures 9-11) ----------------------------------------------
     println!("\ndictionary size persisted (Fig 9):");
-    println!("  SuccinctEdge     {:>9.1} KiB", se.dictionary_serialized_size() as f64 / 1024.0);
-    println!("  baselines        {:>9.1} KiB", mem.dictionary().serialized_size() as f64 / 1024.0);
+    println!(
+        "  SuccinctEdge     {:>9.1} KiB",
+        se.dictionary_serialized_size() as f64 / 1024.0
+    );
+    println!(
+        "  baselines        {:>9.1} KiB",
+        mem.dictionary().serialized_size() as f64 / 1024.0
+    );
     println!("\ntriple storage without dictionary (Fig 10):");
-    println!("  SuccinctEdge     {:>9.1} KiB  (1 succinct index)", se.triple_serialized_size() as f64 / 1024.0);
-    println!("  MultiIndex (mem) {:>9.1} KiB  (3 sorted permutations)", mem.triple_serialized_size() as f64 / 1024.0);
-    println!("  DiskStore        {:>9.1} KiB  (3 B+trees, page granular)", disk.triple_serialized_size() as f64 / 1024.0);
+    println!(
+        "  SuccinctEdge     {:>9.1} KiB  (1 succinct index)",
+        se.triple_serialized_size() as f64 / 1024.0
+    );
+    println!(
+        "  MultiIndex (mem) {:>9.1} KiB  (3 sorted permutations)",
+        mem.triple_serialized_size() as f64 / 1024.0
+    );
+    println!(
+        "  DiskStore        {:>9.1} KiB  (3 B+trees, page granular)",
+        disk.triple_serialized_size() as f64 / 1024.0
+    );
     println!("\nRAM footprint (Fig 11):");
-    println!("  SuccinctEdge     {:>9.1} KiB", se.memory_footprint() as f64 / 1024.0);
-    println!("  MultiIndex (mem) {:>9.1} KiB", mem.memory_footprint() as f64 / 1024.0);
+    println!(
+        "  SuccinctEdge     {:>9.1} KiB",
+        se.memory_footprint() as f64 / 1024.0
+    );
+    println!(
+        "  MultiIndex (mem) {:>9.1} KiB",
+        mem.memory_footprint() as f64 / 1024.0
+    );
 
     // ---- one reasoning query (Figure 14) ------------------------------------
     let r2 = workload::r_queries(&graph)

@@ -1,0 +1,88 @@
+//! The paper's §2 anomaly scenario, incremental edition.
+//!
+//! `water_anomaly.rs` follows the paper's execution model: one fresh
+//! SuccinctEdge store per graph instance, the continuous query runs once
+//! per instance. This example runs the same pipeline through `se-stream`:
+//! one long-lived [`HybridStore`] ingests measurement batches (with a
+//! sliding retention window deleting expired observations), the anomaly
+//! query is registered once and re-evaluated per batch, and the overlay
+//! periodically compacts back into the succinct baseline.
+//!
+//! ```text
+//! cargo run --example stream_anomaly
+//! ```
+
+use succinct_edge::datagen::water::{generate_stream, WaterConfig};
+use succinct_edge::datagen::workload::water_anomaly_query;
+use succinct_edge::ontology::water_ontology;
+use succinct_edge::rdf::Graph;
+use succinct_edge::sparql::QueryOptions;
+use succinct_edge::store::TripleSource;
+use succinct_edge::stream::{CompactionPolicy, HybridStore, StreamSession};
+
+fn main() {
+    let onto = water_ontology();
+    let cfg = WaterConfig {
+        stations: 2,
+        rounds: 1,
+        anomaly_rate: 0.25,
+        seed: 42,
+    };
+    let batches = generate_stream(&cfg, 20, 4);
+
+    // Empty baseline; everything arrives through the stream.
+    let store = HybridStore::build(&onto, &Graph::new())
+        .expect("empty baseline builds")
+        .with_policy(CompactionPolicy { max_overlay: 160 });
+    let mut session = StreamSession::new(store);
+    session
+        .register_query(
+            "water-anomaly",
+            &water_anomaly_query(),
+            QueryOptions::default(),
+        )
+        .expect("workload query parses");
+
+    println!(
+        "continuous query registered once:\n{}\n",
+        water_anomaly_query()
+    );
+    let mut total_alerts = 0usize;
+    for (tick, batch) in batches.iter().enumerate() {
+        let t0 = std::time::Instant::now();
+        let outcome = session
+            .apply_batch(&batch.inserts, &batch.deletes)
+            .expect("batch applies");
+        let dt = t0.elapsed();
+        let alerts = &outcome.results[0].results;
+        println!(
+            "batch {tick:2}: +{:<3} -{:<3} triples | store {:5} triples, overlay {:4} | {:>8.3} ms | {} alert(s){}",
+            outcome.report.inserted,
+            outcome.report.deleted,
+            session.store().len(),
+            session.store().delta().overlay_len(),
+            dt.as_secs_f64() * 1e3,
+            alerts.len(),
+            if outcome.report.compacted { "  [compacted]" } else { "" },
+        );
+        for row in &alerts.rows {
+            let station = row[0].as_ref().map_or("?", |t| t.str_value());
+            let value = row[3].as_ref().map_or("?", |t| t.str_value());
+            println!("    ALERT station={station} rawValue={value}");
+        }
+        total_alerts += alerts.len();
+    }
+    let stats = session.store().stats();
+    println!(
+        "\n{total_alerts} alerts over {} batches | {} compactions | ingested +{} / -{}",
+        batches.len(),
+        stats.compactions,
+        stats.total_inserted,
+        stats.total_deleted,
+    );
+    println!(
+        "note: the sliding window retires old observations, so alerts age out \
+         instead of accumulating — and both differently-annotated stations \
+         keep being caught by the single reasoning-enabled query (§2)."
+    );
+}

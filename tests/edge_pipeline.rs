@@ -96,7 +96,10 @@ fn reasoning_is_required_to_catch_both_stations() {
             .collect()
     };
     assert_eq!(stations(&with).len(), 2, "reasoning sees both stations");
-    assert!(stations(&without).len() <= 1, "plain matching misses a station");
+    assert!(
+        stations(&without).len() <= 1,
+        "plain matching misses a station"
+    );
 }
 
 #[test]

@@ -45,7 +45,12 @@ fn all_systems_agree_on_the_full_workload() {
         let b = normalize(&mem.query(&baseline_query).unwrap());
         let c = normalize(&disk.query(&baseline_query).unwrap());
 
-        assert_eq!(a.len(), b.len(), "{}: SuccinctEdge vs memory baseline size", wq.id);
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "{}: SuccinctEdge vs memory baseline size",
+            wq.id
+        );
         assert_eq!(a, b, "{}: SuccinctEdge vs memory baseline rows", wq.id);
         assert_eq!(b, c, "{}: memory vs disk baseline rows", wq.id);
     }
@@ -75,7 +80,10 @@ fn reasoning_strictly_extends_plain_answers() {
     let plain_rows = normalize(&plain);
     let reasoned_rows = normalize(&reasoned);
     for row in &plain_rows {
-        assert!(reasoned_rows.contains(row), "plain answer lost under reasoning");
+        assert!(
+            reasoned_rows.contains(row),
+            "plain answer lost under reasoning"
+        );
     }
 }
 
