@@ -1,18 +1,30 @@
 //! Write-path benchmarks for the incremental ingestion subsystem:
 //! batch ingestion throughput and continuous-query latency on the hybrid
-//! view, against the paper's original rebuild-per-instance model.
+//! view, against the paper's original rebuild-per-instance model — plus
+//! the sharded write path (parallel ingest, background compaction) against
+//! the single-overlay store, with per-batch apply-latency percentiles.
+//!
+//! Besides the criterion timings this bench emits a machine-readable
+//! `BENCH_stream_ingest.json` (throughput + p50/p99 apply latency per
+//! engine) so the perf trajectory can be tracked across commits.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use se_core::SuccinctEdgeStore;
-use se_datagen::water::{generate_stream, WaterConfig};
+use se_datagen::water::{generate_stream, StreamBatch, WaterConfig};
 use se_datagen::workload::water_anomaly_query;
 use se_ontology::water_ontology;
 use se_rdf::{Graph, Triple};
 use se_sparql::QueryOptions;
-use se_stream::{CompactionPolicy, HybridStore, StreamSession};
+use se_stream::{CompactionPolicy, HybridStore, ShardedHybridStore, StreamSession};
 use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
 
 const BATCHES: usize = 32;
+/// The heavier multi-shard workload: more stations → more observation
+/// subgraphs per batch spread across the predicate groups.
+const LAT_STATIONS: usize = 24;
+const LAT_BATCHES: usize = 48;
+const SHARDS: usize = 4;
 
 fn stream_ingest(c: &mut Criterion) {
     let onto = water_ontology();
@@ -102,7 +114,151 @@ fn stream_ingest(c: &mut Criterion) {
         })
     });
 
+    // ---- sharded vs single: multi-shard ingest throughput -----------------
+    let heavy_cfg = WaterConfig {
+        stations: LAT_STATIONS,
+        rounds: 1,
+        anomaly_rate: 0.15,
+        seed: 77,
+    };
+    let heavy = generate_stream(&heavy_cfg, LAT_BATCHES, 6);
+    let policy = CompactionPolicy { max_overlay: 2048 };
+
+    group.bench_function("single_hybrid_ingest_heavy_stream", |b| {
+        b.iter(|| {
+            let mut h = HybridStore::build(&onto, &Graph::new())
+                .unwrap()
+                .with_policy(policy);
+            for batch in &heavy {
+                h.apply(&batch.inserts, &batch.deletes).unwrap();
+            }
+            se_core::TripleSource::len(&h)
+        })
+    });
+    group.bench_function("sharded_ingest_heavy_stream_4_shards", |b| {
+        b.iter(|| {
+            let mut h = ShardedHybridStore::build(&onto, &Graph::new(), SHARDS)
+                .unwrap()
+                .with_policy(policy)
+                .with_background_compaction(true);
+            for batch in &heavy {
+                h.apply(&batch.inserts, &batch.deletes).unwrap();
+            }
+            h.flush_compactions();
+            se_core::TripleSource::len(&h)
+        })
+    });
+
     group.finish();
+
+    // ---- apply-latency percentiles + machine-readable trajectory ---------
+    emit_latency_report(&heavy);
+}
+
+/// Per-batch wall-clock `apply` latencies of one engine over a stream.
+struct LatencyRun {
+    label: &'static str,
+    per_batch: Vec<Duration>,
+    total: Duration,
+    compactions: usize,
+    final_len: usize,
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn run_latency<F>(label: &'static str, batches: &[StreamBatch], mut apply: F) -> LatencyRun
+where
+    F: FnMut(&StreamBatch),
+{
+    let t0 = Instant::now();
+    let mut per_batch = Vec::with_capacity(batches.len());
+    for batch in batches {
+        let t = Instant::now();
+        apply(batch);
+        per_batch.push(t.elapsed());
+    }
+    let total = t0.elapsed();
+    LatencyRun {
+        label,
+        per_batch,
+        total,
+        compactions: 0,
+        final_len: 0,
+    }
+}
+
+impl LatencyRun {
+    fn json(&self) -> String {
+        let mut sorted = self.per_batch.clone();
+        sorted.sort_unstable();
+        format!(
+            "{{\"label\":\"{}\",\"total_ms\":{:.3},\"p50_us\":{:.1},\"p99_us\":{:.1},\"max_us\":{:.1},\"compactions\":{},\"final_triples\":{}}}",
+            self.label,
+            self.total.as_secs_f64() * 1e3,
+            percentile(&sorted, 0.50).as_secs_f64() * 1e6,
+            percentile(&sorted, 0.99).as_secs_f64() * 1e6,
+            sorted.last().copied().unwrap_or_default().as_secs_f64() * 1e6,
+            self.compactions,
+            self.final_len,
+        )
+    }
+}
+
+/// Runs the heavy stream through (a) the single store with inline
+/// compaction and (b) the sharded store with background compaction, under
+/// a deliberately tight compaction policy so several rebuilds land inside
+/// the run — the off-hot-path win shows up as the p99 gap. Results go to
+/// stdout and `BENCH_stream_ingest.json`.
+fn emit_latency_report(heavy: &[StreamBatch]) {
+    let onto = water_ontology();
+    let tight = CompactionPolicy { max_overlay: 768 };
+
+    let mut single = HybridStore::build(&onto, &Graph::new())
+        .unwrap()
+        .with_policy(tight);
+    let mut single_run = run_latency("single_inline_compaction", heavy, |b| {
+        single.apply(&b.inserts, &b.deletes).unwrap();
+    });
+    single_run.compactions = single.stats().compactions;
+    single_run.final_len = se_core::TripleSource::len(&single);
+
+    let mut sharded = ShardedHybridStore::build(&onto, &Graph::new(), SHARDS)
+        .unwrap()
+        .with_policy(tight)
+        .with_background_compaction(true);
+    let mut sharded_run = run_latency("sharded_background_compaction", heavy, |b| {
+        sharded.apply(&b.inserts, &b.deletes).unwrap();
+    });
+    sharded.flush_compactions();
+    sharded_run.compactions = sharded.stats().compactions;
+    sharded_run.final_len = se_core::TripleSource::len(&sharded);
+
+    assert_eq!(
+        single_run.final_len, sharded_run.final_len,
+        "engines must agree on the final store"
+    );
+    let json = format!(
+        "{{\"bench\":\"stream_ingest\",\"batches\":{},\"stations\":{},\"shards\":{},\"runs\":[{},{}]}}\n",
+        heavy.len(),
+        LAT_STATIONS,
+        SHARDS,
+        single_run.json(),
+        sharded_run.json(),
+    );
+    println!("{json}");
+    // Anchor at the workspace root regardless of the harness CWD.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_stream_ingest.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("note: could not write {}: {e}", path.display());
+    }
 }
 
 criterion_group!(benches, stream_ingest);

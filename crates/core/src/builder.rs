@@ -64,11 +64,15 @@ pub fn key_to_term_arc(key: std::sync::Arc<str>) -> Term {
     }
 }
 
-pub(crate) fn build_store(
+/// Step 1 of store construction, exposed for stores that manage their own
+/// layer assembly (the sharded store of `se-stream` encodes one *global*
+/// dictionary set and builds per-shard layers against it): returns the
+/// ontology augmented with every class/property that occurs in `graph` but
+/// not in `ontology`, plus the counts of augmented classes and properties.
+pub fn augment_ontology(
     ontology: &Ontology,
     graph: &Graph,
-) -> Result<SuccinctEdgeStore, BuildError> {
-    // ---- step 1: augment the ontology with data-only terms ---------------
+) -> Result<(Ontology, usize, usize), BuildError> {
     let mut onto = ontology.clone();
     let known_classes: BTreeSet<&str> = onto
         .class_edges
@@ -120,6 +124,15 @@ pub(crate) fn build_store(
     onto.extra_classes.extend(new_classes);
     onto.extra_object_properties.extend(new_obj_props);
     onto.extra_datatype_properties.extend(new_data_props);
+    Ok((onto, stats_aug_classes, stats_aug_props))
+}
+
+pub(crate) fn build_store(
+    ontology: &Ontology,
+    graph: &Graph,
+) -> Result<SuccinctEdgeStore, BuildError> {
+    // ---- step 1: augment the ontology with data-only terms ---------------
+    let (onto, stats_aug_classes, stats_aug_props) = augment_ontology(ontology, graph)?;
 
     // ---- step 2: LiteMat encoding -----------------------------------------
     let mut dicts: Dictionaries = onto.encode()?;

@@ -33,7 +33,7 @@ pub mod store;
 pub mod typestore;
 pub mod value;
 
-pub use builder::BuildStats;
+pub use builder::{augment_ontology, BuildStats};
 pub use error::BuildError;
 pub use source::TripleSource;
 pub use store::SuccinctEdgeStore;

@@ -25,6 +25,15 @@
 //! * identifier spaces are shared with the dictionaries exposed by the
 //!   encode/decode methods: a `u64` returned from one method is meaningful
 //!   as input to any other.
+//!
+//! # Thread safety
+//!
+//! The trait carries `Send + Sync` supertraits: sources are shared across
+//! ingest workers, background-compaction threads and parallel
+//! continuous-query evaluation (`se-stream`'s sharded store fans a single
+//! query out over shard-local views on scoped threads). All built-in
+//! implementations are plain owned data (`Vec`s, boxed red-black trees,
+//! `Arc<str>` dictionaries), so the bounds are free.
 
 use crate::value::Value;
 use se_litemat::IdInterval;
@@ -32,7 +41,10 @@ use se_rdf::{Literal, Term};
 
 /// Pattern-level, identifier-space access to an RDF store — the interface
 /// the SPARQL executor runs against.
-pub trait TripleSource {
+///
+/// `Send + Sync` so executors can evaluate against a shared `&S` from
+/// multiple threads (scatter/gather stores, background compaction).
+pub trait TripleSource: Send + Sync {
     // ---------------------------------------------------------------- encode
 
     /// Instance identifier of a subject/object resource term.
@@ -65,9 +77,10 @@ pub trait TripleSource {
             return true;
         }
         match (a, b) {
-            (Value::Literal(x), Value::Literal(y)) => {
-                self.literal(x).is_some() && self.literal(x) == self.literal(y)
-            }
+            (Value::Literal(x), Value::Literal(y)) => match self.literal(x) {
+                Some(lx) => self.literal(y) == Some(lx),
+                None => false,
+            },
             _ => false,
         }
     }
@@ -280,5 +293,49 @@ mod tests {
             src.subjects_by_literal_interval(age_iv, &Literal::string("42")),
             vec![a]
         );
+    }
+
+    /// The trait's `Send + Sync` supertraits hold for the built-in store
+    /// (compile-time check; scoped ingest workers and background
+    /// compaction rely on it).
+    #[test]
+    fn sources_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::SuccinctEdgeStore>();
+        fn assert_trait_object(src: &(dyn TripleSource + Send + Sync)) -> usize {
+            src.len()
+        }
+        let store =
+            crate::SuccinctEdgeStore::build(&se_ontology::Ontology::new(), &se_rdf::Graph::new())
+                .unwrap();
+        assert_eq!(assert_trait_object(&store), 0);
+    }
+
+    /// The literal/literal arm of the default `values_join` resolves each
+    /// side exactly once and joins on content.
+    #[test]
+    fn values_join_default_literal_content() {
+        let mut g = Graph::new();
+        g.insert(se_rdf::Triple::new(
+            iri("a"),
+            iri("v"),
+            Term::literal("3.14"),
+        ));
+        g.insert(se_rdf::Triple::new(
+            iri("b"),
+            iri("v"),
+            Term::literal("3.14"),
+        ));
+        let store = crate::SuccinctEdgeStore::build(&Ontology::new(), &g).unwrap();
+        let src: &dyn TripleSource = &store;
+        let v = src.property_id("http://x/v").unwrap();
+        let a = src.instance_id(&iri("a")).unwrap();
+        let b = src.instance_id(&iri("b")).unwrap();
+        let la = src.objects(v, a)[0];
+        let lb = src.objects(v, b)[0];
+        assert_ne!(la, lb, "flat store keeps duplicate literals");
+        assert!(src.values_join(la, lb));
+        assert!(!src.values_join(la, Value::Literal(999)));
+        assert!(!src.values_join(Value::Literal(999), Value::Literal(998)));
     }
 }

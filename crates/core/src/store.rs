@@ -122,9 +122,10 @@ impl SuccinctEdgeStore {
             return true;
         }
         match (a, b) {
-            (Value::Literal(x), Value::Literal(y)) => {
-                self.datatype_layer.literal(x) == self.datatype_layer.literal(y)
-            }
+            (Value::Literal(x), Value::Literal(y)) => match self.datatype_layer.literal(x) {
+                Some(lx) => self.datatype_layer.literal(y) == Some(lx),
+                None => false,
+            },
             _ => false,
         }
     }

@@ -2,14 +2,53 @@
 //! re-evaluated against the hybrid view after every ingested batch —
 //! the paper's execution model ("these queries are executed once per
 //! graph instance", §1) without rebuilding the store per instance.
+//!
+//! [`StreamSession`] is generic over any ingestible [`TripleSource`]
+//! (the [`StreamStore`] seam): the single-overlay [`HybridStore`] and the
+//! scatter/gather [`ShardedHybridStore`](crate::ShardedHybridStore) drive
+//! the same registry. With more than one registered query the registry
+//! can evaluate them concurrently over the shared view — the `Send +
+//! Sync` bounds on `TripleSource` make the fan-out free.
 
 use crate::error::StreamError;
 use crate::hybrid::{HybridStore, IngestReport};
+use crate::shard::ShardedHybridStore;
 use se_core::TripleSource;
 use se_rdf::Graph;
 use se_sparql::ast::Query;
 use se_sparql::error::{QueryError, SparqlParseError};
 use se_sparql::{parse_query, QueryOptions, ResultSet};
+
+/// An updatable [`TripleSource`]: the seam [`StreamSession`] drives.
+pub trait StreamStore: TripleSource {
+    /// Applies one batch (deletions first, then insertions), returning
+    /// the ingest accounting.
+    fn apply_batch(
+        &mut self,
+        inserts: &Graph,
+        deletes: &Graph,
+    ) -> Result<IngestReport, StreamError>;
+}
+
+impl StreamStore for HybridStore {
+    fn apply_batch(
+        &mut self,
+        inserts: &Graph,
+        deletes: &Graph,
+    ) -> Result<IngestReport, StreamError> {
+        self.apply(inserts, deletes)
+    }
+}
+
+impl StreamStore for ShardedHybridStore {
+    fn apply_batch(
+        &mut self,
+        inserts: &Graph,
+        deletes: &Graph,
+    ) -> Result<IngestReport, StreamError> {
+        self.apply(inserts, deletes)
+    }
+}
 
 /// One registered continuous query.
 #[derive(Debug, Clone)]
@@ -80,7 +119,7 @@ impl ContinuousQueryRegistry {
         self.queries.iter()
     }
 
-    /// Evaluates every registered query against `source`.
+    /// Evaluates every registered query against `source`, sequentially.
     pub fn evaluate_all<S: TripleSource + ?Sized>(
         &self,
         source: &S,
@@ -95,6 +134,41 @@ impl ContinuousQueryRegistry {
             })
             .collect()
     }
+
+    /// Evaluates every registered query against `source`, one scoped
+    /// worker per query sharing `&S` (sound because [`TripleSource`]
+    /// carries `Send + Sync`). Falls back to the sequential path when at
+    /// most one query is registered or the host has a single core (a
+    /// thread spawn costs more than a cheap query). Results keep
+    /// registration order.
+    pub fn evaluate_all_parallel<S: TripleSource + ?Sized>(
+        &self,
+        source: &S,
+    ) -> Result<Vec<ContinuousResult>, QueryError> {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if self.queries.len() <= 1 || cores <= 1 {
+            return self.evaluate_all(source);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .queries
+                .iter()
+                .map(|q| {
+                    scope.spawn(move || se_sparql::exec::execute(source, &q.query, &q.options))
+                })
+                .collect();
+            self.queries
+                .iter()
+                .zip(handles)
+                .map(|(q, h)| {
+                    Ok(ContinuousResult {
+                        id: q.id.clone(),
+                        results: h.join().expect("query worker panicked")?,
+                    })
+                })
+                .collect()
+        })
+    }
 }
 
 /// Outcome of one streamed batch: what the ingest did plus every
@@ -107,17 +181,19 @@ pub struct BatchOutcome {
     pub results: Vec<ContinuousResult>,
 }
 
-/// A streaming session: a [`HybridStore`] plus a
+/// A streaming session: an ingestible store (single-overlay
+/// [`HybridStore`] by default, or the scatter/gather
+/// [`ShardedHybridStore`](crate::ShardedHybridStore)) plus a
 /// [`ContinuousQueryRegistry`], driven batch by batch.
 #[derive(Debug, Clone)]
-pub struct StreamSession {
-    store: HybridStore,
+pub struct StreamSession<S: StreamStore = HybridStore> {
+    store: S,
     registry: ContinuousQueryRegistry,
 }
 
-impl StreamSession {
-    /// Wraps an existing hybrid store.
-    pub fn new(store: HybridStore) -> Self {
+impl<S: StreamStore> StreamSession<S> {
+    /// Wraps an existing store.
+    pub fn new(store: S) -> Self {
         Self {
             store,
             registry: ContinuousQueryRegistry::new(),
@@ -134,13 +210,13 @@ impl StreamSession {
         self.registry.register(id, text, options)
     }
 
-    /// The underlying hybrid store.
-    pub fn store(&self) -> &HybridStore {
+    /// The underlying store.
+    pub fn store(&self) -> &S {
         &self.store
     }
 
     /// Mutable access (manual compaction, policy changes).
-    pub fn store_mut(&mut self) -> &mut HybridStore {
+    pub fn store_mut(&mut self) -> &mut S {
         &mut self.store
     }
 
@@ -149,15 +225,177 @@ impl StreamSession {
         &self.registry
     }
 
+    /// Mutable registry access (re-registering, deregistering).
+    pub fn registry_mut(&mut self) -> &mut ContinuousQueryRegistry {
+        &mut self.registry
+    }
+
     /// Ingests one batch (deletes, then inserts), compacts if the policy
-    /// demands it, and re-evaluates every registered query.
+    /// demands it, and re-evaluates every registered query over the new
+    /// state (concurrently when more than one query is registered).
     pub fn apply_batch(
         &mut self,
         inserts: &Graph,
         deletes: &Graph,
     ) -> Result<BatchOutcome, StreamError> {
-        let report = self.store.apply(inserts, deletes)?;
-        let results = self.registry.evaluate_all(&self.store)?;
+        let report = self.store.apply_batch(inserts, deletes)?;
+        let results = self.registry.evaluate_all_parallel(&self.store)?;
         Ok(BatchOutcome { report, results })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hybrid::CompactionPolicy;
+    use se_ontology::Ontology;
+    use se_rdf::{Term, Triple};
+
+    fn iri(s: &str) -> Term {
+        Term::iri(format!("http://x/{s}"))
+    }
+
+    fn t(s: &str, p: &str, o: Term) -> Triple {
+        Triple::new(iri(s), Term::iri(format!("http://x/{p}")), o)
+    }
+
+    fn ontology() -> Ontology {
+        let mut o = Ontology::new();
+        o.add_object_property("http://x/knows");
+        o.add_object_property("http://x/likes");
+        o
+    }
+
+    fn store_with(triples: impl IntoIterator<Item = Triple>) -> HybridStore {
+        HybridStore::build(&ontology(), &Graph::from_triples(triples)).unwrap()
+    }
+
+    #[test]
+    fn reregistering_an_id_replaces_the_query() {
+        let store = store_with([t("a", "knows", iri("b")), t("a", "likes", iri("c"))]);
+        let mut reg = ContinuousQueryRegistry::new();
+        reg.register(
+            "q",
+            "PREFIX e: <http://x/> SELECT ?o WHERE { e:a e:knows ?o }",
+            QueryOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(reg.evaluate_all(&store).unwrap()[0].results.len(), 1);
+        // Same id, different query: the old one must be gone, position
+        // and count unchanged.
+        reg.register(
+            "q",
+            "PREFIX e: <http://x/> SELECT ?o WHERE { e:a e:likes ?o }",
+            QueryOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(reg.len(), 1);
+        let results = reg.evaluate_all(&store).unwrap();
+        assert_eq!(results[0].id, "q");
+        let row = &results[0].results.rows[0];
+        assert_eq!(row[0].as_ref().unwrap(), &iri("c"));
+    }
+
+    #[test]
+    fn deregister_removes_and_reports() {
+        let mut reg = ContinuousQueryRegistry::new();
+        reg.register(
+            "one",
+            "PREFIX e: <http://x/> SELECT ?o WHERE { e:a e:knows ?o }",
+            QueryOptions::default(),
+        )
+        .unwrap();
+        reg.register(
+            "two",
+            "PREFIX e: <http://x/> SELECT ?o WHERE { e:a e:likes ?o }",
+            QueryOptions::default(),
+        )
+        .unwrap();
+        assert!(reg.deregister("one"));
+        assert!(!reg.deregister("one"), "second removal reports absence");
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+        let ids: Vec<&str> = reg.iter().map(|q| q.id.as_str()).collect();
+        assert_eq!(ids, vec!["two"]);
+        assert!(reg.deregister("two"));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn registration_rejects_unparseable_queries() {
+        let mut reg = ContinuousQueryRegistry::new();
+        assert!(reg
+            .register("bad", "SELECT WHERE {", QueryOptions::default())
+            .is_err());
+        assert!(reg.is_empty(), "failed registration leaves no residue");
+    }
+
+    /// Continuous-query answers must be identical on the batch that
+    /// crosses a compaction boundary and on the batches around it — the
+    /// registry never notices the baseline swap.
+    #[test]
+    fn results_stable_across_compaction_boundary() {
+        let store = store_with([t("a", "knows", iri("hub"))])
+            .with_policy(CompactionPolicy { max_overlay: 3 });
+        let mut session = StreamSession::new(store);
+        session
+            .register_query(
+                "members",
+                "PREFIX e: <http://x/> SELECT ?s WHERE { ?s e:knows e:hub }",
+                QueryOptions::default(),
+            )
+            .unwrap();
+        let mut expected = 1usize;
+        let mut crossed = false;
+        for round in 0..6 {
+            let inserts = Graph::from_triples([t(&format!("n{round}"), "knows", iri("hub"))]);
+            let out = session.apply_batch(&inserts, &Graph::new()).unwrap();
+            expected += 1;
+            assert_eq!(
+                out.results[0].results.len(),
+                expected,
+                "round {round}: answer drifted (compacted={})",
+                out.report.compacted
+            );
+            crossed |= out.report.compacted;
+        }
+        assert!(crossed, "the stream must cross a compaction boundary");
+        // Evaluating again without a batch gives the same answers —
+        // parallel and sequential paths agree.
+        let seq = session.registry().evaluate_all(session.store()).unwrap();
+        let par = session
+            .registry()
+            .evaluate_all_parallel(session.store())
+            .unwrap();
+        assert_eq!(seq.len(), par.len());
+        assert_eq!(seq[0].results.rows.len(), par[0].results.rows.len());
+    }
+
+    /// The sharded store drives the same generic session.
+    #[test]
+    fn session_is_generic_over_the_sharded_store() {
+        let store = ShardedHybridStore::build(
+            &ontology(),
+            &Graph::from_triples([t("a", "knows", iri("hub"))]),
+            2,
+        )
+        .unwrap();
+        let mut session = StreamSession::new(store);
+        session
+            .register_query(
+                "q",
+                "PREFIX e: <http://x/> SELECT ?s WHERE { ?s e:knows e:hub }",
+                QueryOptions::default(),
+            )
+            .unwrap();
+        let out = session
+            .apply_batch(
+                &Graph::from_triples([t("b", "knows", iri("hub"))]),
+                &Graph::new(),
+            )
+            .unwrap();
+        assert_eq!(out.report.inserted, 1);
+        assert_eq!(out.results[0].results.len(), 2);
+        session.store_mut().flush_compactions();
     }
 }

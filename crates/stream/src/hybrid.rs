@@ -42,6 +42,7 @@ use std::collections::BTreeSet;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// First identifier of the overflow id space for properties, concepts and
 /// overlay literals. LiteMat codes and flat-literal indices stay far below
@@ -74,6 +75,13 @@ pub struct IngestReport {
     pub noops: usize,
     /// `true` if this batch triggered a compaction.
     pub compacted: bool,
+    /// Time spent routing + applying the overlay mutations of this batch
+    /// (compaction excluded).
+    pub ingest: Duration,
+    /// Time this batch's `apply` call spent blocked on compaction work
+    /// (inline rebuild, or the atomic swap of a finished background
+    /// rebuild). Zero while a background rebuild is still running.
+    pub compaction: Duration,
 }
 
 /// Counters over the store's lifetime.
@@ -85,18 +93,24 @@ pub struct HybridStats {
     pub total_inserted: usize,
     /// Total triples deleted (effective).
     pub total_deleted: usize,
+    /// Total time spent applying overlay mutations.
+    pub total_ingest: Duration,
+    /// Total time spent compacting (rebuild + swap; for background
+    /// compaction this is worker wall time, off the ingest hot path).
+    pub total_compaction: Duration,
 }
 
 /// Overflow dictionary for properties or concepts: ids above
-/// [`OVERFLOW_BASE`], no hierarchy.
+/// [`OVERFLOW_BASE`], no hierarchy. Shared with the sharded store, which
+/// keeps one global overflow space across all shards.
 #[derive(Debug, Clone, Default)]
-struct OverflowDict {
+pub(crate) struct OverflowDict {
     ids: HashMap<Arc<str>, u64>,
     terms: Vec<Arc<str>>,
 }
 
 impl OverflowDict {
-    fn get_or_insert(&mut self, iri: &str) -> u64 {
+    pub(crate) fn get_or_insert(&mut self, iri: &str) -> u64 {
         if let Some(&id) = self.ids.get(iri) {
             return id;
         }
@@ -107,17 +121,17 @@ impl OverflowDict {
         id
     }
 
-    fn id(&self, iri: &str) -> Option<u64> {
+    pub(crate) fn id(&self, iri: &str) -> Option<u64> {
         self.ids.get(iri).copied()
     }
 
-    fn term(&self, id: u64) -> Option<Arc<str>> {
+    pub(crate) fn term(&self, id: u64) -> Option<Arc<str>> {
         self.terms
             .get(id.checked_sub(OVERFLOW_BASE)? as usize)
             .cloned()
     }
 
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.ids.clear();
         self.terms.clear();
     }
@@ -320,6 +334,7 @@ impl HybridStore {
     /// triple deleted in the same batch wins). Compacts afterwards if the
     /// overlay crossed the policy threshold.
     pub fn apply(&mut self, inserts: &Graph, deletes: &Graph) -> Result<IngestReport, StreamError> {
+        let t0 = Instant::now();
         let mut report = IngestReport::default();
         for t in deletes {
             if self.delete_triple(t)? {
@@ -335,11 +350,15 @@ impl HybridStore {
                 report.noops += 1;
             }
         }
+        report.ingest = t0.elapsed();
         self.stats.total_inserted += report.inserted;
         self.stats.total_deleted += report.deleted;
+        self.stats.total_ingest += report.ingest;
         if self.delta.overlay_len() >= self.policy.max_overlay {
+            let t1 = Instant::now();
             self.compact()?;
             report.compacted = true;
+            report.compaction = t1.elapsed();
         }
         Ok(report)
     }
@@ -478,27 +497,33 @@ impl HybridStore {
 
     // -------------------------------------------------------------- compaction
 
+    /// Decodes a property id (baseline or overflow) to its IRI term.
+    fn property_term(&self, id: u64) -> Term {
+        let iri = if id >= OVERFLOW_BASE {
+            self.ovf_properties.term(id)
+        } else {
+            self.base.dictionaries().properties.term_arc(id)
+        };
+        Term::Iri(iri.expect("dictionary-complete property id"))
+    }
+
+    /// Decodes a concept id (baseline or overflow) to its IRI term.
+    fn concept_term(&self, id: u64) -> Term {
+        let iri = if id >= OVERFLOW_BASE {
+            self.ovf_concepts.term(id)
+        } else {
+            self.base.dictionaries().concepts.term_arc(id)
+        };
+        Term::Iri(iri.expect("dictionary-complete concept id"))
+    }
+
     /// Materializes the current hybrid view as a term-space graph
     /// (baseline minus tombstones plus overlay insertions).
     pub fn materialize(&self) -> Graph {
         let mut g = Graph::new();
         let decode_inst = |id: u64| self.term_of_instance(id).expect("dictionary-complete id");
-        let prop_term = |id: u64| -> Term {
-            let iri = if id >= OVERFLOW_BASE {
-                self.ovf_properties.term(id)
-            } else {
-                self.base.dictionaries().properties.term_arc(id)
-            };
-            Term::Iri(iri.expect("dictionary-complete property id"))
-        };
-        let concept_term = |id: u64| -> Term {
-            let iri = if id >= OVERFLOW_BASE {
-                self.ovf_concepts.term(id)
-            } else {
-                self.base.dictionaries().concepts.term_arc(id)
-            };
-            Term::Iri(iri.expect("dictionary-complete concept id"))
-        };
+        let prop_term = |id: u64| self.property_term(id);
+        let concept_term = |id: u64| self.concept_term(id);
         let rdf_type = Term::iri(se_rdf::vocab::rdf::TYPE);
 
         // Baseline, minus tombstones.
@@ -556,18 +581,83 @@ impl HybridStore {
         g
     }
 
-    /// Rebuilds the succinct baseline from baseline + overlay and clears
-    /// the overlay. Overflow terms are folded into the dictionaries by the
-    /// builder's augmentation step and become reasoning-capable.
-    pub fn compact(&mut self) -> Result<(), StreamError> {
-        let graph = self.materialize();
-        self.base = SuccinctEdgeStore::build(&self.ontology, &graph)?;
+    /// Snapshots the hybrid view as a pure, `Send` rebuild plan. The
+    /// expensive part — [`CompactionPlan::build`] — borrows nothing from
+    /// the store, so a caller can run it on a worker thread while `apply`
+    /// keeps ingesting, then fold the result back with
+    /// [`HybridStore::swap_baseline`].
+    pub fn plan_compaction(&self) -> CompactionPlan {
+        CompactionPlan {
+            graph: self.materialize(),
+            ontology: self.ontology.clone(),
+        }
+    }
+
+    /// Installs a rebuilt baseline (normally the output of
+    /// [`CompactionPlan::build`]) and rebases the live overlay onto it.
+    ///
+    /// Every overlay entry present at plan time is covered by the rebuilt
+    /// baseline and collapses to a no-op; entries recorded *after* the
+    /// plan was taken (writes that raced a background rebuild) are
+    /// replayed in term space, so the swap is atomic from the query
+    /// perspective: the merged view before and after describes the same
+    /// graph plus the raced writes.
+    pub fn swap_baseline(&mut self, rebuilt: SuccinctEdgeStore) -> Result<(), StreamError> {
+        let replay = self.overlay_term_ops();
+        self.base = rebuilt;
         self.delta.clear();
         self.ovf_instances
             .reset(self.base.dictionaries().instances.len() as u64);
         self.ovf_properties.clear();
         self.ovf_concepts.clear();
         self.stats.compactions += 1;
+        for (t, visible) in replay {
+            if visible {
+                self.insert_triple(&t)?;
+            } else {
+                self.delete_triple(&t)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The live overlay decoded to term space, with the visibility each
+    /// entry asserts (`true` = the triple must be visible).
+    fn overlay_term_ops(&self) -> Vec<(Triple, bool)> {
+        let decode_inst = |id: u64| self.term_of_instance(id).expect("dictionary-complete id");
+        let rdf_type = Term::iri(se_rdf::vocab::rdf::TYPE);
+        let mut ops = Vec::with_capacity(self.delta.overlay_len());
+        for (p, s, o, st) in self.delta.iter() {
+            let object = match o {
+                DeltaObj::Inst(id) => decode_inst(id),
+                DeltaObj::Lit(local) => {
+                    Term::Literal(self.delta.literal(local).expect("interned literal").clone())
+                }
+            };
+            ops.push((
+                Triple::new(decode_inst(s), self.property_term(p), object),
+                st.present(),
+            ));
+        }
+        for (s, c, st) in self.delta.type_iter() {
+            ops.push((
+                Triple::new(decode_inst(s), rdf_type.clone(), self.concept_term(c)),
+                st.present(),
+            ));
+        }
+        ops
+    }
+
+    /// Rebuilds the succinct baseline from baseline + overlay and clears
+    /// the overlay, inline ([`HybridStore::plan_compaction`] +
+    /// [`CompactionPlan::build`] + [`HybridStore::swap_baseline`] in one
+    /// blocking call). Overflow terms are folded into the dictionaries by
+    /// the builder's augmentation step and become reasoning-capable.
+    pub fn compact(&mut self) -> Result<(), StreamError> {
+        let t0 = Instant::now();
+        let rebuilt = self.plan_compaction().build()?;
+        self.swap_baseline(rebuilt)?;
+        self.stats.total_compaction += t0.elapsed();
         Ok(())
     }
 
@@ -635,9 +725,42 @@ impl HybridStore {
     }
 }
 
+/// A pure compaction snapshot: the materialized hybrid view plus the
+/// ontology, detached from the store. `build` is the expensive rebuild
+/// step and can run on a worker thread (the plan is `Send`); the result
+/// is folded back with [`HybridStore::swap_baseline`].
+#[derive(Debug, Clone)]
+pub struct CompactionPlan {
+    graph: Graph,
+    ontology: Ontology,
+}
+
+impl CompactionPlan {
+    /// Rebuilds the succinct layers from the snapshot. Pure: no access to
+    /// the live store, safe to run concurrently with ingestion.
+    pub fn build(&self) -> Result<SuccinctEdgeStore, StreamError> {
+        Ok(SuccinctEdgeStore::build(&self.ontology, &self.graph)?)
+    }
+
+    /// Number of triples in the snapshot.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// `true` if the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+}
+
 /// State transition of one triple given its overlay state, baseline
-/// membership and the requested operation. `None` means no-op.
-fn transition(old: Option<DeltaState>, base_has: bool, insert: bool) -> Option<DeltaState> {
+/// membership and the requested operation. `None` means no-op. Shared
+/// with the sharded store's ingest workers.
+pub(crate) fn transition(
+    old: Option<DeltaState>,
+    base_has: bool,
+    insert: bool,
+) -> Option<DeltaState> {
     use DeltaState::*;
     if insert {
         match old {

@@ -25,18 +25,68 @@
 //!   parsed once, re-evaluated over the hybrid view after every ingested
 //!   batch: the paper's "one query per graph instance" loop without the
 //!   per-instance rebuild.
+//!
+//! # Architecture: shard routing and background compaction
+//!
+//! [`ShardedHybridStore`] scales the write path across cores by
+//! partitioning the triple space **by predicate** (`rdf:type` triples by
+//! concept) into N `baseline + overlay` shards behind one scatter/gather
+//! [`TripleSource`](se_core::TripleSource):
+//!
+//! ```text
+//!                  apply(inserts, deletes)
+//!                          │
+//!              ┌───── encode + route ─────┐      global dictionaries:
+//!              │   (routing table: prop   │      · instances: dense, append-only
+//!              │    id → shard, concept   │      · props/concepts: one LiteMat
+//!              │    id → shard; policy    │        encode, overflow ≥ 2^62
+//!              │    hook for custom       │      · overlay literals: shared
+//!              │    layouts)              │        content-interned table
+//!              ▼                          ▼
+//!        ┌─────────┐                ┌─────────┐
+//!        │ shard 0 │       …        │ shard N │   one scoped worker each:
+//!        │ layers  │                │ layers  │   baseline probes + rbtree
+//!        │ + delta │                │ + delta │   overlay insertion in parallel
+//!        └────┬────┘                └────┬────┘
+//!             │     scatter/gather       │
+//!             └──────────┬───────────────┘
+//!                        ▼
+//!          predicate-bound pattern → one shard
+//!          unbound / LiteMat interval → fan out, k-way merge
+//! ```
+//!
+//! Every shard stores triples in the **same global id space** (the store
+//! owns the dictionaries; shard layers are built against them without
+//! re-encoding), so gathered runs join directly and the merge-join
+//! ordering contracts survive sharding.
+//!
+//! Compaction is split out of the ingest hot path: when a shard's overlay
+//! crosses the [`CompactionPolicy`] threshold, a background worker folds
+//! an `Arc` snapshot of its layers + a clone of its overlay into fresh
+//! layers (pure, id-stable), and a later `apply` **atomically swaps** the
+//! result in, rebasing any writes that raced the rebuild via a pure
+//! visibility rule. `apply` latency is therefore bounded by routing +
+//! overlay insertion + swap — never by layer construction. The single
+//! [`HybridStore`] exposes the same split (`plan_compaction` /
+//! [`CompactionPlan::build`] / `swap_baseline`) for callers that manage
+//! their own threads.
 
 pub mod continuous;
 pub mod delta;
 pub mod error;
 pub mod hybrid;
+pub mod shard;
 
 pub use continuous::{
     BatchOutcome, ContinuousQuery, ContinuousQueryRegistry, ContinuousResult, StreamSession,
+    StreamStore,
 };
 pub use delta::{DeltaObj, DeltaState, DeltaStore};
 pub use error::StreamError;
-pub use hybrid::{CompactionPolicy, HybridStats, HybridStore, IngestReport, OVERFLOW_BASE};
+pub use hybrid::{
+    CompactionPlan, CompactionPolicy, HybridStats, HybridStore, IngestReport, OVERFLOW_BASE,
+};
+pub use shard::{ShardPolicy, ShardedHybridStore, ShardedStats, LIT_SHARD_STRIDE, MAX_SHARDS};
 
 #[cfg(test)]
 mod tests {
@@ -357,6 +407,77 @@ mod tests {
         assert_eq!(h.delta().literal_id(&Literal::string("42")), None);
         assert!(h.delta().is_empty());
         assert_eq!(h.len(), 6);
+    }
+
+    #[test]
+    fn split_compaction_plan_build_swap_equals_inline() {
+        let mut split = hybrid();
+        let mut inline = hybrid();
+        for h in [&mut split, &mut inline] {
+            h.insert_triple(&t("newSensor", "emits", iri("a"))).unwrap();
+            h.delete_triple(&t("a", "knows", iri("b"))).unwrap();
+        }
+        let plan = split.plan_compaction();
+        assert_eq!(plan.len(), split.materialize().len());
+        let rebuilt = plan.build().unwrap();
+        split.swap_baseline(rebuilt).unwrap();
+        inline.compact().unwrap();
+        assert!(split.delta().is_empty(), "covered overlay collapses away");
+        let norm = |g: &Graph| {
+            let mut v: Vec<String> = g.iter().map(|t| t.to_string()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&split.materialize()), norm(&inline.materialize()));
+        assert_eq!(split.stats().compactions, 1);
+    }
+
+    #[test]
+    fn swap_baseline_rebases_writes_raced_between_plan_and_swap() {
+        let mut h = hybrid();
+        h.insert_triple(&t("c", "knows", iri("a"))).unwrap();
+        let plan = h.plan_compaction();
+        // Writes landing while the (simulated) worker rebuilds: a fresh
+        // insert, a delete of a planned triple, and a delete of a
+        // baseline triple.
+        h.insert_triple(&t("d", "knows", iri("a"))).unwrap();
+        h.delete_triple(&t("c", "knows", iri("a"))).unwrap();
+        h.delete_triple(&t("a", "worksFor", iri("org"))).unwrap();
+        let rebuilt = plan.build().unwrap();
+        h.swap_baseline(rebuilt).unwrap();
+        // The raced writes survive the swap.
+        let knows = h.property_id("http://x/knows").unwrap();
+        let a = h.instance_id(&iri("a")).unwrap();
+        let d = h.instance_id(&iri("d")).unwrap();
+        assert_eq!(h.subjects(knows, &Value::Instance(a)), vec![d]);
+        let works = h.property_id("http://x/worksFor").unwrap();
+        assert_eq!(h.predicate_count(works), 0);
+        assert_eq!(h.len(), 6, "6 seed + c + d - c - worksFor = 6");
+        // And the overlay holds exactly the raced writes, nothing stale:
+        // d→a as an insert; tombstones for the two deletes (c→a was in
+        // the plan, so its raced delete rebases to a tombstone).
+        assert_eq!(h.delta().added(), 1);
+        assert_eq!(h.delta().deleted(), 2);
+    }
+
+    #[test]
+    fn apply_reports_batch_timings() {
+        let mut h = hybrid().with_policy(CompactionPolicy { max_overlay: 2 });
+        let report = h
+            .apply(
+                &Graph::from_triples([
+                    t("c", "knows", iri("a")),
+                    t("d", "knows", iri("a")),
+                    t("e", "knows", iri("a")),
+                ]),
+                &Graph::new(),
+            )
+            .unwrap();
+        assert!(report.compacted);
+        assert!(report.ingest > std::time::Duration::ZERO);
+        assert!(report.compaction > std::time::Duration::ZERO);
+        assert!(h.stats().total_ingest >= report.ingest);
+        assert!(h.stats().total_compaction > std::time::Duration::ZERO);
     }
 
     #[test]

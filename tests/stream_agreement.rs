@@ -9,13 +9,14 @@
 //! after compactions triggered by the overlay-size policy.
 
 use se_core::{SuccinctEdgeStore, TripleSource};
-use se_datagen::water::{generate_stream, WaterConfig};
+use se_datagen::water::{generate_stream, water_shard_group, WaterConfig};
 use se_datagen::workload::water_anomaly_query;
 use se_ontology::water_ontology;
 use se_rdf::{Graph, Triple};
 use se_sparql::{QueryOptions, ResultSet};
-use se_stream::{CompactionPolicy, HybridStore, StreamSession};
+use se_stream::{CompactionPolicy, HybridStore, ShardPolicy, ShardedHybridStore, StreamSession};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Sorted row strings: ResultSets compare as multisets (SPARQL bag
 /// semantics — hybrid and rebuild may enumerate rows in different order).
@@ -189,6 +190,152 @@ fn hybrid_agrees_with_rebuild_across_stream_and_compaction() {
         anomaly_alerts > 0,
         "30% anomaly rate over 12 batches must raise alerts"
     );
+}
+
+/// The sharded acceptance property: across >= 12 batches with deletions
+/// and compactions, the scatter/gather [`ShardedHybridStore`] answers all
+/// eleven query shapes (reasoning on and off) identically to a single
+/// [`HybridStore`] *and* a from-scratch rebuild — with inline per-shard
+/// compaction, with background compaction racing the stream, and with the
+/// workload-aware routing policy from `se-datagen`.
+#[test]
+fn sharded_agrees_with_single_store_and_rebuild() {
+    let onto = water_ontology();
+    let cfg = WaterConfig {
+        stations: 2,
+        rounds: 1,
+        anomaly_rate: 0.3,
+        seed: 97,
+    };
+    let batches = generate_stream(&cfg, 12, 3);
+    assert!(batches.len() >= 12, "acceptance requires >= 12 batches");
+    let policy = CompactionPolicy { max_overlay: 90 };
+
+    // Store variants under test, all fed the same stream.
+    let single = HybridStore::build(&onto, &Graph::new())
+        .unwrap()
+        .with_policy(policy);
+    let sharded_inline = ShardedHybridStore::build(&onto, &Graph::new(), 3)
+        .unwrap()
+        .with_policy(policy)
+        .with_background_compaction(false);
+    let sharded_bg = ShardedHybridStore::build_with_policy(
+        &onto,
+        &Graph::new(),
+        4,
+        ShardPolicy::ByIri(Arc::new(water_shard_group)),
+    )
+    .unwrap()
+    .with_policy(policy)
+    .with_background_compaction(true);
+
+    let mut single = StreamSession::new(single);
+    let mut sharded_inline = StreamSession::new(sharded_inline);
+    let mut sharded_bg = StreamSession::new(sharded_bg);
+    for (id, text, opts) in shape_queries() {
+        single.register_query(id, &text, opts.clone()).unwrap();
+        sharded_inline
+            .register_query(id, &text, opts.clone())
+            .unwrap();
+        sharded_bg.register_query(id, &text, opts).unwrap();
+    }
+
+    let mut reference: BTreeSet<Triple> = BTreeSet::new();
+    let mut inline_compactions = 0usize;
+    let mut deletions = 0usize;
+
+    for (tick, batch) in batches.iter().enumerate() {
+        let out_single = single.apply_batch(&batch.inserts, &batch.deletes).unwrap();
+        let out_inline = sharded_inline
+            .apply_batch(&batch.inserts, &batch.deletes)
+            .unwrap();
+        let out_bg = sharded_bg
+            .apply_batch(&batch.inserts, &batch.deletes)
+            .unwrap();
+
+        for t in &batch.deletes {
+            reference.remove(t);
+        }
+        for t in &batch.inserts {
+            reference.insert(t.clone());
+        }
+        deletions += out_single.report.deleted;
+        if out_inline.report.compacted {
+            inline_compactions += 1;
+        }
+        // Effective mutation counts agree between the engines.
+        assert_eq!(
+            (out_single.report.inserted, out_single.report.deleted),
+            (out_inline.report.inserted, out_inline.report.deleted),
+            "batch {tick}: ingest accounting diverged (inline)"
+        );
+        assert_eq!(
+            (out_single.report.inserted, out_single.report.deleted),
+            (out_bg.report.inserted, out_bg.report.deleted),
+            "batch {tick}: ingest accounting diverged (background)"
+        );
+        assert_eq!(sharded_inline.store().len(), reference.len());
+        assert_eq!(sharded_bg.store().len(), reference.len());
+
+        let rebuilt =
+            SuccinctEdgeStore::build(&onto, &Graph::from_triples(reference.iter().cloned()))
+                .unwrap();
+        for (((cq, rs_single), rs_inline), rs_bg) in single
+            .registry()
+            .iter()
+            .zip(&out_single.results)
+            .zip(&out_inline.results)
+            .zip(&out_bg.results)
+        {
+            let fresh = se_sparql::exec::execute(&rebuilt, &cq.query, &cq.options).unwrap();
+            let want = normalize(&fresh);
+            assert_eq!(
+                normalize(&rs_single.results),
+                want,
+                "batch {tick}: '{}' single vs rebuild",
+                cq.id
+            );
+            assert_eq!(
+                normalize(&rs_inline.results),
+                want,
+                "batch {tick}: '{}' sharded-inline vs rebuild",
+                cq.id
+            );
+            assert_eq!(
+                normalize(&rs_bg.results),
+                want,
+                "batch {tick}: '{}' sharded-background vs rebuild",
+                cq.id
+            );
+        }
+    }
+
+    // Drain in-flight background rebuilds and re-check agreement after
+    // the final swaps.
+    sharded_bg.store_mut().flush_compactions();
+    let rebuilt =
+        SuccinctEdgeStore::build(&onto, &Graph::from_triples(reference.iter().cloned())).unwrap();
+    for cq in sharded_bg.registry().iter().collect::<Vec<_>>() {
+        let fresh = se_sparql::exec::execute(&rebuilt, &cq.query, &cq.options).unwrap();
+        let got = se_sparql::exec::execute(sharded_bg.store(), &cq.query, &cq.options).unwrap();
+        assert_eq!(
+            normalize(&got),
+            normalize(&fresh),
+            "post-flush: '{}' sharded-background vs rebuild",
+            cq.id
+        );
+    }
+
+    assert!(inline_compactions >= 1, "stream must cross a compaction");
+    assert!(
+        sharded_inline.store().stats().compactions >= 1,
+        "inline sharded store must compact"
+    );
+    assert!(
+        sharded_bg.store().stats().compactions >= 1,
+        "background sharded store must compact"
+    );
+    assert!(deletions > 0, "stream must exercise the deletion path");
 }
 
 #[test]
