@@ -1,21 +1,26 @@
 //! Write-path benchmarks for the incremental ingestion subsystem:
 //! batch ingestion throughput and continuous-query latency on the hybrid
 //! view, against the paper's original rebuild-per-instance model — plus
-//! the sharded write path (parallel ingest, background compaction) against
-//! the single-overlay store, with per-batch apply-latency percentiles.
+//! the sharded write path (pooled parallel ingest, background compaction)
+//! against the single-overlay store, with per-batch apply-latency
+//! percentiles and a small-batch break-even sweep of the persistent
+//! worker pool against the legacy per-batch scoped spawns.
 //!
 //! Besides the criterion timings this bench emits a machine-readable
-//! `BENCH_stream_ingest.json` (throughput + p50/p99 apply latency per
-//! engine) so the perf trajectory can be tracked across commits.
+//! `BENCH_stream_ingest.json` (throughput + rank-interpolated p50/p99
+//! apply latency per engine, pooled/inline batch counts, and the sweep)
+//! so the perf trajectory can be tracked across commits — CI gates on the
+//! `sharded_background_compaction` entry.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use se_core::SuccinctEdgeStore;
 use se_datagen::water::{generate_stream, StreamBatch, WaterConfig};
 use se_datagen::workload::water_anomaly_query;
 use se_ontology::water_ontology;
-use se_rdf::{Graph, Triple};
+use se_ontology::Ontology;
+use se_rdf::{Graph, Term, Triple};
 use se_sparql::QueryOptions;
-use se_stream::{CompactionPolicy, HybridStore, ShardedHybridStore, StreamSession};
+use se_stream::{CompactionPolicy, HybridStore, IngestMode, ShardedHybridStore, StreamSession};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -23,8 +28,15 @@ const BATCHES: usize = 32;
 /// The heavier multi-shard workload: more stations → more observation
 /// subgraphs per batch spread across the predicate groups.
 const LAT_STATIONS: usize = 24;
-const LAT_BATCHES: usize = 48;
+/// Criterion iterates the whole stream per sample — keep it short.
+const CRIT_BATCHES: usize = 48;
+/// The latency trajectory needs a real tail: ≥200 batches so p99 is an
+/// interpolated rank statistic, not the sample maximum.
+const LAT_BATCHES: usize = 240;
 const SHARDS: usize = 4;
+/// Small-batch sweep: ops per batch across the spawn/pool break-even.
+const SWEEP_SIZES: [usize; 3] = [32, 256, 2048];
+const SWEEP_BATCHES: usize = 64;
 
 fn stream_ingest(c: &mut Criterion) {
     let onto = water_ontology();
@@ -121,7 +133,7 @@ fn stream_ingest(c: &mut Criterion) {
         anomaly_rate: 0.15,
         seed: 77,
     };
-    let heavy = generate_stream(&heavy_cfg, LAT_BATCHES, 6);
+    let heavy = generate_stream(&heavy_cfg, CRIT_BATCHES, 6);
     let policy = CompactionPolicy { max_overlay: 2048 };
 
     group.bench_function("single_hybrid_ingest_heavy_stream", |b| {
@@ -152,29 +164,49 @@ fn stream_ingest(c: &mut Criterion) {
     group.finish();
 
     // ---- apply-latency percentiles + machine-readable trajectory ---------
-    emit_latency_report(&heavy);
+    // A longer stream than the criterion benches: p99 over 240 batches is
+    // a real (interpolated) tail statistic instead of the sample max.
+    let heavy_long = generate_stream(&heavy_cfg, LAT_BATCHES, 6);
+    emit_latency_report(&heavy_long);
 }
 
 /// Per-batch wall-clock `apply` latencies of one engine over a stream.
 struct LatencyRun {
-    label: &'static str,
+    label: String,
     per_batch: Vec<Duration>,
     total: Duration,
     compactions: usize,
     final_len: usize,
+    /// How the batches were applied (from `ShardedStats`; the single
+    /// store is all-inline by construction).
+    pooled_batches: usize,
+    inline_batches: usize,
+    scoped_batches: usize,
 }
 
+/// Rank-interpolated percentile: the q-quantile of n samples sits at
+/// rank `q·(n-1)`; interpolating linearly between the bracketing order
+/// statistics makes p99 a genuine tail estimate instead of collapsing to
+/// the maximum (which it did with 48 samples, where `round(0.99·47)` is
+/// the last index).
 fn percentile(sorted: &[Duration], q: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
     }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return sorted[lo];
+    }
+    let a = sorted[lo].as_secs_f64();
+    let b = sorted[hi].as_secs_f64();
+    Duration::from_secs_f64(a + (b - a) * (rank - lo as f64))
 }
 
-fn run_latency<F>(label: &'static str, batches: &[StreamBatch], mut apply: F) -> LatencyRun
+fn run_latency<B, F>(label: &str, batches: &[B], mut apply: F) -> LatencyRun
 where
-    F: FnMut(&StreamBatch),
+    F: FnMut(&B),
 {
     let t0 = Instant::now();
     let mut per_batch = Vec::with_capacity(batches.len());
@@ -185,36 +217,98 @@ where
     }
     let total = t0.elapsed();
     LatencyRun {
-        label,
+        label: label.to_string(),
         per_batch,
         total,
         compactions: 0,
         final_len: 0,
+        pooled_batches: 0,
+        inline_batches: 0,
+        scoped_batches: 0,
     }
 }
 
 impl LatencyRun {
+    fn take_sharded_stats(&mut self, store: &ShardedHybridStore) {
+        let stats = store.stats();
+        self.compactions = stats.compactions;
+        self.pooled_batches = stats.pooled_batches;
+        self.inline_batches = stats.inline_batches;
+        self.scoped_batches = stats.scoped_batches;
+        self.final_len = se_core::TripleSource::len(store);
+    }
+
     fn json(&self) -> String {
         let mut sorted = self.per_batch.clone();
         sorted.sort_unstable();
         format!(
-            "{{\"label\":\"{}\",\"total_ms\":{:.3},\"p50_us\":{:.1},\"p99_us\":{:.1},\"max_us\":{:.1},\"compactions\":{},\"final_triples\":{}}}",
+            "{{\"label\":\"{}\",\"batches\":{},\"total_ms\":{:.3},\"p50_us\":{:.1},\"p99_us\":{:.1},\"max_us\":{:.1},\"compactions\":{},\"final_triples\":{},\"pooled_batches\":{},\"inline_batches\":{},\"scoped_batches\":{}}}",
             self.label,
+            self.per_batch.len(),
             self.total.as_secs_f64() * 1e3,
             percentile(&sorted, 0.50).as_secs_f64() * 1e6,
             percentile(&sorted, 0.99).as_secs_f64() * 1e6,
             sorted.last().copied().unwrap_or_default().as_secs_f64() * 1e6,
             self.compactions,
             self.final_len,
+            self.pooled_batches,
+            self.inline_batches,
+            self.scoped_batches,
         )
     }
+}
+
+/// Synthetic uniform batches for the break-even sweep: `size` object
+/// triples per batch over 8 predicates (spread across the shards by the
+/// round-robin policy), fresh subjects every batch so every op is an
+/// effective insert.
+fn sweep_ontology() -> Ontology {
+    let mut o = Ontology::new();
+    for p in 0..8 {
+        o.add_object_property(&format!("http://sweep.example/p{p}"));
+    }
+    o
+}
+
+fn sweep_stream(size: usize, batches: usize) -> Vec<StreamBatch> {
+    (0..batches)
+        .map(|b| StreamBatch {
+            inserts: Graph::from_triples((0..size).map(|i| {
+                Triple::new(
+                    Term::iri(format!("http://sweep.example/s{b}_{i}")),
+                    Term::iri(format!("http://sweep.example/p{}", i % 8)),
+                    Term::iri(format!("http://sweep.example/o{}", i % 16)),
+                )
+            })),
+            deletes: Graph::new(),
+        })
+        .collect()
+}
+
+/// One sweep cell: the given ingest mode over `size`-op batches, no
+/// compaction (isolates routing + overlay insertion + hand-off cost).
+fn sweep_run(onto: &Ontology, mode: IngestMode, mode_name: &str, size: usize) -> LatencyRun {
+    let batches = sweep_stream(size, SWEEP_BATCHES);
+    let mut store = ShardedHybridStore::build(onto, &Graph::new(), SHARDS)
+        .unwrap()
+        .with_policy(CompactionPolicy {
+            max_overlay: usize::MAX,
+        })
+        .with_ingest_mode(mode);
+    let mut run = run_latency(&format!("sweep_{mode_name}_{size}"), &batches, |b| {
+        store.apply(&b.inserts, &b.deletes).unwrap();
+    });
+    run.take_sharded_stats(&store);
+    run
 }
 
 /// Runs the heavy stream through (a) the single store with inline
 /// compaction and (b) the sharded store with background compaction, under
 /// a deliberately tight compaction policy so several rebuilds land inside
-/// the run — the off-hot-path win shows up as the p99 gap. Results go to
-/// stdout and `BENCH_stream_ingest.json`.
+/// the run — the off-hot-path win shows up as the p99 gap — plus the
+/// small-batch sweep (scoped-spawn vs persistent pool at 32/256/2048 ops
+/// per batch) demonstrating the break-even shift. Results go to stdout
+/// and `BENCH_stream_ingest.json`.
 fn emit_latency_report(heavy: &[StreamBatch]) {
     let onto = water_ontology();
     let tight = CompactionPolicy { max_overlay: 768 };
@@ -227,6 +321,7 @@ fn emit_latency_report(heavy: &[StreamBatch]) {
     });
     single_run.compactions = single.stats().compactions;
     single_run.final_len = se_core::TripleSource::len(&single);
+    single_run.inline_batches = heavy.len();
 
     let mut sharded = ShardedHybridStore::build(&onto, &Graph::new(), SHARDS)
         .unwrap()
@@ -236,20 +331,33 @@ fn emit_latency_report(heavy: &[StreamBatch]) {
         sharded.apply(&b.inserts, &b.deletes).unwrap();
     });
     sharded.flush_compactions();
-    sharded_run.compactions = sharded.stats().compactions;
-    sharded_run.final_len = se_core::TripleSource::len(&sharded);
+    sharded_run.take_sharded_stats(&sharded);
 
     assert_eq!(
         single_run.final_len, sharded_run.final_len,
         "engines must agree on the final store"
     );
+
+    // The break-even sweep: per size, per-batch scoped spawns (what the
+    // legacy parallel path cost whenever it engaged), the single-threaded
+    // inline path (what the legacy adaptive gate actually ran below
+    // PARALLEL_MIN_OPS), and the persistent pool.
+    let sweep_onto = sweep_ontology();
+    let mut runs = vec![single_run, sharded_run];
+    for size in SWEEP_SIZES {
+        runs.push(sweep_run(&sweep_onto, IngestMode::Scoped, "scoped", size));
+        runs.push(sweep_run(&sweep_onto, IngestMode::Inline, "inline", size));
+        runs.push(sweep_run(&sweep_onto, IngestMode::Pooled, "pooled", size));
+    }
+
+    let entries: Vec<String> = runs.iter().map(LatencyRun::json).collect();
     let json = format!(
-        "{{\"bench\":\"stream_ingest\",\"batches\":{},\"stations\":{},\"shards\":{},\"runs\":[{},{}]}}\n",
+        "{{\"bench\":\"stream_ingest\",\"batches\":{},\"stations\":{},\"shards\":{},\"sweep_batches\":{},\"runs\":[{}]}}\n",
         heavy.len(),
         LAT_STATIONS,
         SHARDS,
-        single_run.json(),
-        sharded_run.json(),
+        SWEEP_BATCHES,
+        entries.join(","),
     );
     println!("{json}");
     // Anchor at the workspace root regardless of the harness CWD.

@@ -12,6 +12,7 @@
 
 use crate::error::StreamError;
 use crate::hybrid::{HybridStore, IngestReport};
+use crate::runtime::ShardRuntime;
 use crate::shard::ShardedHybridStore;
 use se_core::TripleSource;
 use se_rdf::Graph;
@@ -28,6 +29,14 @@ pub trait StreamStore: TripleSource {
         inserts: &Graph,
         deletes: &Graph,
     ) -> Result<IngestReport, StreamError>;
+
+    /// The store's persistent worker pool, if it runs one: continuous
+    /// queries are evaluated as jobs on these workers instead of
+    /// per-batch scoped spawns, so the whole session — ingest,
+    /// compaction, query fan-out — shares one bounded thread budget.
+    fn shared_runtime(&self) -> Option<&ShardRuntime> {
+        None
+    }
 }
 
 impl StreamStore for HybridStore {
@@ -47,6 +56,10 @@ impl StreamStore for ShardedHybridStore {
         deletes: &Graph,
     ) -> Result<IngestReport, StreamError> {
         self.apply(inserts, deletes)
+    }
+
+    fn shared_runtime(&self) -> Option<&ShardRuntime> {
+        self.runtime()
     }
 }
 
@@ -169,6 +182,50 @@ impl ContinuousQueryRegistry {
                 .collect()
         })
     }
+
+    /// Evaluates every registered query against `source` as jobs on a
+    /// store's persistent [`ShardRuntime`] — no per-batch thread spawns.
+    /// The runtime distributes the queries over its currently-idle
+    /// workers (ones busy with a background rebuild are skipped) and the
+    /// call blocks until all have answered, so the borrows of `source`
+    /// never outlive the call. Falls back to the sequential path when at
+    /// most one query is registered. Results keep registration order.
+    pub fn evaluate_all_pooled<S: TripleSource + ?Sized>(
+        &self,
+        runtime: &ShardRuntime,
+        source: &S,
+    ) -> Result<Vec<ContinuousResult>, QueryError> {
+        if self.queries.len() <= 1 {
+            return self.evaluate_all(source);
+        }
+        let mut answers: Vec<Option<Result<ResultSet, QueryError>>> =
+            (0..self.queries.len()).map(|_| None).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
+            .queries
+            .iter()
+            .zip(answers.iter_mut())
+            .map(|(q, slot)| {
+                Box::new(move || {
+                    *slot = Some(se_sparql::exec::execute(source, &q.query, &q.options));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        if let Err(msg) = runtime.run_scoped(tasks) {
+            // Mirror the scoped path's contract: a panicking query worker
+            // panics the caller, with the payload preserved.
+            panic!("query worker panicked: {msg}");
+        }
+        self.queries
+            .iter()
+            .zip(answers)
+            .map(|(q, answer)| {
+                Ok(ContinuousResult {
+                    id: q.id.clone(),
+                    results: answer.expect("run_scoped ran every task")?,
+                })
+            })
+            .collect()
+    }
 }
 
 /// Outcome of one streamed batch: what the ingest did plus every
@@ -232,14 +289,19 @@ impl<S: StreamStore> StreamSession<S> {
 
     /// Ingests one batch (deletes, then inserts), compacts if the policy
     /// demands it, and re-evaluates every registered query over the new
-    /// state (concurrently when more than one query is registered).
+    /// state — on the store's persistent worker pool when it runs one
+    /// (sharing the ingest workers' thread budget), otherwise on scoped
+    /// spawns when more than one query is registered.
     pub fn apply_batch(
         &mut self,
         inserts: &Graph,
         deletes: &Graph,
     ) -> Result<BatchOutcome, StreamError> {
         let report = self.store.apply_batch(inserts, deletes)?;
-        let results = self.registry.evaluate_all_parallel(&self.store)?;
+        let results = match self.store.shared_runtime() {
+            Some(runtime) => self.registry.evaluate_all_pooled(runtime, &self.store)?,
+            None => self.registry.evaluate_all_parallel(&self.store)?,
+        };
         Ok(BatchOutcome { report, results })
     }
 }

@@ -17,6 +17,11 @@ pub enum StreamError {
     Io(io::Error),
     /// A continuous query failed to execute.
     Query(QueryError),
+    /// A pooled shard worker panicked while applying routed operations.
+    /// The panicking shard's in-flight overlay is lost, so the store is
+    /// poisoned: every later `apply` fails with this error too (queries
+    /// stay memory-safe and keep answering over the surviving state).
+    Worker(String),
 }
 
 impl fmt::Display for StreamError {
@@ -26,6 +31,7 @@ impl fmt::Display for StreamError {
             StreamError::Build(e) => write!(f, "compaction rebuild failed: {e}"),
             StreamError::Io(e) => write!(f, "persistence I/O failed: {e}"),
             StreamError::Query(e) => write!(f, "continuous query failed: {e}"),
+            StreamError::Worker(msg) => write!(f, "ingest worker panicked: {msg}"),
         }
     }
 }
@@ -36,7 +42,7 @@ impl std::error::Error for StreamError {
             StreamError::Build(e) => Some(e),
             StreamError::Io(e) => Some(e),
             StreamError::Query(e) => Some(e),
-            StreamError::Malformed(_) => None,
+            StreamError::Malformed(_) | StreamError::Worker(_) => None,
         }
     }
 }

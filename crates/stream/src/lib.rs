@@ -60,8 +60,41 @@
 //! re-encoding), so gathered runs join directly and the merge-join
 //! ordering contracts survive sharding.
 //!
+//! # Architecture: the persistent shard worker runtime
+//!
+//! All parallel work of a sharded store runs on one [`ShardRuntime`] —
+//! a fleet of **parked** worker threads (condvar-based, zero CPU while
+//! idle), one per shard, spawned lazily on the first batch that needs
+//! them and joined when the store drops:
+//!
+//! * **Job hand-off** is a depth-one SPSC slot per worker (mutex +
+//!   condvar pair): the store submits one owned job, the worker wakes,
+//!   runs it, parks again; the store reaps the output blocking
+//!   (ingest), by polling (background rebuilds), or scoped (queries).
+//!   Waking a parked worker costs microseconds — the ~100µs per-batch
+//!   `thread::scope` spawn cost of the old ingest path is gone, which
+//!   moves the parallel break-even down from ~1k ops to
+//!   [`POOL_MIN_OPS`] ops per batch.
+//! * **Pipeline stages.** `apply` is a two-stage pipeline: the caller
+//!   encodes + routes operations into recycled per-shard buffers and
+//!   hands off a chunk every [`PIPELINE_CHUNK`] ops, so workers drain
+//!   chunk *i* (baseline probes, rbtree insertion) while the caller
+//!   encodes chunk *i+1*. Jobs own everything they touch — the shard
+//!   overlay and op buffers move in and move back on reap; literal ops
+//!   carry their content so workers never read the shared tables the
+//!   caller is still interning into.
+//! * **Thread budget.** Background compaction rebuilds and parallel
+//!   continuous-query evaluation run as jobs on the *same* N workers
+//!   (no ad-hoc `thread::spawn`): a store never holds more than N
+//!   worker threads, a worker busy rebuilding is simply skipped (its
+//!   shard's ingest chunks apply inline; queries spread over the idle
+//!   workers), and dropping the store parks, wakes and joins the whole
+//!   fleet — zero threads outlive it. A panicking job is caught and
+//!   surfaced as [`StreamError::Worker`] instead of deadlocking the
+//!   pool.
+//!
 //! Compaction is split out of the ingest hot path: when a shard's overlay
-//! crosses the [`CompactionPolicy`] threshold, a background worker folds
+//! crosses the [`CompactionPolicy`] threshold, its pool worker folds
 //! an `Arc` snapshot of its layers + a clone of its overlay into fresh
 //! layers (pure, id-stable), and a later `apply` **atomically swaps** the
 //! result in, rebasing any writes that raced the rebuild via a pure
@@ -75,6 +108,7 @@ pub mod continuous;
 pub mod delta;
 pub mod error;
 pub mod hybrid;
+pub mod runtime;
 pub mod shard;
 
 pub use continuous::{
@@ -86,7 +120,11 @@ pub use error::StreamError;
 pub use hybrid::{
     CompactionPlan, CompactionPolicy, HybridStats, HybridStore, IngestReport, OVERFLOW_BASE,
 };
-pub use shard::{ShardPolicy, ShardedHybridStore, ShardedStats, LIT_SHARD_STRIDE, MAX_SHARDS};
+pub use runtime::ShardRuntime;
+pub use shard::{
+    IngestMode, ShardPolicy, ShardedHybridStore, ShardedStats, LIT_SHARD_STRIDE, MAX_SHARDS,
+    PIPELINE_CHUNK, POOL_MIN_OPS,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,516 @@
+//! The persistent shard worker runtime: one parked thread per shard.
+//!
+//! [`ShardedHybridStore`](crate::ShardedHybridStore)'s original ingest
+//! path spawned `std::thread::scope` workers per batch — ~100µs of spawn
+//! cost per worker, re-paid on every batch and prohibitive below ~1k ops.
+//! [`ShardRuntime`] replaces the per-batch spawns with a fixed fleet of
+//! **parked** workers (condvar-based — no busy spin, zero CPU while
+//! idle), created lazily on the first parallel `apply` and owned by the
+//! store:
+//!
+//! * **One SPSC job slot per worker.** Each worker owns a depth-one
+//!   mutex+condvar slot; the single producer (the store, which submits
+//!   under `&mut self`) hands one [`Task`] at a time to worker *i* and
+//!   reaps its output with [`take`](ShardRuntime::take) (blocking) or
+//!   [`try_take`](ShardRuntime::try_take) (polling, for background
+//!   rebuilds). Waking a parked worker costs a mutex round-trip plus one
+//!   `notify_one` — microseconds, not the ~100µs of a spawn — which
+//!   moves the parallel break-even point down into the small-batch
+//!   regime the paper's sensor streams live in.
+//! * **Owned jobs, no scoped borrows.** Tasks are `'static` closures
+//!   returning `Box<dyn Any + Send>`; the store moves each shard's
+//!   overlay (`DeltaStore`), its routed op buffers, and an `Arc` of the
+//!   frozen layers into the job and receives them back on reap. Job
+//!   hand-off therefore needs no lifetime gymnastics and a worker can
+//!   never observe a dangling borrow, even if the store panics
+//!   mid-batch.
+//! * **Panic containment.** A task that panics is caught
+//!   (`catch_unwind`), rendered to a message, and surfaced as
+//!   `Err(String)` from `take`/`try_take`; the worker thread survives
+//!   and keeps serving jobs — a poisoned op never deadlocks the pool.
+//! * **Scoped fan-out for readers.** [`run_scoped`](ShardRuntime::run_scoped)
+//!   distributes short-lived *borrowing* closures (continuous-query
+//!   evaluation over `&store`) across currently-idle workers and blocks
+//!   until all complete before returning, which makes the lifetime
+//!   extension sound; workers busy with a background rebuild are skipped
+//!   and the caller runs the leftovers inline, so ingest, compaction and
+//!   query evaluation share one bounded thread budget.
+//! * **Joining drop.** Dropping the runtime flags shutdown, wakes every
+//!   worker and joins it; a worker mid-rebuild finishes its current task
+//!   first. No thread outlives the store.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A job for one worker: runs to completion, returns an opaque output.
+pub type Task = Box<dyn FnOnce() -> Box<dyn Any + Send> + Send + 'static>;
+
+/// What a reap yields: the task's output, or the rendered panic message
+/// of a task that blew up (the worker itself survives).
+pub type TaskResult = Result<Box<dyn Any + Send>, String>;
+
+/// The depth-one SPSC hand-off slot of one worker.
+#[derive(Default)]
+struct SlotInner {
+    /// A submitted task the worker has not yet picked up.
+    task: Option<Task>,
+    /// The finished task's output, awaiting reap.
+    output: Option<TaskResult>,
+    /// Set by `submit`, cleared by reap: a task is queued, running, or
+    /// finished-but-unreaped.
+    busy: bool,
+    /// Set once by `Drop`; the worker exits at the next idle point.
+    shutdown: bool,
+}
+
+struct Slot {
+    inner: Mutex<SlotInner>,
+    /// Worker parks here while idle.
+    to_worker: Condvar,
+    /// Callers park here in `take`.
+    to_caller: Condvar,
+}
+
+/// A fixed fleet of parked worker threads, one per shard. See the module
+/// docs for the hand-off protocol and thread-budget invariants.
+pub struct ShardRuntime {
+    slots: Vec<Arc<Slot>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ShardRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRuntime")
+            .field("workers", &self.slots.len())
+            .finish()
+    }
+}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker task panicked".to_string()
+    }
+}
+
+fn worker_loop(slot: Arc<Slot>) {
+    loop {
+        let task = {
+            let mut g = slot.inner.lock();
+            loop {
+                // Drain an accepted task before honouring shutdown: a
+                // submitted job always runs (at most one can be queued),
+                // so `submit` + `drop` never silently discards work.
+                if let Some(task) = g.task.take() {
+                    break task;
+                }
+                if g.shutdown {
+                    return;
+                }
+                slot.to_worker.wait(&mut g);
+            }
+        };
+        // A panicking task must not kill the worker: catch it and hand
+        // the message back as this job's (failed) output. `AssertUnwindSafe`
+        // is sound because the task owns everything it touches — a
+        // half-mutated `DeltaStore` is dropped with the payload, never
+        // observed again.
+        let output =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).map_err(panic_message);
+        let mut g = slot.inner.lock();
+        g.output = Some(output);
+        slot.to_caller.notify_all();
+    }
+}
+
+impl ShardRuntime {
+    /// Spawns `workers` parked threads.
+    pub(crate) fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "a runtime needs at least one worker");
+        let slots: Vec<Arc<Slot>> = (0..workers)
+            .map(|_| {
+                Arc::new(Slot {
+                    inner: Mutex::new(SlotInner::default()),
+                    to_worker: Condvar::new(),
+                    to_caller: Condvar::new(),
+                })
+            })
+            .collect();
+        let handles = slots
+            .iter()
+            .map(|slot| {
+                let slot = Arc::clone(slot);
+                std::thread::Builder::new()
+                    .name("se-stream-shard-worker".into())
+                    .spawn(move || worker_loop(slot))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Self { slots, handles }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if worker `w` has a task queued, running, or finished but
+    /// not yet reaped.
+    pub fn is_busy(&self, w: usize) -> bool {
+        self.slots[w].inner.lock().busy
+    }
+
+    /// Hands a task to worker `w`. Panics if the worker is busy — callers
+    /// must reap the previous task first (the store's dispatch loop and
+    /// `run_scoped` both guarantee this).
+    pub(crate) fn submit(&self, w: usize, task: Task) {
+        let slot = &self.slots[w];
+        let mut g = slot.inner.lock();
+        assert!(!g.busy, "worker {w} already has a task in flight");
+        g.task = Some(task);
+        g.busy = true;
+        slot.to_worker.notify_one();
+    }
+
+    /// Blocks until worker `w`'s in-flight task finishes and returns its
+    /// output. Panics if nothing was submitted.
+    pub(crate) fn take(&self, w: usize) -> TaskResult {
+        let slot = &self.slots[w];
+        let mut g = slot.inner.lock();
+        assert!(g.busy, "take({w}) without a submitted task");
+        loop {
+            if let Some(out) = g.output.take() {
+                g.busy = false;
+                return out;
+            }
+            slot.to_caller.wait(&mut g);
+        }
+    }
+
+    /// Non-blocking reap: the output if worker `w`'s task has finished,
+    /// `None` while it is still queued or running (or nothing was
+    /// submitted).
+    pub(crate) fn try_take(&self, w: usize) -> Option<TaskResult> {
+        let mut g = self.slots[w].inner.lock();
+        let out = g.output.take();
+        if out.is_some() {
+            g.busy = false;
+        }
+        out
+    }
+
+    /// Atomically claims worker `w` and hands it a task, or returns the
+    /// task if the worker is (or just became) busy. Unlike [`submit`]
+    /// this cannot panic on a lost race, which [`run_scoped`] relies on
+    /// for unwind safety.
+    ///
+    /// [`submit`]: ShardRuntime::submit
+    /// [`run_scoped`]: ShardRuntime::run_scoped
+    fn try_submit(&self, w: usize, task: Task) -> Result<(), Task> {
+        let slot = &self.slots[w];
+        let mut g = slot.inner.lock();
+        if g.busy {
+            return Err(task);
+        }
+        g.task = Some(task);
+        g.busy = true;
+        slot.to_worker.notify_one();
+        Ok(())
+    }
+
+    /// Runs short-lived borrowing closures across the currently-idle
+    /// workers, blocking until every one has completed — the barrier is
+    /// what makes handing non-`'static` closures to persistent threads
+    /// sound. Tasks are distributed round-robin over idle workers; a
+    /// group whose worker raced busy in the meantime (or every group,
+    /// when all workers are mid-rebuild) runs inline on the caller.
+    /// Returns the first panic message, after all tasks have finished
+    /// either way.
+    pub fn run_scoped<'env>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
+    ) -> Result<(), String> {
+        if tasks.is_empty() {
+            return Ok(());
+        }
+        let idle: Vec<usize> = (0..self.workers()).filter(|&w| !self.is_busy(w)).collect();
+        if idle.is_empty() {
+            for task in tasks {
+                task();
+            }
+            return Ok(());
+        }
+        // Round-robin the tasks into one group job per idle worker, and
+        // type-erase them all *before* submitting anything: once the
+        // first job is on a worker, nothing on this path may unwind
+        // until the barrier below has reaped every submitted job, or a
+        // worker could still be dereferencing the caller's freed stack.
+        // The region is panic-free by construction: `try_submit` cannot
+        // panic (no lost-race assert), the vectors are pre-sized, and
+        // inline fallback groups run under `catch_unwind`.
+        let mut groups: Vec<Vec<Box<dyn FnOnce() + Send + 'env>>> =
+            (0..idle.len()).map(|_| Vec::new()).collect();
+        for (i, task) in tasks.into_iter().enumerate() {
+            groups[i % idle.len()].push(task);
+        }
+        let jobs: Vec<(usize, Task)> = idle
+            .iter()
+            .zip(groups)
+            .filter(|(_, group)| !group.is_empty())
+            .map(|(&w, group)| {
+                let job: Box<dyn FnOnce() -> Box<dyn Any + Send> + Send + 'env> =
+                    Box::new(move || {
+                        for task in group {
+                            task();
+                        }
+                        Box::new(()) as Box<dyn Any + Send>
+                    });
+                // SAFETY: the transmute only erases the `'env` lifetime.
+                // Every submitted job is reaped by the `take` barrier
+                // below before this function returns (worker panics are
+                // caught and surface as reap outputs), and the
+                // submit-to-barrier region cannot unwind (see above), so
+                // no borrow captured by the closures outlives `'env`.
+                let job = unsafe {
+                    std::mem::transmute::<
+                        Box<dyn FnOnce() -> Box<dyn Any + Send> + Send + 'env>,
+                        Task,
+                    >(job)
+                };
+                (w, job)
+            })
+            .collect();
+        let mut submitted = Vec::with_capacity(jobs.len());
+        let mut first_err: Option<String> = None;
+        for (w, job) in jobs {
+            match self.try_submit(w, job) {
+                Ok(()) => submitted.push(w),
+                // Lost a race for the slot (another thread sharing this
+                // runtime claimed it): run the group here instead.
+                Err(job) => {
+                    if let Err(payload) =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(job))
+                    {
+                        if first_err.is_none() {
+                            first_err = Some(panic_message(payload));
+                        }
+                    }
+                }
+            }
+        }
+        for w in submitted {
+            if let Err(msg) = self.take(w) {
+                if first_err.is_none() {
+                    first_err = Some(msg);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(msg) => Err(msg),
+        }
+    }
+}
+
+impl Drop for ShardRuntime {
+    /// Wakes and joins every worker. A worker mid-task finishes it first
+    /// (its unreaped output is dropped with the slot); afterwards **zero
+    /// runtime threads remain** — verified by the slot refcount check
+    /// below, which can only pass once every worker has dropped its
+    /// `Arc<Slot>` clone on thread exit.
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            let mut g = slot.inner.lock();
+            g.shutdown = true;
+            slot.to_worker.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            // A panic in `worker_loop` itself is impossible (tasks are
+            // caught), so join errors only on forced thread death.
+            let _ = handle.join();
+        }
+        for slot in &self.slots {
+            debug_assert_eq!(
+                Arc::strong_count(slot),
+                1,
+                "a worker thread outlived the runtime"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn boxed<T: Send + 'static>(v: T) -> Box<dyn Any + Send> {
+        Box::new(v)
+    }
+
+    #[test]
+    fn submit_take_roundtrip_returns_owned_output() {
+        let rt = ShardRuntime::new(2);
+        rt.submit(0, Box::new(|| boxed(41 + 1)));
+        rt.submit(1, Box::new(|| boxed("side".to_string())));
+        let a = rt.take(0).unwrap().downcast::<i32>().unwrap();
+        let b = rt.take(1).unwrap().downcast::<String>().unwrap();
+        assert_eq!((*a, b.as_str()), (42, "side"));
+        assert!(!rt.is_busy(0) && !rt.is_busy(1));
+    }
+
+    #[test]
+    fn try_take_polls_without_blocking() {
+        let rt = ShardRuntime::new(1);
+        assert!(rt.try_take(0).is_none(), "idle worker has no output");
+        let gate = Arc::new(Mutex::new(false));
+        let g2 = Arc::clone(&gate);
+        rt.submit(
+            0,
+            Box::new(move || {
+                while !*g2.lock() {
+                    std::thread::yield_now();
+                }
+                boxed(7u64)
+            }),
+        );
+        assert!(rt.is_busy(0));
+        assert!(rt.try_take(0).is_none(), "task still running");
+        *gate.lock() = true;
+        let out = loop {
+            if let Some(out) = rt.try_take(0) {
+                break out;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(*out.unwrap().downcast::<u64>().unwrap(), 7);
+    }
+
+    /// The lifecycle satellite: a panicking task surfaces as an error —
+    /// not a deadlock — and the worker keeps serving jobs afterwards.
+    #[test]
+    fn panicking_task_surfaces_as_error_and_worker_survives() {
+        let rt = ShardRuntime::new(1);
+        rt.submit(0, Box::new(|| panic!("shard op blew up")));
+        let err = rt.take(0).unwrap_err();
+        assert!(err.contains("shard op blew up"), "payload preserved: {err}");
+        // The same worker is alive and functional.
+        rt.submit(0, Box::new(|| boxed(5usize)));
+        assert_eq!(*rt.take(0).unwrap().downcast::<usize>().unwrap(), 5);
+    }
+
+    /// The lifecycle satellite: drop joins every worker — the `Drop` impl
+    /// asserts the slot refcounts, which can only reach 1 after each
+    /// thread has exited and released its `Arc<Slot>`.
+    #[test]
+    fn drop_joins_all_workers_even_mid_task() {
+        let rt = ShardRuntime::new(3);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for w in 0..3 {
+            let ran = Arc::clone(&ran);
+            rt.submit(
+                w,
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    boxed(())
+                }),
+            );
+        }
+        // Outputs deliberately left unreaped: drop must still terminate.
+        drop(rt);
+        assert_eq!(ran.load(Ordering::SeqCst), 3, "in-flight tasks completed");
+    }
+
+    #[test]
+    fn run_scoped_borrows_caller_state_and_preserves_slots() {
+        let rt = ShardRuntime::new(2);
+        let mut outs = vec![0usize; 8];
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = outs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| Box::new(move || *slot = i * i) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        rt.run_scoped(tasks).unwrap();
+        assert_eq!(outs, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+        assert!(!rt.is_busy(0) && !rt.is_busy(1), "slots recycled");
+    }
+
+    /// Two threads sharing one runtime race `run_scoped` concurrently: a
+    /// group whose worker was claimed first by the other thread falls
+    /// back inline instead of panicking mid-submission (which would
+    /// unwind past the reap barrier while workers still borrow the
+    /// caller's stack). Every task runs exactly once either way.
+    #[test]
+    fn concurrent_run_scoped_callers_share_the_pool_safely() {
+        let rt = ShardRuntime::new(2);
+        for _ in 0..50 {
+            let a = AtomicUsize::new(0);
+            let b = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                        .map(|_| {
+                            Box::new(|| {
+                                a.fetch_add(1, Ordering::SeqCst);
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    rt.run_scoped(tasks).unwrap();
+                });
+                scope.spawn(|| {
+                    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                        .map(|_| {
+                            Box::new(|| {
+                                b.fetch_add(1, Ordering::SeqCst);
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    rt.run_scoped(tasks).unwrap();
+                });
+            });
+            assert_eq!(a.load(Ordering::SeqCst), 4);
+            assert_eq!(b.load(Ordering::SeqCst), 4);
+            assert!(!rt.is_busy(0) && !rt.is_busy(1), "slots recycled");
+        }
+    }
+
+    #[test]
+    fn run_scoped_skips_busy_workers_and_reports_panics() {
+        let rt = ShardRuntime::new(2);
+        let gate = Arc::new(Mutex::new(false));
+        let g2 = Arc::clone(&gate);
+        // Occupy worker 0 (a "background rebuild").
+        rt.submit(
+            0,
+            Box::new(move || {
+                while !*g2.lock() {
+                    std::thread::yield_now();
+                }
+                boxed(())
+            }),
+        );
+        let hits = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|i| {
+                let hits = &hits;
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    if i == 2 {
+                        panic!("query {i} failed");
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        let err = rt.run_scoped(tasks).unwrap_err();
+        assert!(err.contains("query 2 failed"));
+        assert_eq!(hits.load(Ordering::SeqCst), 3, "tasks before the panic ran");
+        assert!(rt.is_busy(0), "background job undisturbed");
+        *gate.lock() = true;
+        rt.take(0).unwrap();
+    }
+}

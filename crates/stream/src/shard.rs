@@ -19,27 +19,45 @@
 //!   shard-local and disambiguated by a fixed per-shard block of size
 //!   [`LIT_SHARD_STRIDE`]; literal joins are content-based per the
 //!   `TripleSource` contract, so distinct ids for equal content are sound.
-//! * **Parallel ingest.** `apply` first encodes and routes the batch
-//!   (cheap hashmap work), then fans the per-shard operation lists out to
-//!   `std::thread::scope` workers: baseline-membership probes and
-//!   red-black-tree overlay insertion — the expensive part — run
-//!   concurrently, one worker per shard, no locks (each worker owns its
-//!   shard's delta; the shared tables are frozen for the phase).
+//! * **Pipelined parallel ingest.** `apply` encodes and routes the batch
+//!   (cheap hashmap work) on the calling thread and hands each
+//!   [`PIPELINE_CHUNK`]-sized chunk of per-shard operation lists to the
+//!   store's persistent [`ShardRuntime`] — one **parked** worker per
+//!   shard, spawned lazily on the first batch that needs it. The workers
+//!   drain chunk *i*'s baseline-membership probes and red-black-tree
+//!   overlay insertions — the expensive part — while the caller encodes
+//!   chunk *i+1*; each job *owns* its shard's overlay and op buffer for
+//!   the duration (moved in, moved back on reap; literal ops carry their
+//!   content), so there are no locks and no shared mutable state. Waking
+//!   a parked worker costs microseconds instead of the ~100µs of the old
+//!   per-batch `std::thread::scope` spawns, which pushes the parallel
+//!   break-even down to [`POOL_MIN_OPS`] — into the small frequent
+//!   sensor batches of the paper's streaming scenario. [`IngestMode`]
+//!   forces the pool on or off (the scoped-spawn comparator survives for
+//!   benchmarks); batches are shape-validated up front, so a malformed
+//!   triple rejects the whole batch before any mutation — identically in
+//!   every mode.
 //! * **Scatter/gather queries.** A predicate-bound pattern routes to
 //!   exactly one shard. Unbound-predicate scans and LiteMat
 //!   property-interval patterns fan out to every shard whose predicates
 //!   intersect the interval and k-way-merge the subject-sorted runs, so
 //!   the merge-join contract (`scan_predicate` subject-sorted, `subjects*`
 //!   ascending/deduplicated) holds across shards.
-//! * **Off-hot-path compaction.** Per-shard compaction is split into a
-//!   pure rebuild against a snapshot ([`ShardBase`] is immutable and
-//!   `Arc`-shared; the worker folds overlay into fresh layers **in the
-//!   same id space** — no re-encoding) and an atomic
+//! * **Off-hot-path compaction on the same workers.** Per-shard
+//!   compaction is split into a pure rebuild against a snapshot
+//!   ([`ShardBase`] is immutable and `Arc`-shared; the worker folds
+//!   overlay into fresh layers **in the same id space** — no
+//!   re-encoding) and an atomic
 //!   [`swap`](ShardedHybridStore::flush_compactions): the live overlay is
 //!   rebased onto the new layers by a pure visibility rule, so writes that
-//!   raced the rebuild survive. With background compaction enabled,
-//!   `apply` tail latency is bounded by routing + overlay insertion +
-//!   swap (each O(overlay)), never by layer construction.
+//!   raced the rebuild survive. Rebuild jobs run on the shard's own pool
+//!   worker (no ad-hoc `thread::spawn` per rebuild — ingest, compaction
+//!   and pooled query evaluation share one bounded thread budget of N
+//!   workers); while a rebuild occupies a worker, that shard's ingest
+//!   chunks apply inline so the hot path never queues behind layer
+//!   construction. With background compaction enabled, `apply` tail
+//!   latency is bounded by routing + overlay insertion + swap (each
+//!   O(overlay)), never by layer construction.
 //!
 //! The price of never re-encoding: properties and concepts first seen in
 //! the stream keep their overflow singleton intervals even after
@@ -50,6 +68,7 @@
 use crate::delta::{DeltaObj, DeltaState, DeltaStore};
 use crate::error::StreamError;
 use crate::hybrid::{transition, CompactionPolicy, IngestReport, OverflowDict, OVERFLOW_BASE};
+use crate::runtime::ShardRuntime;
 use se_core::builder::{instance_key, key_to_term_arc};
 use se_core::datatype::DatatypeLayer;
 use se_core::layer::TripleLayer;
@@ -58,9 +77,9 @@ use se_core::{augment_ontology, BuildError, TripleSource, Value};
 use se_litemat::{Dictionaries, IdInterval};
 use se_ontology::Ontology;
 use se_rdf::{Graph, Literal, Term, Triple};
+use std::any::Any;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Size of the baseline-literal id block reserved per shard. Global
@@ -73,10 +92,48 @@ pub const LIT_SHARD_STRIDE: u64 = 1 << 44;
 /// `OVERFLOW_BASE` with room to spare).
 pub const MAX_SHARDS: usize = 1 << 16;
 
-/// Minimum routed operations in a batch before ingest fans out to scoped
-/// worker threads; smaller batches apply inline (a thread spawn costs
-/// ~100µs — more than the transition work of a small batch).
+/// Minimum routed operations before the **legacy** scoped-spawn path of
+/// [`IngestMode::Scoped`]'s predecessor fanned out; kept as the
+/// historical reference point the persistent runtime is measured against
+/// (a thread spawn costs ~100µs — more than the transition work of a
+/// small batch, so scoped spawning could never pay off below ~1k ops).
 pub const PARALLEL_MIN_OPS: usize = 1024;
+
+/// Minimum estimated operations before an [`IngestMode::Auto`] batch is
+/// handed to the persistent worker pool. Waking a parked worker costs
+/// microseconds instead of the ~100µs spawn, which moves the parallel
+/// break-even point down an order of magnitude into the small-batch
+/// regime of the paper's sensor streams.
+pub const POOL_MIN_OPS: usize = 64;
+
+/// Operations the caller routes before handing the accumulated per-shard
+/// lists to the workers: stage two of the ingest pipeline (workers drain
+/// chunk *i* while the caller encodes chunk *i+1*).
+pub const PIPELINE_CHUNK: usize = 256;
+
+/// Where a batch's routed operations are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestMode {
+    /// Adaptive (the default): batches whose estimated size reaches
+    /// [`POOL_MIN_OPS`] go to the persistent worker pool on multi-core,
+    /// multi-shard stores; everything else applies inline.
+    #[default]
+    Auto,
+    /// Always apply on the calling thread.
+    Inline,
+    /// Always fan out to the persistent pool (spawned on first use),
+    /// whatever the batch size or core count. Used by tests to force the
+    /// pool onto small batches.
+    Pooled,
+    /// Spawn `std::thread::scope` workers per batch — the pre-runtime
+    /// parallel path, forced **unconditionally** here (the legacy code
+    /// only engaged it above [`PARALLEL_MIN_OPS`] and fell back inline
+    /// otherwise) so the break-even sweep can measure the spawn cost at
+    /// small batch sizes the old adaptive gate refused to pay it for.
+    /// The sweep therefore reports [`Inline`](IngestMode::Inline) — the
+    /// legacy small-batch behaviour — alongside this comparator.
+    Scoped,
+}
 
 /// A custom routing function: `(iri, n_shards) -> shard`.
 pub type RoutingFn = Arc<dyn Fn(&str, usize) -> usize + Send + Sync>;
@@ -187,10 +244,12 @@ impl RoutingTable {
 
 /// Shared content-interned literal table for overlay literals; ids are
 /// global across shards and surface as `Value::Literal(OVERFLOW_BASE + id)`.
+/// Entries are `Arc`-shared so a routed op can carry its literal's
+/// content to a pool worker for one refcount bump, not a deep clone.
 #[derive(Debug, Clone, Default)]
 struct LiteralTable {
-    literals: Vec<Literal>,
-    ids: HashMap<Literal, u64>,
+    literals: Vec<Arc<Literal>>,
+    ids: HashMap<Arc<Literal>, u64>,
 }
 
 impl LiteralTable {
@@ -199,8 +258,9 @@ impl LiteralTable {
             return id;
         }
         let id = self.literals.len() as u64;
-        self.literals.push(lit.clone());
-        self.ids.insert(lit.clone(), id);
+        let arc = Arc::new(lit.clone());
+        self.literals.push(Arc::clone(&arc));
+        self.ids.insert(arc, id);
         id
     }
 
@@ -209,7 +269,12 @@ impl LiteralTable {
     }
 
     fn get(&self, id: u64) -> Option<&Literal> {
-        self.literals.get(id as usize)
+        self.literals.get(id as usize).map(Arc::as_ref)
+    }
+
+    /// The shared content of an interned id (for shipping with an op).
+    fn arc(&self, id: u64) -> Arc<Literal> {
+        Arc::clone(&self.literals[id as usize])
     }
 }
 
@@ -219,8 +284,8 @@ impl LiteralTable {
 /// table — and shipped to the rebuild worker.
 #[derive(Debug, Clone, Default)]
 struct LitSnapshot {
-    by_id: HashMap<u64, Literal>,
-    by_content: HashMap<Literal, u64>,
+    by_id: HashMap<u64, Arc<Literal>>,
+    by_content: HashMap<Arc<Literal>, u64>,
 }
 
 impl LitSnapshot {
@@ -229,8 +294,8 @@ impl LitSnapshot {
         for (_, _, o, _) in delta.iter() {
             if let DeltaObj::Lit(l) = o {
                 if !snap.by_id.contains_key(&l) {
-                    let lit = table.get(l).expect("interned literal").clone();
-                    snap.by_content.insert(lit.clone(), l);
+                    let lit = table.arc(l);
+                    snap.by_content.insert(Arc::clone(&lit), l);
                     snap.by_id.insert(l, lit);
                 }
             }
@@ -243,7 +308,7 @@ impl LitSnapshot {
     }
 
     fn get(&self, id: u64) -> Option<&Literal> {
-        self.by_id.get(&id)
+        self.by_id.get(&id).map(Arc::as_ref)
     }
 }
 
@@ -292,13 +357,19 @@ impl ShardInput {
     }
 }
 
-/// A background rebuild in flight: the worker folds a snapshot of the
-/// shard into fresh layers and hands the snapshot overlay back (the swap
-/// rebases the live overlay against it without probing any layer) along
-/// with its wall time.
+/// A background rebuild in flight on a pool worker: the worker folds a
+/// snapshot of the shard into fresh layers and hands the snapshot overlay
+/// back (the swap rebases the live overlay against it without probing any
+/// layer) along with its wall time.
+/// The job always runs on the shard's own pool worker, so the shard
+/// index doubles as the worker index at reap time.
 #[derive(Debug)]
 struct PendingRebuild {
-    handle: JoinHandle<(ShardBase, DeltaStore, Duration)>,
+    /// Set when an inline `compact_shard` superseded this rebuild: its
+    /// output is discarded on reap instead of swapped in — a queued job
+    /// cannot be cancelled, but a stale result must never clobber fresher
+    /// layers.
+    stale: bool,
 }
 
 /// One predicate shard: immutable layers plus the mutable overlay.
@@ -328,17 +399,30 @@ pub struct ShardedStats {
     /// Total hot-path time spent atomically swapping rebuilt layers in
     /// and rebasing the live overlay.
     pub total_swap: Duration,
+    /// Batches whose routed operations were drained by the persistent
+    /// worker pool.
+    pub pooled_batches: usize,
+    /// Batches applied on the calling thread.
+    pub inline_batches: usize,
+    /// Batches fanned out to per-batch scoped spawns
+    /// ([`IngestMode::Scoped`], the benchmarking comparator).
+    pub scoped_batches: usize,
 }
 
 /// Encoded object position of one routed operation.
-#[derive(Debug, Clone, Copy)]
+///
+/// Literal ops carry their content (one `Arc` bump): a pool worker
+/// probes the shard baseline by content and must never read the shared
+/// literal table, which the caller keeps interning into while routing
+/// the *next* pipeline chunk.
+#[derive(Debug, Clone)]
 enum OpObj {
     Inst(u64),
-    /// Shared-table literal id.
-    Lit(u64),
+    /// Shared-table literal id plus its content.
+    Lit(u64, Arc<Literal>),
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Op {
     p: u64,
     s: u64,
@@ -351,7 +435,9 @@ struct TypeOp {
     c: u64,
 }
 
-/// The routed operation lists of one shard for one batch.
+/// The routed operation lists of one shard for one pipeline chunk. The
+/// buffers are recycled batch to batch (cleared, never dropped), so the
+/// steady-state hot path allocates nothing for routing.
 #[derive(Debug, Default)]
 struct ShardOps {
     del: Vec<Op>,
@@ -368,10 +454,26 @@ impl ShardOps {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Empties the lists, keeping their capacity for reuse.
+    fn clear(&mut self) {
+        self.del.clear();
+        self.ins.clear();
+        self.type_del.clear();
+        self.type_ins.clear();
+    }
 }
 
 /// Per-worker ingest outcome: `(inserted, deleted, noops)`.
 type OpCounts = (usize, usize, usize);
+
+/// What an ingest job moves back to the store on reap: the shard's
+/// overlay, the recycled op buffer, and the effect counts.
+type IngestJobOut = (DeltaStore, ShardOps, OpCounts);
+
+/// What a rebuild job moves back on reap: fresh layers, the snapshot
+/// overlay the swap rebases against, and the build wall time.
+type RebuildJobOut = (ShardBase, DeltaStore, Duration);
 
 /// A predicate-sharded hybrid store: N independent baseline+overlay
 /// shards in one global id space, parallel batch ingestion, scatter/gather
@@ -388,6 +490,20 @@ pub struct ShardedHybridStore {
     literals: LiteralTable,
     policy: CompactionPolicy,
     background: bool,
+    ingest_mode: IngestMode,
+    /// The persistent worker pool — `None` until the first batch (or
+    /// background compaction) that needs it; one parked worker per shard
+    /// once spawned.
+    runtime: Option<ShardRuntime>,
+    /// Per-shard routing destinations of the chunk being encoded
+    /// (recycled every batch).
+    staging: Vec<ShardOps>,
+    /// Drained op buffers awaiting reuse.
+    ops_pool: Vec<ShardOps>,
+    /// Set when a pooled ingest job panicked: that shard's in-flight
+    /// overlay was lost with the job, so further writes must not pretend
+    /// to succeed.
+    poisoned: bool,
     stats: ShardedStats,
 }
 
@@ -425,18 +541,13 @@ impl ShardedHybridStore {
         // Encode + route every triple to its shard's input list.
         let mut parts: Vec<ShardInput> = (0..n_shards).map(|_| ShardInput::default()).collect();
         for t in graph {
-            let p_iri = t
-                .predicate
-                .as_iri()
-                .ok_or_else(|| StreamError::Malformed(format!("non-IRI predicate: {t}")))?;
-            let s_key = instance_key(&t.subject)
-                .ok_or_else(|| StreamError::Malformed(format!("literal subject: {t}")))?;
+            validate_triple(t)?;
+            let p_iri = t.predicate.as_iri().expect("validated predicate");
+            let s_key = instance_key(&t.subject).expect("validated subject");
             let s = dicts.instances.get_or_insert(&s_key);
             dicts.instances.record_occurrence(s);
             if t.is_type_triple() {
-                let c_iri = t.object.as_iri().ok_or_else(|| {
-                    StreamError::Malformed(format!("rdf:type with non-IRI object: {t}"))
-                })?;
+                let c_iri = t.object.as_iri().expect("validated rdf:type object");
                 let c = dicts
                     .concepts
                     .id(c_iri)
@@ -491,6 +602,11 @@ impl ShardedHybridStore {
             literals: LiteralTable::default(),
             policy: CompactionPolicy::default(),
             background: true,
+            ingest_mode: IngestMode::default(),
+            runtime: None,
+            staging: (0..n_shards).map(|_| ShardOps::default()).collect(),
+            ops_pool: Vec::new(),
+            poisoned: false,
             stats: ShardedStats::default(),
         })
     }
@@ -501,12 +617,31 @@ impl ShardedHybridStore {
         self
     }
 
-    /// Chooses where compactions run: `true` (default) rebuilds on a
-    /// background worker and swaps atomically on a later `apply`; `false`
-    /// rebuilds inline (the old `HybridStore` behaviour, per shard).
+    /// Chooses where compactions run: `true` (default) rebuilds on the
+    /// shard's pool worker and swaps atomically on a later `apply`;
+    /// `false` rebuilds inline (the old `HybridStore` behaviour, per
+    /// shard).
     pub fn with_background_compaction(mut self, background: bool) -> Self {
         self.background = background;
         self
+    }
+
+    /// Chooses where batches are applied (see [`IngestMode`]); the
+    /// default is adaptive.
+    pub fn with_ingest_mode(mut self, mode: IngestMode) -> Self {
+        self.ingest_mode = mode;
+        self
+    }
+
+    /// The ingest mode in force.
+    pub fn ingest_mode(&self) -> IngestMode {
+        self.ingest_mode
+    }
+
+    /// Number of persistent workers currently alive (0 until the runtime
+    /// spawns lazily; equal to the shard count afterwards).
+    pub fn worker_threads(&self) -> usize {
+        self.runtime.as_ref().map_or(0, ShardRuntime::workers)
     }
 
     /// Number of shards.
@@ -546,37 +681,67 @@ impl ShardedHybridStore {
 
     // ------------------------------------------------------------- ingestion
 
-    /// Applies one batch: deletions first, then insertions. The batch is
-    /// encoded and routed on the calling thread, then fanned out to one
-    /// scoped worker per shard with work. Shards whose overlay crossed the
-    /// policy threshold afterwards are compacted — on a background worker
-    /// when background compaction is on (finished rebuilds from earlier
-    /// batches are swapped in at the start of the call), inline otherwise.
+    /// Applies one batch: deletions first, then insertions.
+    ///
+    /// With the pool engaged the call is a two-stage pipeline: the caller
+    /// thread encodes and routes operations into per-shard lists, handing
+    /// each [`PIPELINE_CHUNK`]-sized chunk to the parked shard workers —
+    /// so the workers drain chunk *i*'s baseline probes and rbtree
+    /// insertions while the caller encodes chunk *i+1*. Below the
+    /// [`POOL_MIN_OPS`] break-even (or per [`IngestMode`]) the batch
+    /// applies inline. Shards whose overlay crossed the policy threshold
+    /// afterwards are compacted — as a rebuild job on the shard's own
+    /// worker when background compaction is on (finished rebuilds from
+    /// earlier batches are swapped in at the start of the call), inline
+    /// otherwise.
     pub fn apply(&mut self, inserts: &Graph, deletes: &Graph) -> Result<IngestReport, StreamError> {
+        if self.poisoned {
+            return Err(StreamError::Worker(
+                "store poisoned by an earlier ingest worker panic".into(),
+            ));
+        }
+        // Validate the whole batch before mutating anything: a malformed
+        // triple rejects the batch atomically in every ingest mode (the
+        // pipelined pooled path would otherwise have applied the chunks
+        // dispatched before the bad triple, while the inline path applied
+        // nothing — mode-dependent state on identical input).
+        for t in deletes.iter().chain(inserts) {
+            validate_triple(t)?;
+        }
         let mut report = IngestReport::default();
         let (swap_time, swapped) = self.finish_ready_compactions();
         report.compacted = swapped > 0;
 
         let t0 = Instant::now();
         let n = self.shards.len();
-        let mut ops: Vec<ShardOps> = (0..n).map(|_| ShardOps::default()).collect();
-        for t in deletes {
-            if !self.route_op(t, false, &mut ops)? {
-                report.noops += 1;
-            }
-        }
-        for t in inserts {
-            if !self.route_op(t, true, &mut ops)? {
-                report.noops += 1;
-            }
-        }
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let estimated = inserts.len() + deletes.len();
+        let pooled = match self.ingest_mode {
+            IngestMode::Inline | IngestMode::Scoped => false,
+            IngestMode::Pooled => true,
+            IngestMode::Auto => n > 1 && cores > 1 && estimated >= POOL_MIN_OPS,
+        };
 
-        let counts = self.run_ops(&ops);
-        for (ins, del, noop) in counts {
-            report.inserted += ins;
-            report.deleted += del;
-            report.noops += noop;
+        // The staging buffers are a store field (recycled across batches)
+        // but routing borrows `&mut self`: take them out for the duration
+        // of the call. Every path below — including errors — flows
+        // through the restore, so a malformed batch never loses the
+        // buffers.
+        let mut staging = std::mem::take(&mut self.staging);
+        let counts = if pooled {
+            self.stats.pooled_batches += 1;
+            self.apply_pooled(inserts, deletes, &mut staging, &mut report)
+        } else {
+            self.apply_unpooled(inserts, deletes, &mut staging, &mut report)
+        };
+        for ops in &mut staging {
+            ops.clear();
         }
+        self.staging = staging;
+        let (ins, del, noop) = counts?;
+        report.inserted += ins;
+        report.deleted += del;
+        report.noops += noop;
         report.ingest = t0.elapsed();
         self.stats.total_inserted += report.inserted;
         self.stats.total_deleted += report.deleted;
@@ -601,6 +766,182 @@ impl ShardedHybridStore {
         Ok(report)
     }
 
+    /// The single-threaded (or scoped-spawn comparator) path: route the
+    /// whole batch, then apply each shard's list inline — or on per-batch
+    /// scoped spawns under [`IngestMode::Scoped`].
+    fn apply_unpooled(
+        &mut self,
+        inserts: &Graph,
+        deletes: &Graph,
+        staging: &mut [ShardOps],
+        report: &mut IngestReport,
+    ) -> Result<OpCounts, StreamError> {
+        for t in deletes {
+            if !self.route_op(t, false, staging)? {
+                report.noops += 1;
+            }
+        }
+        for t in inserts {
+            if !self.route_op(t, true, staging)? {
+                report.noops += 1;
+            }
+        }
+        let scoped = self.ingest_mode == IngestMode::Scoped
+            && staging.iter().filter(|o| !o.is_empty()).count() > 1;
+        if scoped {
+            self.stats.scoped_batches += 1;
+            Ok(self.run_ops_scoped(staging))
+        } else {
+            self.stats.inline_batches += 1;
+            Ok(self
+                .shards
+                .iter_mut()
+                .zip(staging.iter())
+                .map(|(shard, ops)| run_shard_ops(&shard.base, &mut shard.delta, ops))
+                .fold((0, 0, 0), add_counts))
+        }
+    }
+
+    /// The pooled pipeline: route on the caller, drain on the workers.
+    /// Encodes/routes into `staging` and hands each shard's accumulated
+    /// list to its parked worker every [`PIPELINE_CHUNK`] operations; the
+    /// shard's overlay and op buffer travel *with* the job (moved in,
+    /// moved back on reap), so no borrow crosses a thread boundary. A
+    /// shard whose worker is occupied by a background rebuild applies its
+    /// chunk inline instead — ingest never queues behind layer
+    /// construction.
+    fn apply_pooled(
+        &mut self,
+        inserts: &Graph,
+        deletes: &Graph,
+        staging: &mut [ShardOps],
+        report: &mut IngestReport,
+    ) -> Result<OpCounts, StreamError> {
+        self.ensure_runtime();
+        let n = self.shards.len();
+        let mut in_flight = vec![false; n];
+        let mut counts = (0, 0, 0);
+        let mut panic_msg: Option<String> = None;
+        let mut since_dispatch = 0usize;
+
+        let mut routed: Result<(), StreamError> = Ok(());
+        'route: for (graph, insert) in [(deletes, false), (inserts, true)] {
+            for t in graph {
+                match self.route_op(t, insert, staging) {
+                    Ok(true) => {}
+                    Ok(false) => report.noops += 1,
+                    Err(e) => {
+                        routed = Err(e);
+                        break 'route;
+                    }
+                }
+                since_dispatch += 1;
+                if since_dispatch >= PIPELINE_CHUNK {
+                    self.dispatch_chunk(staging, &mut in_flight, &mut counts, &mut panic_msg);
+                    since_dispatch = 0;
+                }
+            }
+        }
+        // Flush the tail chunk and reap every in-flight job — also on the
+        // error path, so the shard overlays are home again before we
+        // surface anything.
+        self.dispatch_chunk(staging, &mut in_flight, &mut counts, &mut panic_msg);
+        for (s, flying) in in_flight.iter().enumerate() {
+            if *flying {
+                self.reap_ingest(s, &mut counts, &mut panic_msg);
+            }
+        }
+        // The panic check must come first: a worker panic loses that
+        // shard's overlay, so the store must poison even when the same
+        // batch also tripped a routing error.
+        if let Some(msg) = panic_msg {
+            self.poisoned = true;
+            return Err(StreamError::Worker(msg));
+        }
+        routed?;
+        Ok(counts)
+    }
+
+    /// Submits every non-empty staged shard list to its worker (reaping
+    /// that worker's previous chunk first — per-shard chunks apply in
+    /// submission order, preserving the deletes-before-inserts contract
+    /// within the shard). Chunks for shards whose worker is busy with a
+    /// background rebuild run inline on the caller.
+    fn dispatch_chunk(
+        &mut self,
+        staging: &mut [ShardOps],
+        in_flight: &mut [bool],
+        counts: &mut OpCounts,
+        panic_msg: &mut Option<String>,
+    ) {
+        for s in 0..self.shards.len() {
+            if staging[s].is_empty() {
+                continue;
+            }
+            if self.shards[s].pending.is_some() {
+                let shard = &mut self.shards[s];
+                let c = run_shard_ops(&shard.base, &mut shard.delta, &staging[s]);
+                *counts = add_counts(*counts, c);
+                staging[s].clear();
+                continue;
+            }
+            if in_flight[s] {
+                self.reap_ingest(s, counts, panic_msg);
+                in_flight[s] = false;
+            }
+            let delta = std::mem::take(&mut self.shards[s].delta);
+            let ops = std::mem::replace(&mut staging[s], self.ops_pool.pop().unwrap_or_default());
+            let base = Arc::clone(&self.shards[s].base);
+            let runtime = self.runtime.as_ref().expect("ensured by apply_pooled");
+            runtime.submit(
+                s,
+                Box::new(move || {
+                    let mut delta = delta;
+                    let c = run_shard_ops(&base, &mut delta, &ops);
+                    Box::new((delta, ops, c)) as Box<dyn Any + Send>
+                }),
+            );
+            in_flight[s] = true;
+        }
+    }
+
+    /// Blocks on shard `s`'s in-flight ingest job and moves its overlay
+    /// and op buffer home. A panicked job is recorded (first message
+    /// wins); its overlay died with it, which `apply_pooled` converts
+    /// into a poisoned store.
+    fn reap_ingest(&mut self, s: usize, counts: &mut OpCounts, panic_msg: &mut Option<String>) {
+        let runtime = self.runtime.as_ref().expect("reap without runtime");
+        match runtime.take(s) {
+            Ok(out) => {
+                let (delta, mut ops, c) = *out
+                    .downcast::<IngestJobOut>()
+                    .expect("ingest job returns IngestJobOut");
+                self.shards[s].delta = delta;
+                ops.clear();
+                self.ops_pool.push(ops);
+                *counts = add_counts(*counts, c);
+            }
+            Err(msg) => {
+                panic_msg.get_or_insert(msg);
+            }
+        }
+    }
+
+    /// Spawns the persistent pool (one parked worker per shard) if it is
+    /// not running yet.
+    fn ensure_runtime(&mut self) {
+        if self.runtime.is_none() {
+            self.runtime = Some(ShardRuntime::new(self.shards.len()));
+        }
+    }
+
+    /// The persistent worker pool, if it has been spawned — shared with
+    /// continuous-query evaluation via
+    /// [`StreamStore::shared_runtime`](crate::StreamStore::shared_runtime).
+    pub fn runtime(&self) -> Option<&ShardRuntime> {
+        self.runtime.as_ref()
+    }
+
     /// Drops the shared overlay-literal table when nothing can reference
     /// it: table ids live only in overlay entries (layers store literal
     /// *content*) and in snapshots owned by in-flight rebuilds, so once
@@ -622,26 +963,21 @@ impl ShardedHybridStore {
     /// Encodes one triple and routes it to its shard's operation list.
     /// Returns `false` for deletes that are provably no-ops (an involved
     /// term is unknown everywhere, so the triple cannot be visible) —
-    /// mirroring `HybridStore`'s no-allocation discipline.
+    /// mirroring `HybridStore`'s no-allocation discipline. `apply`
+    /// already validated the batch; the re-validation here is the cheap
+    /// defensive second line keeping the shape rules in one place.
     fn route_op(
         &mut self,
         t: &Triple,
         insert: bool,
         ops: &mut [ShardOps],
     ) -> Result<bool, StreamError> {
-        let Some(p_iri) = t.predicate.as_iri() else {
-            return Err(StreamError::Malformed(format!("non-IRI predicate: {t}")));
-        };
-        let Some(s_key) = instance_key(&t.subject) else {
-            return Err(StreamError::Malformed(format!("literal subject: {t}")));
-        };
+        validate_triple(t)?;
+        let p_iri = t.predicate.as_iri().expect("validated predicate");
+        let s_key = instance_key(&t.subject).expect("validated subject");
 
         if t.is_type_triple() {
-            let Some(c_iri) = t.object.as_iri() else {
-                return Err(StreamError::Malformed(format!(
-                    "rdf:type with non-IRI object: {t}"
-                )));
-            };
+            let c_iri = t.object.as_iri().expect("validated rdf:type object");
             let c_resolved = self
                 .dicts
                 .concepts
@@ -696,10 +1032,11 @@ impl ShardedHybridStore {
         let o = match &t.object {
             Term::Literal(lit) => {
                 if insert {
-                    OpObj::Lit(self.literals.intern(lit))
+                    let l = self.literals.intern(lit);
+                    OpObj::Lit(l, self.literals.arc(l))
                 } else {
                     match self.literals.id(lit) {
-                        Some(l) => OpObj::Lit(l),
+                        Some(l) => OpObj::Lit(l, self.literals.arc(l)),
                         // Unknown to the overlay table — deletable only if
                         // the shard's baseline holds it; intern a tombstone
                         // key just for that case.
@@ -712,7 +1049,8 @@ impl ShardedHybridStore {
                             if !base_has {
                                 return Ok(false);
                             }
-                            OpObj::Lit(self.literals.intern(lit))
+                            let l = self.literals.intern(lit);
+                            OpObj::Lit(l, self.literals.arc(l))
                         }
                     }
                 }
@@ -735,24 +1073,13 @@ impl ShardedHybridStore {
         Ok(true)
     }
 
-    /// Runs the routed operation lists — one scoped worker per shard with
-    /// work. The fan-out is adaptive: batches below
-    /// [`PARALLEL_MIN_OPS`], single-shard batches, and single-core hosts
-    /// run inline (scoped-thread spawns would cost more than the
-    /// transition work they parallelize).
-    fn run_ops(&mut self, ops: &[ShardOps]) -> Vec<OpCounts> {
-        let busy = ops.iter().filter(|o| !o.is_empty()).count();
-        let total: usize = ops.iter().map(ShardOps::len).sum();
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let literals = &self.literals;
-        if busy <= 1 || cores <= 1 || total < PARALLEL_MIN_OPS {
-            return self
-                .shards
-                .iter_mut()
-                .zip(ops)
-                .map(|(shard, ops)| run_shard_ops(&shard.base, &mut shard.delta, literals, ops))
-                .collect();
-        }
+    /// Runs the routed operation lists on per-batch `std::thread::scope`
+    /// workers, one per shard with work — the pre-runtime parallel
+    /// ingest path, kept (minus its [`PARALLEL_MIN_OPS`]/core-count
+    /// gate, see [`IngestMode::Scoped`]) as the benchmarking comparator:
+    /// its ~100µs-per-spawn cost is exactly what the persistent pool
+    /// amortizes away.
+    fn run_ops_scoped(&mut self, ops: &[ShardOps]) -> OpCounts {
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
@@ -764,7 +1091,7 @@ impl ShardedHybridStore {
                     } else {
                         let Shard { base, delta, .. } = shard;
                         let base = Arc::clone(base);
-                        Some(scope.spawn(move || run_shard_ops(&base, delta, literals, ops)))
+                        Some(scope.spawn(move || run_shard_ops(&base, delta, ops)))
                     }
                 })
                 .collect();
@@ -774,7 +1101,7 @@ impl ShardedHybridStore {
                     Some(h) => h.join().expect("ingest worker panicked"),
                     None => (0, 0, 0),
                 })
-                .collect()
+                .fold((0, 0, 0), add_counts)
         })
     }
 
@@ -784,11 +1111,12 @@ impl ShardedHybridStore {
     /// layers (same id space — no re-encoding) and swap them in.
     pub fn compact_shard(&mut self, shard: usize) {
         // A background rebuild may be in flight against an older snapshot;
-        // its result is superseded by this inline fold — discard it, or a
-        // later poll would swap stale layers over the fresh ones and drop
-        // every write that landed in between.
-        if let Some(stale) = self.shards[shard].pending.take() {
-            drop(stale.handle);
+        // its result is superseded by this inline fold. A pool job cannot
+        // be cancelled, so mark it stale — the reap discards its output
+        // instead of swapping stale layers over the fresh ones (which
+        // would drop every write that landed in between).
+        if let Some(pending) = &mut self.shards[shard].pending {
+            pending.stale = true;
         }
         let t0 = Instant::now();
         let built = {
@@ -802,19 +1130,60 @@ impl ShardedHybridStore {
         self.swap_shard_base(shard, built, None);
     }
 
-    /// Spawns a background rebuild for one shard against an O(1) snapshot
-    /// of its layers plus a clone of its overlay (both O(overlay),
-    /// bounded by the compaction threshold — never O(store)).
+    /// Hands a background rebuild for one shard to the shard's pool
+    /// worker, against an O(1) snapshot of its layers plus a clone of
+    /// its overlay (both O(overlay), bounded by the compaction
+    /// threshold — never O(store)). Replaces the old per-rebuild
+    /// `thread::spawn`: compaction now shares the ingest workers' bounded
+    /// thread budget, and an occupied worker simply makes the next few
+    /// ingest chunks of that one shard apply inline.
     fn start_shard_compaction(&mut self, shard: usize) {
+        self.ensure_runtime();
         let base = Arc::clone(&self.shards[shard].base);
         let delta = self.shards[shard].delta.clone();
         let lits = LitSnapshot::for_delta(&delta, &self.literals);
-        let handle = std::thread::spawn(move || {
-            let t0 = Instant::now();
-            let built = rebuild_shard(&base, &delta, &lits);
-            (built, delta, t0.elapsed())
-        });
-        self.shards[shard].pending = Some(PendingRebuild { handle });
+        let runtime = self.runtime.as_ref().expect("ensured above");
+        runtime.submit(
+            shard,
+            Box::new(move || {
+                let t0 = Instant::now();
+                let built = rebuild_shard(&base, &delta, &lits);
+                Box::new((built, delta, t0.elapsed())) as Box<dyn Any + Send>
+            }),
+        );
+        self.shards[shard].pending = Some(PendingRebuild { stale: false });
+    }
+
+    /// Reaps one finished rebuild job: swap the fresh layers in (and
+    /// rebase the live overlay), or discard a result a later inline
+    /// compaction already superseded. Returns the hot-path swap time.
+    fn consume_rebuild(
+        &mut self,
+        shard: usize,
+        result: Result<Box<dyn Any + Send>, String>,
+    ) -> Duration {
+        let pending = self.shards[shard].pending.take().expect("pending rebuild");
+        if pending.stale {
+            // Superseded by an inline fold: the result is dead by design —
+            // account nothing, swap nothing, and ignore even a panicked
+            // job (the old code dropped the JoinHandle of a superseded
+            // rebuild, discarding its outcome the same way).
+            return Duration::ZERO;
+        }
+        let (built, snapshot, build_time) = match result {
+            Ok(out) => *out
+                .downcast::<RebuildJobOut>()
+                .expect("rebuild job returns RebuildJobOut"),
+            // `rebuild_shard` is pure id-space folding; a panic there is a
+            // bug, and the old JoinHandle path's `expect` behaviour is
+            // preserved.
+            Err(msg) => panic!("compaction worker panicked: {msg}"),
+        };
+        self.stats.total_compaction += build_time;
+        self.stats.background_compactions += 1;
+        let t0 = Instant::now();
+        self.swap_shard_base(shard, built, Some(&snapshot));
+        t0.elapsed()
     }
 
     /// Swaps finished background rebuilds in without blocking on the ones
@@ -823,19 +1192,15 @@ impl ShardedHybridStore {
         let mut spent = Duration::ZERO;
         let mut swapped = 0;
         for i in 0..self.shards.len() {
-            let ready = self.shards[i]
-                .pending
-                .as_ref()
-                .is_some_and(|p| p.handle.is_finished());
-            if ready {
-                let pending = self.shards[i].pending.take().expect("checked above");
-                let (built, snapshot, build_time) =
-                    pending.handle.join().expect("compaction worker panicked");
-                self.stats.total_compaction += build_time;
-                self.stats.background_compactions += 1;
-                let t0 = Instant::now();
-                self.swap_shard_base(i, built, Some(&snapshot));
-                spent += t0.elapsed();
+            let Some(pending) = &self.shards[i].pending else {
+                continue;
+            };
+            let stale = pending.stale;
+            let Some(result) = self.runtime.as_ref().and_then(|rt| rt.try_take(i)) else {
+                continue;
+            };
+            spent += self.consume_rebuild(i, result);
+            if !stale {
                 swapped += 1;
             }
         }
@@ -847,12 +1212,17 @@ impl ShardedHybridStore {
     pub fn flush_compactions(&mut self) -> usize {
         let mut swapped = 0;
         for i in 0..self.shards.len() {
-            if let Some(pending) = self.shards[i].pending.take() {
-                let (built, snapshot, build_time) =
-                    pending.handle.join().expect("compaction worker panicked");
-                self.stats.total_compaction += build_time;
-                self.stats.background_compactions += 1;
-                self.swap_shard_base(i, built, Some(&snapshot));
+            let Some(pending) = &self.shards[i].pending else {
+                continue;
+            };
+            let stale = pending.stale;
+            let result = self
+                .runtime
+                .as_ref()
+                .expect("pending rebuild implies a runtime")
+                .take(i);
+            self.consume_rebuild(i, result);
+            if !stale {
                 swapped += 1;
             }
         }
@@ -1088,15 +1458,35 @@ impl ShardedHybridStore {
     }
 }
 
+/// Sums two per-worker outcome triples.
+fn add_counts(a: OpCounts, b: OpCounts) -> OpCounts {
+    (a.0 + b.0, a.1 + b.1, a.2 + b.2)
+}
+
+/// The store's shape rules — the single source of truth: `apply` checks
+/// the whole batch up front so a malformed triple rejects it without
+/// side effects, and `build`/`route_op` re-call this per triple instead
+/// of duplicating the checks.
+fn validate_triple(t: &Triple) -> Result<(), StreamError> {
+    if t.predicate.as_iri().is_none() {
+        return Err(StreamError::Malformed(format!("non-IRI predicate: {t}")));
+    }
+    if instance_key(&t.subject).is_none() {
+        return Err(StreamError::Malformed(format!("literal subject: {t}")));
+    }
+    if t.is_type_triple() && t.object.as_iri().is_none() {
+        return Err(StreamError::Malformed(format!(
+            "rdf:type with non-IRI object: {t}"
+        )));
+    }
+    Ok(())
+}
+
 /// Applies one shard's routed operations against its baseline + overlay.
-/// Runs on a scoped worker; everything it touches is either owned by the
-/// shard (`delta`) or frozen for the phase (`base`, `literals`).
-fn run_shard_ops(
-    base: &ShardBase,
-    delta: &mut DeltaStore,
-    literals: &LiteralTable,
-    ops: &ShardOps,
-) -> OpCounts {
+/// Runs on a pool worker (or a scoped/inline fallback); everything it
+/// touches is either moved into the job (`delta`, `ops` — literal ops
+/// carry their content) or frozen for the phase (`base`).
+fn run_shard_ops(base: &ShardBase, delta: &mut DeltaStore, ops: &ShardOps) -> OpCounts {
     let (mut ins, mut del, mut noop) = (0, 0, 0);
     let mut bump = |hit: bool, insert: bool| {
         if hit && insert {
@@ -1111,35 +1501,26 @@ fn run_shard_ops(
         bump(apply_type_op(base, delta, op, false), false);
     }
     for op in &ops.del {
-        bump(apply_op(base, delta, literals, op, false), false);
+        bump(apply_op(base, delta, op, false), false);
     }
     for op in &ops.type_ins {
         bump(apply_type_op(base, delta, op, true), true);
     }
     for op in &ops.ins {
-        bump(apply_op(base, delta, literals, op, true), true);
+        bump(apply_op(base, delta, op, true), true);
     }
     (ins, del, noop)
 }
 
-fn apply_op(
-    base: &ShardBase,
-    delta: &mut DeltaStore,
-    literals: &LiteralTable,
-    op: &Op,
-    insert: bool,
-) -> bool {
-    let (key, base_has) = match op.o {
-        OpObj::Inst(o) => (DeltaObj::Inst(o), base.objects.contains(op.p, op.s, o)),
-        OpObj::Lit(l) => {
-            let lit = literals.get(l).expect("routed ops carry interned literals");
-            (
-                DeltaObj::Lit(l),
-                base.datatypes
-                    .subjects_by_literal(op.p, lit)
-                    .contains(&op.s),
-            )
-        }
+fn apply_op(base: &ShardBase, delta: &mut DeltaStore, op: &Op, insert: bool) -> bool {
+    let (key, base_has) = match &op.o {
+        OpObj::Inst(o) => (DeltaObj::Inst(*o), base.objects.contains(op.p, op.s, *o)),
+        OpObj::Lit(l, lit) => (
+            DeltaObj::Lit(*l),
+            base.datatypes
+                .subjects_by_literal(op.p, lit.as_ref())
+                .contains(&op.s),
+        ),
     };
     match transition(delta.state(op.p, op.s, key), base_has, insert) {
         Some(st) => {
@@ -1999,10 +2380,11 @@ mod tests {
         ));
     }
 
-    /// Regression: an inline `compact_shard` must discard any in-flight
-    /// background rebuild — otherwise a later poll would swap stale
-    /// layers over the fresh ones and silently drop the writes that
-    /// landed in between.
+    /// Regression: an inline `compact_shard` must invalidate any
+    /// in-flight background rebuild — otherwise a later poll would swap
+    /// stale layers over the fresh ones and silently drop the writes
+    /// that landed in between. A pool job cannot be cancelled, so the
+    /// rebuild is marked stale and its output discarded on reap.
     #[test]
     fn inline_compact_discards_stale_background_rebuild() {
         let mut h = sharded(1)
@@ -2016,21 +2398,23 @@ mod tests {
         )
         .unwrap();
         assert_eq!(h.pending_compactions(), 1);
-        // Newer write, then an inline compact folding it in.
+        // Newer write, then an inline compact folding it in. (Whether the
+        // in-flight rebuild got swapped during the apply or marked stale
+        // by the fold is a race; either way no write may be lost.)
         h.apply(
             &Graph::from_triples([t("e", "knows", iri("a"))]),
             &Graph::new(),
         )
         .unwrap();
         h.compact_shard(0);
-        assert_eq!(h.pending_compactions(), 0, "stale rebuild discarded");
-        // Subsequent applies must never resurrect the stale snapshot.
+        // Subsequent applies must never resurrect a stale snapshot.
         h.apply(
             &Graph::from_triples([t("f", "knows", iri("a"))]),
             &Graph::new(),
         )
         .unwrap();
         h.flush_compactions();
+        assert_eq!(h.pending_compactions(), 0, "stale rebuild reaped");
         let knows = h.property_id("http://x/knows").unwrap();
         let a = h.instance_id(&iri("a")).unwrap();
         let mut subs = h.subjects(knows, &Value::Instance(a));
@@ -2074,5 +2458,116 @@ mod tests {
     fn sharded_store_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ShardedHybridStore>();
+    }
+
+    /// The tentpole's small-batch regime: with the pool forced on, every
+    /// tiny batch goes through the persistent workers (no adaptive
+    /// fallback) and the result is bit-identical to the inline path and
+    /// the single-overlay store.
+    #[test]
+    fn forced_pool_small_batches_match_inline_and_single() {
+        let mut pooled = sharded(4)
+            .with_ingest_mode(IngestMode::Pooled)
+            .with_background_compaction(true)
+            .with_policy(CompactionPolicy { max_overlay: 6 });
+        let mut inline = sharded(4)
+            .with_ingest_mode(IngestMode::Inline)
+            .with_background_compaction(false)
+            .with_policy(CompactionPolicy { max_overlay: 6 });
+        let mut single = HybridStore::build(&ontology(), &seed_graph()).unwrap();
+        assert_eq!(pooled.worker_threads(), 0, "runtime spawns lazily");
+        for round in 0..10 {
+            // 2–4 ops per batch: far below POOL_MIN_OPS.
+            let ins = Graph::from_triples([
+                t(&format!("s{round}"), "knows", iri("hub")),
+                ty(&format!("s{round}"), "C2"),
+                t(
+                    &format!("s{round}"),
+                    "age",
+                    Term::literal(format!("{round}")),
+                ),
+            ]);
+            let del = if round >= 3 {
+                Graph::from_triples([t(&format!("s{}", round - 3), "knows", iri("hub"))])
+            } else {
+                Graph::new()
+            };
+            let rp = pooled.apply(&ins, &del).unwrap();
+            let ri = inline.apply(&ins, &del).unwrap();
+            let rs = single.apply(&ins, &del).unwrap();
+            assert_eq!((rp.inserted, rp.deleted), (ri.inserted, ri.deleted));
+            assert_eq!((rp.inserted, rp.deleted), (rs.inserted, rs.deleted));
+        }
+        pooled.flush_compactions();
+        inline.flush_compactions();
+        assert_eq!(norm(&pooled.materialize()), norm(&inline.materialize()));
+        assert_eq!(norm(&pooled.materialize()), norm(&single.materialize()));
+        assert_eq!(pooled.stats().pooled_batches, 10, "every batch pooled");
+        assert_eq!(pooled.stats().inline_batches, 0);
+        assert_eq!(inline.stats().inline_batches, 10);
+        assert_eq!(pooled.worker_threads(), pooled.shard_count());
+    }
+
+    /// Auto mode keeps small batches inline (the pool only pays off past
+    /// the break-even) and never spawns the runtime for them.
+    #[test]
+    fn auto_mode_keeps_small_batches_inline() {
+        let mut h = sharded(4).with_background_compaction(false);
+        h.apply(
+            &Graph::from_triples([t("x", "knows", iri("hub"))]),
+            &Graph::new(),
+        )
+        .unwrap();
+        assert_eq!(h.stats().inline_batches, 1);
+        assert_eq!(h.stats().pooled_batches, 0);
+        assert_eq!(h.worker_threads(), 0, "no workers for inline batches");
+    }
+
+    /// The lifecycle satellite at store level: dropping a store with live
+    /// workers — including an in-flight background rebuild — joins the
+    /// whole fleet (the runtime's `Drop` asserts every worker exited; a
+    /// hang here would time the test out).
+    #[test]
+    fn dropping_pooled_store_joins_workers() {
+        let mut h = sharded(3)
+            .with_ingest_mode(IngestMode::Pooled)
+            .with_background_compaction(true)
+            .with_policy(CompactionPolicy { max_overlay: 4 });
+        for round in 0..6 {
+            h.apply(
+                &Graph::from_triples([
+                    t(&format!("a{round}"), "knows", iri("hub")),
+                    t(&format!("b{round}"), "memberOf", iri("org")),
+                ]),
+                &Graph::new(),
+            )
+            .unwrap();
+        }
+        assert_eq!(h.worker_threads(), 3);
+        // Rebuilds may still be in flight; drop must reap, join and
+        // release every worker regardless.
+        drop(h);
+    }
+
+    /// Scoped mode still works (it is the benchmarking comparator) and
+    /// agrees with the pooled result.
+    #[test]
+    fn scoped_comparator_matches_pooled() {
+        let mut scoped = sharded(4)
+            .with_ingest_mode(IngestMode::Scoped)
+            .with_background_compaction(false);
+        let mut pooled = sharded(4)
+            .with_ingest_mode(IngestMode::Pooled)
+            .with_background_compaction(false);
+        let preds = ["knows", "memberOf", "worksFor"];
+        let ins = Graph::from_triples(
+            (0..42).map(|i| t(&format!("s{i}"), preds[i % 3], iri(&format!("o{}", i % 5)))),
+        );
+        let rs = scoped.apply(&ins, &Graph::new()).unwrap();
+        let rp = pooled.apply(&ins, &Graph::new()).unwrap();
+        assert_eq!((rs.inserted, rs.deleted), (rp.inserted, rp.deleted));
+        assert_eq!(norm(&scoped.materialize()), norm(&pooled.materialize()));
+        assert_eq!(scoped.stats().scoped_batches, 1);
+        assert_eq!(pooled.stats().pooled_batches, 1);
     }
 }

@@ -14,7 +14,9 @@ use se_datagen::workload::water_anomaly_query;
 use se_ontology::water_ontology;
 use se_rdf::{Graph, Triple};
 use se_sparql::{QueryOptions, ResultSet};
-use se_stream::{CompactionPolicy, HybridStore, ShardPolicy, ShardedHybridStore, StreamSession};
+use se_stream::{
+    CompactionPolicy, HybridStore, IngestMode, ShardPolicy, ShardedHybridStore, StreamSession,
+};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -196,8 +198,10 @@ fn hybrid_agrees_with_rebuild_across_stream_and_compaction() {
 /// and compactions, the scatter/gather [`ShardedHybridStore`] answers all
 /// eleven query shapes (reasoning on and off) identically to a single
 /// [`HybridStore`] *and* a from-scratch rebuild — with inline per-shard
-/// compaction, with background compaction racing the stream, and with the
-/// workload-aware routing policy from `se-datagen`.
+/// compaction, with background compaction racing the stream, with the
+/// workload-aware routing policy from `se-datagen`, and with the
+/// persistent worker pool **forced onto every small batch** (the
+/// break-even regime the runtime exists for, far below `POOL_MIN_OPS`).
 #[test]
 fn sharded_agrees_with_single_store_and_rebuild() {
     let onto = water_ontology();
@@ -228,16 +232,26 @@ fn sharded_agrees_with_single_store_and_rebuild() {
     .unwrap()
     .with_policy(policy)
     .with_background_compaction(true);
+    // Forced-pool configuration: every batch of this small stream goes
+    // through the persistent shard workers (pipelined encode, pooled
+    // drain), with background rebuilds racing on the same workers.
+    let sharded_pool = ShardedHybridStore::build(&onto, &Graph::new(), 3)
+        .unwrap()
+        .with_policy(policy)
+        .with_background_compaction(true)
+        .with_ingest_mode(IngestMode::Pooled);
 
     let mut single = StreamSession::new(single);
     let mut sharded_inline = StreamSession::new(sharded_inline);
     let mut sharded_bg = StreamSession::new(sharded_bg);
+    let mut sharded_pool = StreamSession::new(sharded_pool);
     for (id, text, opts) in shape_queries() {
         single.register_query(id, &text, opts.clone()).unwrap();
         sharded_inline
             .register_query(id, &text, opts.clone())
             .unwrap();
-        sharded_bg.register_query(id, &text, opts).unwrap();
+        sharded_bg.register_query(id, &text, opts.clone()).unwrap();
+        sharded_pool.register_query(id, &text, opts).unwrap();
     }
 
     let mut reference: BTreeSet<Triple> = BTreeSet::new();
@@ -250,6 +264,9 @@ fn sharded_agrees_with_single_store_and_rebuild() {
             .apply_batch(&batch.inserts, &batch.deletes)
             .unwrap();
         let out_bg = sharded_bg
+            .apply_batch(&batch.inserts, &batch.deletes)
+            .unwrap();
+        let out_pool = sharded_pool
             .apply_batch(&batch.inserts, &batch.deletes)
             .unwrap();
 
@@ -274,18 +291,25 @@ fn sharded_agrees_with_single_store_and_rebuild() {
             (out_bg.report.inserted, out_bg.report.deleted),
             "batch {tick}: ingest accounting diverged (background)"
         );
+        assert_eq!(
+            (out_single.report.inserted, out_single.report.deleted),
+            (out_pool.report.inserted, out_pool.report.deleted),
+            "batch {tick}: ingest accounting diverged (forced pool)"
+        );
         assert_eq!(sharded_inline.store().len(), reference.len());
         assert_eq!(sharded_bg.store().len(), reference.len());
+        assert_eq!(sharded_pool.store().len(), reference.len());
 
         let rebuilt =
             SuccinctEdgeStore::build(&onto, &Graph::from_triples(reference.iter().cloned()))
                 .unwrap();
-        for (((cq, rs_single), rs_inline), rs_bg) in single
+        for ((((cq, rs_single), rs_inline), rs_bg), rs_pool) in single
             .registry()
             .iter()
             .zip(&out_single.results)
             .zip(&out_inline.results)
             .zip(&out_bg.results)
+            .zip(&out_pool.results)
         {
             let fresh = se_sparql::exec::execute(&rebuilt, &cq.query, &cq.options).unwrap();
             let want = normalize(&fresh);
@@ -307,12 +331,19 @@ fn sharded_agrees_with_single_store_and_rebuild() {
                 "batch {tick}: '{}' sharded-background vs rebuild",
                 cq.id
             );
+            assert_eq!(
+                normalize(&rs_pool.results),
+                want,
+                "batch {tick}: '{}' sharded-forced-pool vs rebuild",
+                cq.id
+            );
         }
     }
 
     // Drain in-flight background rebuilds and re-check agreement after
     // the final swaps.
     sharded_bg.store_mut().flush_compactions();
+    sharded_pool.store_mut().flush_compactions();
     let rebuilt =
         SuccinctEdgeStore::build(&onto, &Graph::from_triples(reference.iter().cloned())).unwrap();
     for cq in sharded_bg.registry().iter().collect::<Vec<_>>() {
@@ -322,6 +353,13 @@ fn sharded_agrees_with_single_store_and_rebuild() {
             normalize(&got),
             normalize(&fresh),
             "post-flush: '{}' sharded-background vs rebuild",
+            cq.id
+        );
+        let got = se_sparql::exec::execute(sharded_pool.store(), &cq.query, &cq.options).unwrap();
+        assert_eq!(
+            normalize(&got),
+            normalize(&fresh),
+            "post-flush: '{}' sharded-forced-pool vs rebuild",
             cq.id
         );
     }
@@ -334,6 +372,17 @@ fn sharded_agrees_with_single_store_and_rebuild() {
     assert!(
         sharded_bg.store().stats().compactions >= 1,
         "background sharded store must compact"
+    );
+    let pool_stats = sharded_pool.store().stats();
+    assert_eq!(
+        pool_stats.pooled_batches,
+        batches.len(),
+        "forced pool must take every batch"
+    );
+    assert_eq!(pool_stats.inline_batches, 0);
+    assert!(
+        sharded_pool.store().worker_threads() > 0,
+        "forced pool spawned its workers"
     );
     assert!(deletions > 0, "stream must exercise the deletion path");
 }

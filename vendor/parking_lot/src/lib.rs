@@ -75,6 +75,55 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A condition variable with `parking_lot`'s `&mut guard` API.
+///
+/// `parking_lot::Condvar::wait` takes the guard by mutable reference and
+/// re-acquires the lock in place; std's takes it by value. The shim moves
+/// the guard out, waits on the std condvar, and moves the re-acquired
+/// guard back — sound because `std::sync::Condvar::wait` only panics on
+/// use with two different mutexes, which this API cannot express per
+/// call site (each `Condvar` here is used with exactly one `Mutex`, as
+/// parking_lot requires).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// An unwaited-on condition variable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks until notified, releasing the guard's lock while parked and
+    /// re-acquiring it (in place) before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY: `ptr::read` duplicates the guard so std's by-value API
+        // can consume it; the original slot is overwritten with the
+        // re-acquired guard before anything can observe it. `wait` does
+        // not unwind for a (condvar, mutex) pair used consistently, which
+        // the one-condvar-one-mutex usage pattern guarantees.
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let owned = self
+                .inner
+                .wait(owned)
+                .unwrap_or_else(sync::PoisonError::into_inner);
+            std::ptr::write(guard, owned);
+        }
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +142,27 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 6;
         assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let worker = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (m, cv) = &*pair;
+                let mut guard = m.lock();
+                while !*guard {
+                    cv.wait(&mut guard);
+                }
+            })
+        };
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_one();
+        }
+        worker.join().unwrap();
     }
 }
