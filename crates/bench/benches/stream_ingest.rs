@@ -8,9 +8,11 @@
 //!
 //! Besides the criterion timings this bench emits a machine-readable
 //! `BENCH_stream_ingest.json` (throughput + rank-interpolated p50/p99
-//! apply latency per engine, pooled/inline batch counts, and the sweep)
-//! so the perf trajectory can be tracked across commits — CI gates on the
-//! `sharded_background_compaction` entry.
+//! apply latency per engine, pooled/inline batch counts, the sweep, and
+//! the v02 persistence trajectory: O(delta) save vs compact-then-dump,
+//! with 4x-overlay / 4x-baseline cells pinning what the save time scales
+//! with) so the perf trajectory can be tracked across commits — CI gates
+//! on the `sharded_background_compaction` entry.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use se_core::SuccinctEdgeStore;
@@ -285,6 +287,123 @@ fn sweep_stream(size: usize, batches: usize) -> Vec<StreamBatch> {
         .collect()
 }
 
+/// Persistence trajectory: the v02 delta-aware save against the legacy
+/// compact-then-dump shutdown, on a dirty store. Three v02 cells pin the
+/// O(delta) claim: 4x the overlay must move the save time, 4x the
+/// *baseline* must not (the baseline layer file is reused, not
+/// rewritten). Every cell measures the steady state (the cold save that
+/// writes the baseline file runs once, untimed).
+#[allow(deprecated)] // the v01 compact-then-dump comparator
+fn persistence_runs(onto: &Ontology) -> Vec<LatencyRun> {
+    const SAVE_ITERS: usize = 12;
+    const DUMP_ITERS: usize = 3;
+    let root = std::env::temp_dir().join(format!("se-bench-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Accumulated insert-only water graphs: the 1x and 4x baselines.
+    let graph_of = |batches: usize| {
+        let cfg = WaterConfig {
+            stations: LAT_STATIONS,
+            rounds: 1,
+            anomaly_rate: 0.1,
+            seed: 5,
+        };
+        let mut g = Graph::new();
+        for b in generate_stream(&cfg, batches, batches) {
+            for t in &b.inserts {
+                g.insert(t.clone());
+            }
+        }
+        g
+    };
+    // A dirty store: `ops` synthetic overlay inserts, compaction off.
+    let build_dirty = |base: &Graph, ops: usize| {
+        let mut h = HybridStore::build(onto, base)
+            .unwrap()
+            .with_policy(CompactionPolicy {
+                max_overlay: usize::MAX,
+            });
+        for b in sweep_stream(ops, 1) {
+            h.apply(&b.inserts, &b.deletes).unwrap();
+        }
+        h
+    };
+
+    let mut runs = Vec::new();
+    let base1 = graph_of(40);
+    let base4 = graph_of(160);
+    let iters: Vec<usize> = (0..SAVE_ITERS).collect();
+    for (label, base, ops) in [
+        ("persist_v02_save_dirty", &base1, 512usize),
+        ("persist_v02_save_4x_overlay", &base1, 2048),
+        ("persist_v02_save_4x_baseline", &base4, 512),
+    ] {
+        let h = build_dirty(base, ops);
+        let dir = root.join(label);
+        h.save(&dir).unwrap(); // cold save writes the baseline file once
+        let mut run = run_latency(label, &iters, |_| {
+            let report = h.save(&dir).unwrap();
+            assert_eq!(report.baseline_files_written, 0, "steady state");
+        });
+        run.final_len = se_core::TripleSource::len(&h);
+        runs.push(run);
+    }
+
+    // The legacy shutdown: compact (full rebuild) + dump v01.
+    {
+        let h = build_dirty(&base1, 512);
+        let path = root.join("legacy.v01");
+        let iters: Vec<usize> = (0..DUMP_ITERS).collect();
+        let mut run = run_latency("persist_v01_compact_then_dump", &iters, |_| {
+            let mut doomed = h.clone();
+            doomed.save_to_file(&path).unwrap();
+        });
+        run.final_len = se_core::TripleSource::len(&h);
+        runs.push(run);
+    }
+
+    // Sharded manifest: steady-state save and a full load.
+    {
+        let mut h = ShardedHybridStore::build(onto, &base1, SHARDS)
+            .unwrap()
+            .with_policy(CompactionPolicy {
+                max_overlay: usize::MAX,
+            });
+        for b in sweep_stream(512, 1) {
+            h.apply(&b.inserts, &b.deletes).unwrap();
+        }
+        let dir = root.join("sharded");
+        h.save(&dir).unwrap();
+        let mut run = run_latency("persist_v02_sharded_save", &iters, |_| {
+            h.save(&dir).unwrap();
+        });
+        run.take_sharded_stats(&h);
+        runs.push(run);
+        let load_iters: Vec<usize> = (0..4).collect();
+        let mut run = run_latency("persist_v02_sharded_load", &load_iters, |_| {
+            let back = ShardedHybridStore::load(&dir, onto).unwrap();
+            std::hint::black_box(se_core::TripleSource::len(&back));
+        });
+        run.final_len = se_core::TripleSource::len(&h);
+        runs.push(run);
+    }
+
+    // The headline claim, asserted: an O(delta) shutdown beats the
+    // O(rebuild) one outright (the gap is orders of magnitude; equality
+    // here would mean the baseline skip regressed).
+    let per_save = |label: &str| {
+        let r = runs.iter().find(|r| r.label == label).unwrap();
+        r.total.as_secs_f64() / r.per_batch.len() as f64
+    };
+    assert!(
+        per_save("persist_v02_save_dirty") < per_save("persist_v01_compact_then_dump"),
+        "v02 O(delta) save must beat compact-then-dump"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+    runs
+}
+
 /// One sweep cell: the given ingest mode over `size`-op batches, no
 /// compaction (isolates routing + overlay insertion + hand-off cost).
 fn sweep_run(onto: &Ontology, mode: IngestMode, mode_name: &str, size: usize) -> LatencyRun {
@@ -349,6 +468,7 @@ fn emit_latency_report(heavy: &[StreamBatch]) {
         runs.push(sweep_run(&sweep_onto, IngestMode::Inline, "inline", size));
         runs.push(sweep_run(&sweep_onto, IngestMode::Pooled, "pooled", size));
     }
+    runs.extend(persistence_runs(&onto));
 
     let entries: Vec<String> = runs.iter().map(LatencyRun::json).collect();
     let json = format!(

@@ -244,6 +244,15 @@ impl InstanceDictionary {
         self.counts.get(id as usize).copied().unwrap_or(0)
     }
 
+    /// Overwrites the occurrence count of `id` — used when replaying
+    /// persisted dictionary segments, where counts arrive as totals
+    /// rather than one `record_occurrence` call at a time.
+    pub fn set_count(&mut self, id: u64, count: u64) {
+        if let Some(c) = self.counts.get_mut(id as usize) {
+            *c = count;
+        }
+    }
+
     /// Serialized size in bytes of the persistent form.
     pub fn serialized_size(&self) -> usize {
         8 + self

@@ -26,7 +26,10 @@ pub mod wavelet_tree;
 pub use bitvec::BitVec;
 pub use int_vector::IntVector;
 pub use rank_select::RsBitVec;
-pub use serialize::{ReadBin, Serialize, WriteBin};
+pub use serialize::{
+    checksum64, expect_section, read_container_header, read_section, write_container_header,
+    write_section, ContainerError, ReadBin, Serialize, WriteBin,
+};
 pub use wavelet_tree::WaveletTree;
 
 /// Number of bits needed to represent `v` (at least 1).

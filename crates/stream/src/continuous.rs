@@ -68,6 +68,10 @@ impl StreamStore for ShardedHybridStore {
 pub struct ContinuousQuery {
     /// Caller-chosen identifier (reported with every result).
     pub id: String,
+    /// The original SPARQL text — retained so a session checkpoint
+    /// ([`StreamSession::save`](crate::persist)) can re-register the
+    /// query verbatim after a restart.
+    pub text: String,
     /// The parsed query (parsed once at registration).
     pub query: Query,
     /// Execution options (reasoning on/off, optimizer switches).
@@ -106,7 +110,12 @@ impl ContinuousQueryRegistry {
         let id = id.into();
         let query = parse_query(text)?;
         self.queries.retain(|q| q.id != id);
-        self.queries.push(ContinuousQuery { id, query, options });
+        self.queries.push(ContinuousQuery {
+            id,
+            text: text.to_string(),
+            query,
+            options,
+        });
         Ok(())
     }
 

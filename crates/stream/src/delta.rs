@@ -135,6 +135,18 @@ impl DeltaStore {
         self.literals.get(id as usize)
     }
 
+    /// Number of interned literals.
+    pub fn literal_count(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// The interned literals in id order (position = delta-local id) —
+    /// the persistence layer serializes them in this order so re-interning
+    /// on load reproduces identical ids.
+    pub fn literals(&self) -> impl Iterator<Item = &Literal> + '_ {
+        self.literals.iter()
+    }
+
     // ---------------------------------------------------------- transitions
 
     fn bump(&mut self, old: Option<DeltaState>, new: DeltaState) {

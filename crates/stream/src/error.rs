@@ -1,6 +1,7 @@
 //! Error type of the ingestion subsystem.
 
 use se_core::BuildError;
+use se_sds::ContainerError;
 use se_sparql::error::QueryError;
 use std::fmt;
 use std::io;
@@ -22,6 +23,19 @@ pub enum StreamError {
     /// poisoned: every later `apply` fails with this error too (queries
     /// stay memory-safe and keep answering over the surviving state).
     Worker(String),
+    /// A persisted store failed structural validation: bad magic, a
+    /// truncated or checksum-mismatching section, a dangling manifest
+    /// reference, or internally inconsistent metadata. The on-disk state
+    /// is left untouched; nothing is partially loaded.
+    Corrupt(String),
+    /// A persisted store was written by a newer format version than this
+    /// build reads.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Highest version this build supports.
+        max_supported: u32,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -32,6 +46,14 @@ impl fmt::Display for StreamError {
             StreamError::Io(e) => write!(f, "persistence I/O failed: {e}"),
             StreamError::Query(e) => write!(f, "continuous query failed: {e}"),
             StreamError::Worker(msg) => write!(f, "ingest worker panicked: {msg}"),
+            StreamError::Corrupt(msg) => write!(f, "persisted store corrupt: {msg}"),
+            StreamError::UnsupportedVersion {
+                found,
+                max_supported,
+            } => write!(
+                f,
+                "persisted store has format version {found}, but this build reads up to {max_supported}"
+            ),
         }
     }
 }
@@ -42,7 +64,41 @@ impl std::error::Error for StreamError {
             StreamError::Build(e) => Some(e),
             StreamError::Io(e) => Some(e),
             StreamError::Query(e) => Some(e),
-            StreamError::Malformed(_) | StreamError::Worker(_) => None,
+            StreamError::Malformed(_)
+            | StreamError::Worker(_)
+            | StreamError::Corrupt(_)
+            | StreamError::UnsupportedVersion { .. } => None,
+        }
+    }
+}
+
+impl From<ContainerError> for StreamError {
+    fn from(e: ContainerError) -> Self {
+        match e {
+            // EOF inside the fixed header is truncation, and an
+            // InvalidData report (e.g. a wrong or reordered section tag)
+            // is structural damage — both are corruption of the file,
+            // not a plumbing failure a caller should retry.
+            ContainerError::Io(io)
+                if matches!(
+                    io.kind(),
+                    io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData
+                ) =>
+            {
+                StreamError::Corrupt(match io.kind() {
+                    io::ErrorKind::UnexpectedEof => "file truncated".into(),
+                    _ => io.to_string(),
+                })
+            }
+            ContainerError::Io(io) => StreamError::Io(io),
+            ContainerError::UnsupportedVersion {
+                found,
+                max_supported,
+            } => StreamError::UnsupportedVersion {
+                found,
+                max_supported,
+            },
+            other => StreamError::Corrupt(other.to_string()),
         }
     }
 }

@@ -135,18 +135,23 @@ impl OverflowDict {
         self.ids.clear();
         self.terms.clear();
     }
+
+    /// The overflow IRIs in id order (`OVERFLOW_BASE + position`).
+    pub(crate) fn terms(&self) -> &[Arc<str>] {
+        &self.terms
+    }
 }
 
 /// Overflow instance dictionary: continues the baseline's dense id space.
 #[derive(Debug, Clone, Default)]
-struct OverflowInstances {
+pub(crate) struct OverflowInstances {
     ids: HashMap<Arc<str>, u64>,
     terms: Vec<Arc<str>>,
     base_len: u64,
 }
 
 impl OverflowInstances {
-    fn get_or_insert(&mut self, key: &str) -> u64 {
+    pub(crate) fn get_or_insert(&mut self, key: &str) -> u64 {
         if let Some(&id) = self.ids.get(key) {
             return id;
         }
@@ -172,21 +177,78 @@ impl OverflowInstances {
         self.terms.clear();
         self.base_len = base_len;
     }
+
+    /// First overflow id (= baseline instance count at freeze time).
+    pub(crate) fn base_len(&self) -> u64 {
+        self.base_len
+    }
+
+    /// Rebuilds the dictionary from persisted keys, in id order.
+    pub(crate) fn from_keys(base_len: u64, keys: impl Iterator<Item = String>) -> Self {
+        let mut d = Self {
+            base_len,
+            ..Default::default()
+        };
+        for key in keys {
+            d.get_or_insert(&key);
+        }
+        d
+    }
+
+    /// The overflow keys in id order (`base_len + position`).
+    pub(crate) fn terms(&self) -> &[Arc<str>] {
+        &self.terms
+    }
 }
 
 /// A SuccinctEdge baseline with a mutable delta overlay: ingests triple
 /// batches, answers every [`TripleSource`] access over the merged view,
 /// and periodically compacts the overlay back into the succinct layers.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct HybridStore {
-    base: SuccinctEdgeStore,
+    pub(crate) base: SuccinctEdgeStore,
     ontology: Ontology,
-    delta: DeltaStore,
-    ovf_instances: OverflowInstances,
-    ovf_properties: OverflowDict,
-    ovf_concepts: OverflowDict,
+    pub(crate) delta: DeltaStore,
+    pub(crate) ovf_instances: OverflowInstances,
+    pub(crate) ovf_properties: OverflowDict,
+    pub(crate) ovf_concepts: OverflowDict,
     policy: CompactionPolicy,
     stats: HybridStats,
+    /// Identity of the current baseline, process-unique: every build and
+    /// every [`swap_baseline`](HybridStore::swap_baseline) takes a fresh
+    /// number, so the persistence layer can tell "this exact baseline is
+    /// already the one on disk" apart from any rebuilt sibling.
+    pub(crate) generation: u64,
+    /// Where (if anywhere) this baseline generation is already persisted
+    /// — lets `save` skip the O(baseline) rewrite. Interior mutability
+    /// because `save` takes `&self` (it is observationally side-effect
+    /// free: the cache only records what `save` wrote).
+    pub(crate) persist_mark: std::sync::Mutex<Option<crate::persist::BaselineMark>>,
+}
+
+impl Clone for HybridStore {
+    fn clone(&self) -> Self {
+        Self {
+            base: self.base.clone(),
+            ontology: self.ontology.clone(),
+            delta: self.delta.clone(),
+            ovf_instances: self.ovf_instances.clone(),
+            ovf_properties: self.ovf_properties.clone(),
+            ovf_concepts: self.ovf_concepts.clone(),
+            policy: self.policy,
+            stats: self.stats.clone(),
+            // The clone shares the baseline content, so the persisted
+            // copy (if any) is just as valid for it; a later compaction
+            // of either clone takes a fresh generation and diverges.
+            generation: self.generation,
+            persist_mark: std::sync::Mutex::new(
+                self.persist_mark
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clone(),
+            ),
+        }
+    }
 }
 
 impl HybridStore {
@@ -205,6 +267,37 @@ impl HybridStore {
             ovf_concepts: OverflowDict::default(),
             policy: CompactionPolicy::default(),
             stats: HybridStats::default(),
+            generation: crate::persist::next_generation(),
+            persist_mark: std::sync::Mutex::new(None),
+        }
+    }
+
+    /// Reassembles a store from persisted v02 parts (see
+    /// [`crate::persist`]); `mark` records where this baseline generation
+    /// already lives on disk so the next `save` skips rewriting it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_loaded(
+        base: SuccinctEdgeStore,
+        ontology: Ontology,
+        delta: DeltaStore,
+        ovf_instances: OverflowInstances,
+        ovf_properties: OverflowDict,
+        ovf_concepts: OverflowDict,
+        policy: CompactionPolicy,
+        generation: u64,
+        mark: Option<crate::persist::BaselineMark>,
+    ) -> Self {
+        Self {
+            base,
+            ontology,
+            delta,
+            ovf_instances,
+            ovf_properties,
+            ovf_concepts,
+            policy,
+            stats: HybridStats::default(),
+            generation,
+            persist_mark: std::sync::Mutex::new(mark),
         }
     }
 
@@ -605,6 +698,7 @@ impl HybridStore {
     pub fn swap_baseline(&mut self, rebuilt: SuccinctEdgeStore) -> Result<(), StreamError> {
         let replay = self.overlay_term_ops();
         self.base = rebuilt;
+        self.generation = crate::persist::next_generation();
         self.delta.clear();
         self.ovf_instances
             .reset(self.base.dictionaries().instances.len() as u64);
@@ -662,9 +756,18 @@ impl HybridStore {
     }
 
     // -------------------------------------------------------------- persistence
+    //
+    // The v02 directory format — `save` is `&self`, O(delta) and never
+    // compacts — lives in [`crate::persist`]. The two methods below are
+    // the legacy v01 single-file path, kept so stores written by older
+    // builds stay loadable.
 
     /// Compacts, then writes the baseline in the standard
-    /// `SuccinctEdgeStore` persistent format.
+    /// `SuccinctEdgeStore` v01 format — the legacy shutdown path, O(rebuild).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `HybridStore::save` (v02): `&self`, O(delta), never compacts"
+    )]
     pub fn save_to_file(&mut self, path: &Path) -> Result<(), StreamError> {
         if !self.delta.is_empty() {
             self.compact()?;
@@ -673,7 +776,9 @@ impl HybridStore {
         Ok(())
     }
 
-    /// Loads a persisted baseline and wraps it with an empty overlay.
+    /// Loads a persisted v01 baseline file and wraps it with an empty
+    /// overlay. [`HybridStore::load`](crate::persist) accepts both this
+    /// format and the v02 directory layout.
     pub fn load_from_file(path: &Path, ontology: Ontology) -> Result<Self, StreamError> {
         let base = SuccinctEdgeStore::load_from_file(path)?;
         Ok(Self::new(base, ontology))

@@ -153,6 +153,17 @@ pub enum ShardPolicy {
     ByIri(RoutingFn),
 }
 
+impl ShardPolicy {
+    /// Stable tag persisted in the v02 manifest (see [`crate::persist`]).
+    pub(crate) fn tag(&self) -> &'static str {
+        match self {
+            ShardPolicy::RoundRobin => "round_robin",
+            ShardPolicy::HashIri => "hash_iri",
+            ShardPolicy::ByIri(_) => "custom",
+        }
+    }
+}
+
 impl std::fmt::Debug for ShardPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -163,13 +174,10 @@ impl std::fmt::Debug for ShardPolicy {
     }
 }
 
+/// FNV-1a over the IRI bytes — the same hash `se-sds` uses for
+/// container checksums; kept as one implementation.
 fn fnv1a(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    se_sds::checksum64(s.as_bytes())
 }
 
 /// The routing table: property id → shard and concept id → shard, filled
@@ -177,17 +185,17 @@ fn fnv1a(s: &str) -> u64 {
 /// terms are interned. Ids are stable for the lifetime of the store (no
 /// re-encoding), so a route never changes once assigned.
 #[derive(Debug, Clone)]
-struct RoutingTable {
+pub(crate) struct RoutingTable {
     n: usize,
-    policy: ShardPolicy,
+    pub(crate) policy: ShardPolicy,
     /// Round-robin cursor (only advanced under `ShardPolicy::RoundRobin`).
-    next: usize,
-    props: HashMap<u64, usize>,
-    concepts: HashMap<u64, usize>,
+    pub(crate) next: usize,
+    pub(crate) props: HashMap<u64, usize>,
+    pub(crate) concepts: HashMap<u64, usize>,
 }
 
 impl RoutingTable {
-    fn new(n: usize, policy: ShardPolicy) -> Self {
+    pub(crate) fn new(n: usize, policy: ShardPolicy) -> Self {
         Self {
             n,
             policy,
@@ -247,13 +255,13 @@ impl RoutingTable {
 /// Entries are `Arc`-shared so a routed op can carry its literal's
 /// content to a pool worker for one refcount bump, not a deep clone.
 #[derive(Debug, Clone, Default)]
-struct LiteralTable {
-    literals: Vec<Arc<Literal>>,
+pub(crate) struct LiteralTable {
+    pub(crate) literals: Vec<Arc<Literal>>,
     ids: HashMap<Arc<Literal>, u64>,
 }
 
 impl LiteralTable {
-    fn intern(&mut self, lit: &Literal) -> u64 {
+    pub(crate) fn intern(&mut self, lit: &Literal) -> u64 {
         if let Some(&id) = self.ids.get(lit) {
             return id;
         }
@@ -316,10 +324,10 @@ impl LitSnapshot {
 /// predicate/concept partition, in the **global** id space. `Arc`-shared
 /// so a background compaction snapshots it for free.
 #[derive(Debug)]
-struct ShardBase {
-    objects: TripleLayer,
-    datatypes: DatatypeLayer,
-    types: RdfTypeStore,
+pub(crate) struct ShardBase {
+    pub(crate) objects: TripleLayer,
+    pub(crate) datatypes: DatatypeLayer,
+    pub(crate) types: RdfTypeStore,
 }
 
 impl ShardBase {
@@ -374,10 +382,14 @@ struct PendingRebuild {
 
 /// One predicate shard: immutable layers plus the mutable overlay.
 #[derive(Debug)]
-struct Shard {
-    base: Arc<ShardBase>,
-    delta: DeltaStore,
+pub(crate) struct Shard {
+    pub(crate) base: Arc<ShardBase>,
+    pub(crate) delta: DeltaStore,
     pending: Option<PendingRebuild>,
+    /// Identity of this shard's current layers, process-unique: bumped on
+    /// every swap so the persistence layer knows when the on-disk layer
+    /// file is stale (see [`crate::persist`]).
+    pub(crate) gen: u64,
 }
 
 /// Lifetime counters of a [`ShardedHybridStore`].
@@ -481,16 +493,20 @@ type RebuildJobOut = (ShardBase, DeltaStore, Duration);
 /// background workers. See the module docs for the architecture.
 #[derive(Debug)]
 pub struct ShardedHybridStore {
-    dicts: Dictionaries,
+    pub(crate) dicts: Dictionaries,
     ontology: Ontology,
-    shards: Vec<Shard>,
-    routes: RoutingTable,
-    ovf_properties: OverflowDict,
-    ovf_concepts: OverflowDict,
-    literals: LiteralTable,
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) routes: RoutingTable,
+    pub(crate) ovf_properties: OverflowDict,
+    pub(crate) ovf_concepts: OverflowDict,
+    pub(crate) literals: LiteralTable,
     policy: CompactionPolicy,
     background: bool,
     ingest_mode: IngestMode,
+    /// What this store already has on disk — lets `save` skip the
+    /// O(baseline) parts (see [`crate::persist`]). Interior mutability
+    /// because `save` takes `&self`.
+    pub(crate) persist_mark: std::sync::Mutex<Option<crate::persist::ShardedMark>>,
     /// The persistent worker pool — `None` until the first batch (or
     /// background compaction) that needs it; one parked worker per shard
     /// once spawned.
@@ -594,6 +610,7 @@ impl ShardedHybridStore {
                     base: Arc::new(base),
                     delta: DeltaStore::new(),
                     pending: None,
+                    gen: crate::persist::next_generation(),
                 })
                 .collect(),
             routes,
@@ -603,12 +620,59 @@ impl ShardedHybridStore {
             policy: CompactionPolicy::default(),
             background: true,
             ingest_mode: IngestMode::default(),
+            persist_mark: std::sync::Mutex::new(None),
             runtime: None,
             staging: (0..n_shards).map(|_| ShardOps::default()).collect(),
             ops_pool: Vec::new(),
             poisoned: false,
             stats: ShardedStats::default(),
         })
+    }
+
+    /// Reassembles a store from persisted v02 parts (see
+    /// [`crate::persist`]): dictionaries, routing and shard layers come
+    /// back exactly as saved — ids are stable, nothing re-encodes.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_loaded_parts(
+        dicts: Dictionaries,
+        ontology: Ontology,
+        shards: Vec<Shard>,
+        routes: RoutingTable,
+        ovf_properties: OverflowDict,
+        ovf_concepts: OverflowDict,
+        literals: LiteralTable,
+        policy: CompactionPolicy,
+        mark: Option<crate::persist::ShardedMark>,
+    ) -> Self {
+        let n_shards = shards.len();
+        Self {
+            dicts,
+            ontology,
+            shards,
+            routes,
+            ovf_properties,
+            ovf_concepts,
+            literals,
+            policy,
+            background: true,
+            ingest_mode: IngestMode::default(),
+            persist_mark: std::sync::Mutex::new(mark),
+            runtime: None,
+            staging: (0..n_shards).map(|_| ShardOps::default()).collect(),
+            ops_pool: Vec::new(),
+            poisoned: false,
+            stats: ShardedStats::default(),
+        }
+    }
+
+    /// Builds one shard from loaded parts (persistence only).
+    pub(crate) fn shard_from_loaded(base: ShardBase, delta: DeltaStore, gen: u64) -> Shard {
+        Shard {
+            base: Arc::new(base),
+            delta,
+            pending: None,
+            gen,
+        }
     }
 
     /// Replaces the per-shard compaction policy.
@@ -1258,6 +1322,7 @@ impl ShardedHybridStore {
         let s = &mut self.shards[shard];
         let old_delta = std::mem::take(&mut s.delta);
         s.base = Arc::new(new_base);
+        s.gen = crate::persist::next_generation();
         if let Some(snap) = snapshot {
             for (p, subj, o, st) in old_delta.iter() {
                 let new_has = match snap.state(p, subj, o) {

@@ -18,6 +18,7 @@ use se_stream::{
     CompactionPolicy, HybridStore, IngestMode, ShardPolicy, ShardedHybridStore, StreamSession,
 };
 use std::collections::BTreeSet;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Sorted row strings: ResultSets compare as multisets (SPARQL bag
@@ -385,6 +386,159 @@ fn sharded_agrees_with_single_store_and_rebuild() {
         "forced pool spawned its workers"
     );
     assert!(deletions > 0, "stream must exercise the deletion path");
+}
+
+/// The v02 acceptance property: checkpoint both engines **mid-stream** —
+/// dirty overlays, pending tombstones, overflow terms, background
+/// rebuilds possibly in flight — resume them from disk, continue the
+/// same `stream_agreement` batch schedule, and require every one of the
+/// eleven query shapes (reasoning on and off) to agree with the
+/// never-persisted sessions and a from-scratch rebuild, every batch.
+/// The save itself must not compact.
+#[test]
+fn save_load_mid_stream_preserves_agreement() {
+    let onto = water_ontology();
+    let cfg = WaterConfig {
+        stations: 2,
+        rounds: 1,
+        anomaly_rate: 0.3,
+        seed: 97,
+    };
+    let batches = generate_stream(&cfg, 12, 3);
+    let policy = CompactionPolicy { max_overlay: 90 };
+    let scratch = |name: &str| -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("se-agree-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+    let single_dir = scratch("single");
+    let sharded_dir = scratch("sharded");
+
+    let single = HybridStore::build(&onto, &Graph::new())
+        .unwrap()
+        .with_policy(policy);
+    let sharded = ShardedHybridStore::build(&onto, &Graph::new(), 3)
+        .unwrap()
+        .with_policy(policy)
+        .with_background_compaction(true)
+        .with_ingest_mode(IngestMode::Pooled);
+    let mut live_single = StreamSession::new(single.clone());
+    let mut live_sharded = StreamSession::new(
+        ShardedHybridStore::build(&onto, &Graph::new(), 3)
+            .unwrap()
+            .with_policy(policy)
+            .with_background_compaction(true)
+            .with_ingest_mode(IngestMode::Pooled),
+    );
+    let mut ckpt_single = StreamSession::new(single);
+    let mut ckpt_sharded = StreamSession::new(sharded);
+    for (id, text, opts) in shape_queries() {
+        live_single.register_query(id, &text, opts.clone()).unwrap();
+        live_sharded
+            .register_query(id, &text, opts.clone())
+            .unwrap();
+        ckpt_single.register_query(id, &text, opts.clone()).unwrap();
+        ckpt_sharded.register_query(id, &text, opts).unwrap();
+    }
+
+    let mut reference: BTreeSet<Triple> = BTreeSet::new();
+    let restart_at = batches.len() / 2;
+    for (tick, batch) in batches.iter().enumerate() {
+        if tick == restart_at {
+            // Mid-stream checkpoint: both stores are dirty (the policy
+            // guarantees overlay churn by now) and the sharded session
+            // may have rebuilds racing on its workers.
+            assert!(
+                !ckpt_single.store().delta().is_empty(),
+                "checkpoint must capture a dirty overlay"
+            );
+            let compactions = ckpt_single.store().stats().compactions;
+            let overlay = ckpt_single.store().delta().overlay_len();
+            ckpt_single.save(&single_dir).unwrap();
+            assert_eq!(
+                ckpt_single.store().stats().compactions,
+                compactions,
+                "v02 save must not compact"
+            );
+            assert_eq!(ckpt_single.store().delta().overlay_len(), overlay);
+            ckpt_sharded.save(&sharded_dir).unwrap();
+
+            // Simulated restart: drop the sessions, resume from disk.
+            drop(ckpt_single);
+            drop(ckpt_sharded);
+            ckpt_single = StreamSession::resume(&single_dir, &onto).unwrap();
+            ckpt_sharded = StreamSession::resume(&sharded_dir, &onto).unwrap();
+            assert_eq!(ckpt_single.registry().len(), shape_queries().len());
+            assert_eq!(ckpt_sharded.registry().len(), shape_queries().len());
+        }
+        let out_ls = live_single
+            .apply_batch(&batch.inserts, &batch.deletes)
+            .unwrap();
+        let out_lsh = live_sharded
+            .apply_batch(&batch.inserts, &batch.deletes)
+            .unwrap();
+        let out_cs = ckpt_single
+            .apply_batch(&batch.inserts, &batch.deletes)
+            .unwrap();
+        let out_csh = ckpt_sharded
+            .apply_batch(&batch.inserts, &batch.deletes)
+            .unwrap();
+        for t in &batch.deletes {
+            reference.remove(t);
+        }
+        for t in &batch.inserts {
+            reference.insert(t.clone());
+        }
+        assert_eq!(
+            (out_ls.report.inserted, out_ls.report.deleted),
+            (out_cs.report.inserted, out_cs.report.deleted),
+            "batch {tick}: resumed single store's accounting diverged"
+        );
+        assert_eq!(
+            (out_lsh.report.inserted, out_lsh.report.deleted),
+            (out_csh.report.inserted, out_csh.report.deleted),
+            "batch {tick}: resumed sharded store's accounting diverged"
+        );
+        let rebuilt =
+            SuccinctEdgeStore::build(&onto, &Graph::from_triples(reference.iter().cloned()))
+                .unwrap();
+        for (((cq, rs_live), rs_ckpt), rs_ckpt_sh) in live_single
+            .registry()
+            .iter()
+            .zip(&out_ls.results)
+            .zip(&out_cs.results)
+            .zip(&out_csh.results)
+        {
+            let fresh = se_sparql::exec::execute(&rebuilt, &cq.query, &cq.options).unwrap();
+            let want = normalize(&fresh);
+            assert_eq!(
+                normalize(&rs_live.results),
+                want,
+                "batch {tick}: '{}' live single vs rebuild",
+                cq.id
+            );
+            assert_eq!(
+                normalize(&rs_ckpt.results),
+                want,
+                "batch {tick}: '{}' resumed single vs rebuild",
+                cq.id
+            );
+            assert_eq!(
+                normalize(&rs_ckpt_sh.results),
+                want,
+                "batch {tick}: '{}' resumed sharded vs rebuild",
+                cq.id
+            );
+        }
+    }
+    ckpt_sharded.store_mut().flush_compactions();
+    live_sharded.store_mut().flush_compactions();
+    assert_eq!(
+        se_core::TripleSource::len(ckpt_sharded.store()),
+        reference.len()
+    );
+    let _ = std::fs::remove_dir_all(&single_dir);
+    let _ = std::fs::remove_dir_all(&sharded_dir);
 }
 
 #[test]

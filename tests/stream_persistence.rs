@@ -1,0 +1,652 @@
+//! The v02 delta-aware persistence contract, for both engines:
+//!
+//! * `save` is `&self`, performs **no compaction**, and writes the raw
+//!   overlay (added triples, tombstones with full `DeltaState` semantics,
+//!   overflow dictionaries, interned literals);
+//! * a steady-state save rewrites nothing baseline-sized — only the
+//!   O(delta) manifest/overlay files;
+//! * `load` restores the merged view bit-identically, ids stable;
+//! * every corruption class — truncation, bad magic, versions from the
+//!   future, checksum mismatch, dangling manifest references — surfaces
+//!   as a clean `StreamError`, never a panic;
+//! * v01 single-file stores stay loadable;
+//! * a checkpointed `StreamSession` resumes its continuous queries.
+
+use se_core::TripleSource;
+use se_ontology::Ontology;
+use se_rdf::{Graph, Term, Triple};
+use se_sparql::QueryOptions;
+use se_stream::persist::{HYBRID_MANIFEST, SHARD_MANIFEST};
+use se_stream::{
+    CompactionPolicy, HybridStore, IngestMode, ShardPolicy, ShardedHybridStore, StreamError,
+    StreamSession, OVERFLOW_BASE,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn iri(s: &str) -> Term {
+    Term::iri(format!("http://x/{s}"))
+}
+
+fn t(s: &str, p: &str, o: Term) -> Triple {
+    Triple::new(iri(s), Term::iri(format!("http://x/{p}")), o)
+}
+
+fn ty(s: &str, c: &str) -> Triple {
+    Triple::new(iri(s), Term::iri(se_rdf::vocab::rdf::TYPE), iri(c))
+}
+
+fn ontology() -> Ontology {
+    let mut o = Ontology::new();
+    o.add_class("http://x/C2", "http://x/C1");
+    o.add_property("http://x/worksFor", "http://x/memberOf");
+    o.add_object_property("http://x/knows");
+    o.add_datatype_property("http://x/age");
+    o
+}
+
+fn seed_graph() -> Graph {
+    Graph::from_triples([
+        ty("a", "C2"),
+        ty("b", "C1"),
+        t("a", "knows", iri("b")),
+        t("a", "worksFor", iri("org")),
+        t("b", "memberOf", iri("org")),
+        t("a", "age", Term::literal("42")),
+    ])
+}
+
+/// Dirties a store through its generic batch entry point: baseline
+/// tombstones, overlay inserts, overflow terms and overlay literals.
+fn dirty_batch() -> (Graph, Graph) {
+    let inserts = Graph::from_triples([
+        t("c", "knows", iri("a")),
+        ty("c", "C2"),
+        t("newSensor", "emits", iri("a")),
+        ty("newSensor", "NewKind"),
+        t("newSensor", "reading", Term::literal("7.5")),
+        t("c", "age", Term::literal("7")),
+    ]);
+    let deletes = Graph::from_triples([t("a", "knows", iri("b")), ty("b", "C1")]);
+    (inserts, deletes)
+}
+
+fn norm(g: &Graph) -> Vec<String> {
+    let mut v: Vec<String> = g.iter().map(|t| t.to_string()).collect();
+    v.sort();
+    v
+}
+
+/// Fresh scratch directory under the system temp dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("se-v02-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cleanup(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Queries probing tombstones, overlay inserts, overflow reasoning and
+/// overlay literals — evaluated identically pre- and post-restart.
+fn probe_queries() -> Vec<(String, QueryOptions)> {
+    let q = |text: &str| format!("PREFIX e: <http://x/> {text}");
+    vec![
+        (
+            q("SELECT ?s ?o WHERE { ?s e:knows ?o }"),
+            QueryOptions::default(),
+        ),
+        (
+            q("SELECT ?s WHERE { ?s e:memberOf e:org }"),
+            QueryOptions::default(),
+        ),
+        (q("SELECT ?s WHERE { ?s a e:C1 }"), QueryOptions::default()),
+        (
+            q("SELECT ?s WHERE { ?s a e:C1 }"),
+            QueryOptions::without_reasoning(),
+        ),
+        (
+            q("SELECT ?s WHERE { ?s e:reading \"7.5\" }"),
+            QueryOptions::default(),
+        ),
+        (
+            q("SELECT ?s WHERE { ?s a e:NewKind }"),
+            QueryOptions::default(),
+        ),
+    ]
+}
+
+fn answers<S: TripleSource>(store: &S) -> Vec<Vec<String>> {
+    probe_queries()
+        .iter()
+        .map(|(text, opts)| {
+            let rs = se_sparql::execute_query(store, text, opts).unwrap();
+            let mut rows: Vec<String> = rs.rows.iter().map(|r| format!("{r:?}")).collect();
+            rows.sort();
+            rows
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------ round trips
+
+#[test]
+fn hybrid_v02_roundtrip_preserves_dirty_view_without_compacting() {
+    let dir = scratch("hybrid-rt");
+    let mut h = HybridStore::build(&ontology(), &seed_graph()).unwrap();
+    let (ins, del) = dirty_batch();
+    h.apply(&ins, &del).unwrap();
+    assert!(!h.delta().is_empty(), "the store must be dirty");
+
+    let overlay_before = h.delta().overlay_len();
+    let compactions_before = h.stats().compactions;
+    let report = h.save(&dir).unwrap();
+    // &self save: no compaction, overlay untouched, snapshot captured it.
+    assert_eq!(h.stats().compactions, compactions_before);
+    assert_eq!(h.delta().overlay_len(), overlay_before);
+    assert_eq!(report.overlay_entries, overlay_before);
+    assert_eq!(report.baseline_files_written, 1, "first save writes layers");
+
+    let back = HybridStore::load(&dir, &ontology()).unwrap();
+    assert_eq!(TripleSource::len(&back), TripleSource::len(&h));
+    assert_eq!(norm(&back.materialize()), norm(&h.materialize()));
+    assert_eq!(answers(&back), answers(&h));
+    // Ids survive: overflow terms keep their overflow ids.
+    assert_eq!(
+        back.property_id("http://x/emits"),
+        h.property_id("http://x/emits")
+    );
+    assert!(back.property_id("http://x/emits").unwrap() >= OVERFLOW_BASE);
+    // Tombstone still masks the baseline triple.
+    let knows = back.property_id("http://x/knows").unwrap();
+    let a = back.instance_id(&iri("a")).unwrap();
+    assert!(back.objects(knows, a).is_empty());
+
+    // Both continue identically after the restart.
+    let mut live = h;
+    let mut back = back;
+    let post = Graph::from_triples([t("d", "knows", iri("a")), t("a", "knows", iri("b"))]);
+    live.apply(&post, &Graph::new()).unwrap();
+    back.apply(&post, &Graph::new()).unwrap();
+    assert_eq!(norm(&back.materialize()), norm(&live.materialize()));
+    assert_eq!(answers(&back), answers(&live));
+    cleanup(&dir);
+}
+
+#[test]
+fn hybrid_steady_state_save_skips_the_baseline() {
+    let dir = scratch("hybrid-steady");
+    let mut h = HybridStore::build(&ontology(), &seed_graph()).unwrap();
+    let (ins, del) = dirty_batch();
+    h.apply(&ins, &del).unwrap();
+    let first = h.save(&dir).unwrap();
+    assert_eq!(first.baseline_files_written, 1);
+
+    // More overlay, same baseline: O(delta) save.
+    h.apply(
+        &Graph::from_triples([t("d", "knows", iri("a"))]),
+        &Graph::new(),
+    )
+    .unwrap();
+    let second = h.save(&dir).unwrap();
+    assert_eq!(second.baseline_files_written, 0, "baseline reused");
+    assert!(second.delta_bytes > 0);
+
+    // A compaction swaps the baseline: the next save rewrites it.
+    h.compact().unwrap();
+    let third = h.save(&dir).unwrap();
+    assert_eq!(third.baseline_files_written, 1, "new generation written");
+
+    // The reloaded store still matches.
+    let back = HybridStore::load(&dir, &ontology()).unwrap();
+    assert_eq!(norm(&back.materialize()), norm(&h.materialize()));
+
+    // And a load→save cycle is steady-state too (nothing re-serialized).
+    let re = back.save(&dir).unwrap();
+    assert_eq!(re.baseline_files_written, 0, "loaded mark reused");
+    cleanup(&dir);
+}
+
+#[test]
+fn sharded_v02_roundtrip_with_background_rebuilds_in_flight() {
+    let dir = scratch("sharded-rt");
+    let mut h = ShardedHybridStore::build(&ontology(), &seed_graph(), 3)
+        .unwrap()
+        .with_policy(CompactionPolicy { max_overlay: 4 })
+        .with_background_compaction(true)
+        .with_ingest_mode(IngestMode::Pooled);
+    let (ins, del) = dirty_batch();
+    h.apply(&ins, &del).unwrap();
+    for round in 0..6 {
+        h.apply(
+            &Graph::from_triples([
+                t(&format!("s{round}"), "knows", iri("hub")),
+                t(
+                    &format!("s{round}"),
+                    "age",
+                    Term::literal(format!("{round}")),
+                ),
+            ]),
+            &Graph::new(),
+        )
+        .unwrap();
+    }
+    // Save with whatever rebuilds are still racing: the snapshot is the
+    // current layers + overlay, consistent by construction.
+    let compactions_before = h.stats().compactions;
+    let report = h.save(&dir).unwrap();
+    assert_eq!(
+        h.stats().compactions,
+        compactions_before,
+        "save never compacts"
+    );
+    assert!(
+        report.baseline_files_written > 0,
+        "first save writes layers"
+    );
+
+    let back = ShardedHybridStore::load(&dir, &ontology()).unwrap();
+    assert_eq!(back.shard_count(), 3);
+    assert_eq!(TripleSource::len(&back), TripleSource::len(&h));
+    assert_eq!(norm(&back.materialize()), norm(&h.materialize()));
+    assert_eq!(answers(&back), answers(&h));
+    // Ids stable — no re-encode on load.
+    for term in ["knows", "memberOf", "emits", "reading"] {
+        let iri = format!("http://x/{term}");
+        assert_eq!(back.property_id(&iri), h.property_id(&iri), "{term}");
+    }
+    assert_eq!(back.instance_id(&iri("s3")), h.instance_id(&iri("s3")));
+
+    // Both engines keep agreeing batch for batch after the restart.
+    let mut live = h;
+    let mut back = back;
+    for round in 0..4 {
+        let ins = Graph::from_triples([
+            t(&format!("p{round}"), "knows", iri("hub")),
+            ty(&format!("p{round}"), "NewKind"),
+        ]);
+        let del = Graph::from_triples([t(&format!("s{round}"), "knows", iri("hub"))]);
+        let rl = live.apply(&ins, &del).unwrap();
+        let rb = back.apply(&ins, &del).unwrap();
+        assert_eq!((rl.inserted, rl.deleted), (rb.inserted, rb.deleted));
+    }
+    live.flush_compactions();
+    back.flush_compactions();
+    assert_eq!(norm(&back.materialize()), norm(&live.materialize()));
+    assert_eq!(answers(&back), answers(&live));
+    cleanup(&dir);
+}
+
+#[test]
+fn sharded_steady_state_save_is_o_delta() {
+    let dir = scratch("sharded-steady");
+    let mut h = ShardedHybridStore::build(&ontology(), &seed_graph(), 3)
+        .unwrap()
+        .with_background_compaction(false);
+    h.apply(
+        &Graph::from_triples([t("c", "knows", iri("a"))]),
+        &Graph::new(),
+    )
+    .unwrap();
+    let first = h.save(&dir).unwrap();
+    assert_eq!(
+        first.baseline_files_written,
+        4, // 3 shard layer files + the frozen dictionary file
+        "first save writes every baseline-side file"
+    );
+
+    // Dirty the overlay only: nothing baseline-sized is rewritten.
+    h.apply(
+        &Graph::from_triples([t("d", "knows", iri("a"))]),
+        &Graph::new(),
+    )
+    .unwrap();
+    let second = h.save(&dir).unwrap();
+    assert_eq!(second.baseline_files_written, 0, "steady state is O(delta)");
+
+    // Compact one shard: exactly that shard's layer file is rewritten.
+    for shard in 0..h.shard_count() {
+        if h.shard_overlay_len(shard) > 0 {
+            h.compact_shard(shard);
+        }
+    }
+    let third = h.save(&dir).unwrap();
+    assert!(
+        third.baseline_files_written >= 1 && third.baseline_files_written < 4,
+        "only compacted shards rewrite their layers (got {})",
+        third.baseline_files_written
+    );
+
+    let back = ShardedHybridStore::load(&dir, &ontology()).unwrap();
+    assert_eq!(norm(&back.materialize()), norm(&h.materialize()));
+    let re = back.save(&dir).unwrap();
+    assert_eq!(re.baseline_files_written, 0, "load→save reuses everything");
+    cleanup(&dir);
+}
+
+/// Regression: overlay/layer file names must be unique per *directory*,
+/// not per process — a restarted process whose generation counters start
+/// over must never overwrite the files the on-disk manifest references
+/// (that would break crash atomicity: old manifest + new bytes).
+#[test]
+fn resave_after_restart_never_overwrites_referenced_files() {
+    let dir = scratch("restart-names");
+    let mut h = ShardedHybridStore::build(&ontology(), &seed_graph(), 3).unwrap();
+    let (ins, del) = dirty_batch();
+    h.apply(&ins, &del).unwrap();
+    h.save(&dir).unwrap();
+    let overlays = |d: &Path| -> std::collections::BTreeSet<String> {
+        std::fs::read_dir(d)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".overlay"))
+            .collect()
+    };
+    let referenced = overlays(&dir);
+    // "Restart": a fresh process image loads the manifest and saves again.
+    let back = ShardedHybridStore::load(&dir, &ontology()).unwrap();
+    back.save(&dir).unwrap();
+    let after = overlays(&dir);
+    assert!(
+        referenced.is_disjoint(&after),
+        "resave minted fresh names ({referenced:?} vs {after:?}) — never \
+         an in-place overwrite of referenced snapshot files"
+    );
+    // And the directory is still a consistent, loadable snapshot.
+    let again = ShardedHybridStore::load(&dir, &ontology()).unwrap();
+    assert_eq!(norm(&again.materialize()), norm(&back.materialize()));
+    cleanup(&dir);
+}
+
+#[test]
+fn custom_policy_roundtrip_keeps_routes() {
+    let dir = scratch("sharded-policy");
+    let all_to_zero: ShardPolicy = ShardPolicy::ByIri(Arc::new(|_iri: &str, _n: usize| 0));
+    let mut h =
+        ShardedHybridStore::build_with_policy(&ontology(), &seed_graph(), 4, all_to_zero.clone())
+            .unwrap();
+    h.apply(
+        &Graph::from_triples([t("x", "freshProp", iri("a"))]),
+        &Graph::new(),
+    )
+    .unwrap();
+    h.save(&dir).unwrap();
+    // Loading with the hook re-supplied keeps routing semantics whole.
+    let back = ShardedHybridStore::load_with_policy(&dir, &ontology(), Some(all_to_zero)).unwrap();
+    assert_eq!(norm(&back.materialize()), norm(&h.materialize()));
+    // Persisted assignments survive verbatim even without the hook.
+    let fallback = ShardedHybridStore::load(&dir, &ontology()).unwrap();
+    assert_eq!(
+        fallback.property_id("http://x/freshProp"),
+        h.property_id("http://x/freshProp")
+    );
+    assert_eq!(norm(&fallback.materialize()), norm(&h.materialize()));
+    cleanup(&dir);
+}
+
+// ------------------------------------------------------- v01 compatibility
+
+#[test]
+#[allow(deprecated)]
+fn v01_single_file_stays_loadable() {
+    let dir = scratch("v01-compat");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("legacy.v01");
+    let mut h = HybridStore::build(&ontology(), &seed_graph()).unwrap();
+    h.insert_triple(&t("c", "knows", iri("a"))).unwrap();
+    h.save_to_file(&path).unwrap(); // compacts, dumps v01
+                                    // Both entry points accept the legacy file.
+    let a = HybridStore::load_from_file(&path, ontology()).unwrap();
+    let b = HybridStore::load(&path, &ontology()).unwrap();
+    assert_eq!(norm(&a.materialize()), norm(&h.materialize()));
+    assert_eq!(norm(&b.materialize()), norm(&h.materialize()));
+    cleanup(&dir);
+}
+
+// ---------------------------------------------------- corruption handling
+
+/// Saves a dirty store of each engine into a fresh directory.
+fn saved_hybrid(name: &str) -> PathBuf {
+    let dir = scratch(name);
+    let mut h = HybridStore::build(&ontology(), &seed_graph()).unwrap();
+    let (ins, del) = dirty_batch();
+    h.apply(&ins, &del).unwrap();
+    h.save(&dir).unwrap();
+    dir
+}
+
+fn saved_sharded(name: &str) -> PathBuf {
+    let dir = scratch(name);
+    let mut h = ShardedHybridStore::build(&ontology(), &seed_graph(), 3).unwrap();
+    let (ins, del) = dirty_batch();
+    h.apply(&ins, &del).unwrap();
+    h.save(&dir).unwrap();
+    dir
+}
+
+fn load_hybrid(dir: &Path) -> Result<HybridStore, StreamError> {
+    HybridStore::load(dir, &ontology())
+}
+
+fn load_sharded(dir: &Path) -> Result<ShardedHybridStore, StreamError> {
+    ShardedHybridStore::load(dir, &ontology())
+}
+
+fn clobber(path: &Path, offset: usize, byte: u8) {
+    let mut bytes = std::fs::read(path).unwrap();
+    bytes[offset] = byte;
+    std::fs::write(path, bytes).unwrap();
+}
+
+#[test]
+fn truncated_manifests_error_cleanly() {
+    for (dir, manifest, check) in [
+        (
+            saved_hybrid("trunc-h"),
+            HYBRID_MANIFEST,
+            &(|d: &Path| load_hybrid(d).err()) as &dyn Fn(&Path) -> Option<StreamError>,
+        ),
+        (
+            saved_sharded("trunc-s"),
+            SHARD_MANIFEST,
+            &(|d: &Path| load_sharded(d).err()),
+        ),
+    ] {
+        let path = dir.join(manifest);
+        let full = std::fs::read(&path).unwrap();
+        // Cut at several depths: inside the header, inside a section
+        // header, inside a payload.
+        for cut in [4, 14, full.len() - 5] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            match check(&dir) {
+                Some(StreamError::Corrupt(_)) => {}
+                other => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+        cleanup(&dir);
+    }
+}
+
+#[test]
+fn bad_magic_errors_cleanly() {
+    let dir = saved_hybrid("magic-h");
+    let path = dir.join(HYBRID_MANIFEST);
+    clobber(&path, 0, b'X');
+    assert!(matches!(
+        load_hybrid(&dir),
+        Err(StreamError::Corrupt(msg)) if msg.contains("magic")
+    ));
+    cleanup(&dir);
+
+    let dir = saved_sharded("magic-s");
+    clobber(&dir.join(SHARD_MANIFEST), 0, b'X');
+    assert!(matches!(
+        load_sharded(&dir),
+        Err(StreamError::Corrupt(msg)) if msg.contains("magic")
+    ));
+    cleanup(&dir);
+}
+
+#[test]
+fn future_versions_are_rejected_with_the_version_error() {
+    let dir = saved_hybrid("ver-h");
+    // The version u32 sits right after the 8-byte magic.
+    clobber(&dir.join(HYBRID_MANIFEST), 8, 99);
+    assert!(matches!(
+        load_hybrid(&dir),
+        Err(StreamError::UnsupportedVersion {
+            found: 99,
+            max_supported: 2
+        })
+    ));
+    cleanup(&dir);
+
+    let dir = saved_sharded("ver-s");
+    clobber(&dir.join(SHARD_MANIFEST), 8, 99);
+    assert!(matches!(
+        load_sharded(&dir),
+        Err(StreamError::UnsupportedVersion { found: 99, .. })
+    ));
+    cleanup(&dir);
+}
+
+#[test]
+fn overlay_checksum_mismatch_errors_cleanly() {
+    for (dir, manifest, check) in [
+        (
+            saved_hybrid("sum-h"),
+            HYBRID_MANIFEST,
+            &(|d: &Path| load_hybrid(d).err()) as &dyn Fn(&Path) -> Option<StreamError>,
+        ),
+        (
+            saved_sharded("sum-s"),
+            SHARD_MANIFEST,
+            &(|d: &Path| load_sharded(d).err()),
+        ),
+    ] {
+        let path = dir.join(manifest);
+        let len = std::fs::read(&path).unwrap().len();
+        // Flip one bit inside the last section's payload (the trailing 8
+        // bytes are its checksum; 9 bytes back is payload).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[len - 9] ^= 0x01;
+        std::fs::write(&path, bytes).unwrap();
+        match check(&dir) {
+            Some(StreamError::Corrupt(msg)) => {
+                assert!(msg.contains("checksum"), "got: {msg}")
+            }
+            other => panic!("expected Corrupt(checksum), got {other:?}"),
+        }
+        cleanup(&dir);
+    }
+}
+
+#[test]
+fn baseline_corruption_is_detected() {
+    // Hybrid: the baseline file is raw v01; its checksum lives in the
+    // manifest. Flip a byte deep inside it.
+    let dir = saved_hybrid("base-h");
+    let baseline = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().ends_with(".v01"))
+        .expect("baseline file present");
+    let len = std::fs::metadata(baseline.path()).unwrap().len() as usize;
+    clobber(&baseline.path(), len / 2, 0xAB);
+    assert!(matches!(
+        load_hybrid(&dir),
+        Err(StreamError::Corrupt(msg)) if msg.contains("checksum")
+    ));
+    cleanup(&dir);
+
+    // Sharded: shard layer files carry their own checksummed sections.
+    let dir = saved_sharded("base-s");
+    let layers = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().ends_with(".layers"))
+        .expect("layer file present");
+    let len = std::fs::metadata(layers.path()).unwrap().len() as usize;
+    clobber(&layers.path(), len / 2, 0xAB);
+    assert!(matches!(load_sharded(&dir), Err(StreamError::Corrupt(_))));
+    cleanup(&dir);
+}
+
+#[test]
+fn dangling_manifest_references_error_cleanly() {
+    let dir = saved_hybrid("dangle-h");
+    for entry in std::fs::read_dir(&dir).unwrap().filter_map(|e| e.ok()) {
+        if entry.file_name().to_string_lossy().ends_with(".v01") {
+            std::fs::remove_file(entry.path()).unwrap();
+        }
+    }
+    assert!(matches!(
+        load_hybrid(&dir),
+        Err(StreamError::Corrupt(msg)) if msg.contains("missing")
+    ));
+    cleanup(&dir);
+
+    let dir = saved_sharded("dangle-s");
+    for entry in std::fs::read_dir(&dir).unwrap().filter_map(|e| e.ok()) {
+        if entry.file_name().to_string_lossy().ends_with(".overlay") {
+            std::fs::remove_file(entry.path()).unwrap();
+        }
+    }
+    assert!(matches!(
+        load_sharded(&dir),
+        Err(StreamError::Corrupt(msg)) if msg.contains("missing")
+    ));
+    cleanup(&dir);
+}
+
+// ------------------------------------------------------- session recovery
+
+#[test]
+fn session_checkpoint_resumes_continuous_queries() {
+    let dir = scratch("session");
+    let store = HybridStore::build(&ontology(), &seed_graph()).unwrap();
+    let mut session = StreamSession::new(store);
+    session
+        .register_query(
+            "members",
+            "PREFIX e: <http://x/> SELECT ?s WHERE { ?s e:memberOf e:org }",
+            QueryOptions::default(),
+        )
+        .unwrap();
+    session
+        .register_query(
+            "people",
+            "PREFIX e: <http://x/> SELECT ?s WHERE { ?s a e:C1 }",
+            QueryOptions::without_reasoning(),
+        )
+        .unwrap();
+    let live = session
+        .apply_batch(
+            &Graph::from_triples([t("c", "worksFor", iri("org")), ty("c", "C1")]),
+            &Graph::new(),
+        )
+        .unwrap();
+
+    session.save(&dir).unwrap();
+    drop(session);
+
+    let mut resumed: StreamSession<HybridStore> = StreamSession::resume(&dir, &ontology()).unwrap();
+    assert_eq!(resumed.registry().len(), 2, "queries re-registered");
+    // The resumed session answers the next batch exactly as the live one
+    // would have (empty batch → same post-state answers).
+    let replay = resumed.apply_batch(&Graph::new(), &Graph::new()).unwrap();
+    for (a, b) in live.results.iter().zip(&replay.results) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.results.len(), b.results.len(), "query '{}'", a.id);
+    }
+    // Options survived: "people" still runs without reasoning.
+    let people = resumed
+        .registry()
+        .iter()
+        .find(|q| q.id == "people")
+        .unwrap();
+    assert!(!people.options.reasoning);
+    cleanup(&dir);
+}
