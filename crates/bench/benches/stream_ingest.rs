@@ -11,8 +11,12 @@
 //! apply latency per engine, pooled/inline batch counts, the sweep, and
 //! the v02 persistence trajectory: O(delta) save vs compact-then-dump,
 //! with 4x-overlay / 4x-baseline cells pinning what the save time scales
-//! with) so the perf trajectory can be tracked across commits — CI gates
-//! on the `sharded_background_compaction` entry.
+//! with, and the se-server trajectory: group-commit ingest for 16
+//! concurrent TCP writers vs per-client serial applies, plus
+//! snapshot-read QPS at 1/4/16 readers) so the perf trajectory can be
+//! tracked across commits — CI gates on the
+//! `sharded_background_compaction` and `server_group_commit_16_writers`
+//! entries.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use se_core::SuccinctEdgeStore;
@@ -421,6 +425,191 @@ fn sweep_run(onto: &Ontology, mode: IngestMode, mode_name: &str, size: usize) ->
     run
 }
 
+/// The server section: 16 concurrent TCP writers (group commit) against
+/// 16 clients' worth of serial single-client applies.
+const SRV_WRITERS: usize = 16;
+const SRV_ROUNDS: usize = 16;
+const SRV_OPS: usize = 8;
+const SRV_READER_QUERIES: usize = 200;
+
+/// Writer `k`'s round-`r` batch: disjoint per-writer IRIs, so concurrent
+/// group commit and the serial replay converge on the same store.
+fn server_batch(k: usize, r: usize) -> Graph {
+    Graph::from_triples((0..SRV_OPS).map(|i| {
+        Triple::new(
+            Term::iri(format!("http://srv.example/w{k}_s{r}_{i}")),
+            Term::iri(format!("http://srv.example/p{}", i % 8)),
+            Term::iri(format!("http://srv.example/o{}", i % 16)),
+        )
+    }))
+}
+
+/// A sharded store preloaded with enough water data that the registered
+/// anomaly query has real per-batch re-evaluation cost — the cost group
+/// commit amortizes across coalesced writers.
+fn server_preloaded_store(onto: &Ontology) -> ShardedHybridStore {
+    let cfg = WaterConfig {
+        stations: LAT_STATIONS,
+        rounds: 1,
+        anomaly_rate: 0.15,
+        seed: 9,
+    };
+    let mut store = ShardedHybridStore::build(onto, &Graph::new(), SHARDS)
+        .unwrap()
+        .with_policy(CompactionPolicy { max_overlay: 4096 });
+    for b in generate_stream(&cfg, 16, 16) {
+        store.apply(&b.inserts, &b.deletes).unwrap();
+    }
+    store
+}
+
+/// The se-server trajectory: group-commit ingest latency for 16
+/// concurrent TCP writers vs the same 256 writes as per-client serial
+/// applies (each paying its own continuous-query re-evaluation — the
+/// regime the group-commit tick exists to amortize), plus snapshot-read
+/// QPS at 1/4/16 concurrent readers while a writer keeps ingesting.
+/// Asserts the headline claim: coalescing beats serial outright.
+fn server_runs(onto: &Ontology) -> Vec<LatencyRun> {
+    use se_server::{Client, Server, ServerConfig};
+
+    let query = water_anomaly_query();
+    let opts = QueryOptions::default();
+    let mut runs = Vec::new();
+
+    // ---- serial comparator: one apply (+ query re-eval) per client write.
+    let mut session = StreamSession::new(server_preloaded_store(onto));
+    session
+        .register_query("anomaly", &query, opts.clone())
+        .unwrap();
+    let serial_batches: Vec<Graph> = (0..SRV_ROUNDS)
+        .flat_map(|r| (0..SRV_WRITERS).map(move |k| server_batch(k, r)))
+        .collect();
+    let mut serial = run_latency("server_serial_16_clients", &serial_batches, |g| {
+        session.apply_batch(g, &Graph::new()).unwrap();
+    });
+    serial.final_len = se_core::TripleSource::len(session.store());
+
+    // ---- group commit: the same 256 writes from 16 concurrent clients.
+    let server = Server::start(
+        server_preloaded_store(onto),
+        "127.0.0.1:0",
+        ServerConfig {
+            tick: Duration::from_millis(1),
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let mut sub = Client::connect(addr).unwrap();
+    sub.subscribe("anomaly", &query, &opts).unwrap();
+    // Drain pushes so the subscriber's socket never backpressures the
+    // writer; detached — it ends when the process does.
+    std::thread::spawn(move || while sub.next_push().is_ok() {});
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..SRV_WRITERS)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut lats = Vec::with_capacity(SRV_ROUNDS);
+                let mut max_coalesced = 0u32;
+                for r in 0..SRV_ROUNDS {
+                    let t = Instant::now();
+                    let ack = c.ingest(&server_batch(k, r), &Graph::new()).unwrap();
+                    lats.push(t.elapsed());
+                    max_coalesced = max_coalesced.max(ack.coalesced);
+                }
+                (lats, max_coalesced)
+            })
+        })
+        .collect();
+    let mut per_batch = Vec::with_capacity(SRV_WRITERS * SRV_ROUNDS);
+    let mut max_coalesced = 0u32;
+    for h in handles {
+        let (lats, mc) = h.join().unwrap();
+        per_batch.extend(lats);
+        max_coalesced = max_coalesced.max(mc);
+    }
+    let mut group_commit = LatencyRun {
+        label: "server_group_commit_16_writers".into(),
+        per_batch,
+        total: t0.elapsed(),
+        compactions: 0,
+        final_len: serial.final_len,
+        pooled_batches: 0,
+        inline_batches: 0,
+        scoped_batches: 0,
+    };
+    // Stash how hard the tick actually coalesced where the JSON has a
+    // free slot (documented in docs/server.md).
+    group_commit.pooled_batches = max_coalesced as usize;
+    assert!(
+        max_coalesced >= 2,
+        "16 concurrent writers must coalesce at least once"
+    );
+    assert!(
+        group_commit.total < serial.total,
+        "group-commit coalescing ({:.1} ms) must beat {} serial single-client applies ({:.1} ms)",
+        group_commit.total.as_secs_f64() * 1e3,
+        SRV_WRITERS * SRV_ROUNDS,
+        serial.total.as_secs_f64() * 1e3,
+    );
+    runs.push(serial);
+    runs.push(group_commit);
+
+    // ---- snapshot-read QPS at 1/4/16 readers during ingest.
+    let read_query = "PREFIX sosa: <http://www.w3.org/ns/sosa/> \
+                      SELECT ?s ?o WHERE { ?s sosa:observes ?o }";
+    for readers in [1usize, 4, 16] {
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let ingest_stop = std::sync::Arc::clone(&stop);
+        let feeder = std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let mut r = SRV_ROUNDS; // fresh subjects beyond the commit phase
+            while !ingest_stop.load(std::sync::atomic::Ordering::Acquire) {
+                c.ingest(&server_batch(0, r), &Graph::new()).unwrap();
+                r += 1;
+            }
+        });
+        let t0 = Instant::now();
+        let reader_handles: Vec<_> = (0..readers)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    let mut lats = Vec::with_capacity(SRV_READER_QUERIES);
+                    for _ in 0..SRV_READER_QUERIES {
+                        let t = Instant::now();
+                        c.query(read_query, &QueryOptions::default()).unwrap();
+                        lats.push(t.elapsed());
+                    }
+                    lats
+                })
+            })
+            .collect();
+        let per_batch: Vec<Duration> = reader_handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let total = t0.elapsed();
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        feeder.join().unwrap();
+        runs.push(LatencyRun {
+            label: format!("server_read_qps_{readers}_readers"),
+            per_batch,
+            total,
+            compactions: 0,
+            final_len: 0,
+            pooled_batches: 0,
+            inline_batches: 0,
+            scoped_batches: 0,
+        });
+    }
+
+    let mut closer = Client::connect(addr).unwrap();
+    closer.shutdown().unwrap();
+    server.join();
+    runs
+}
+
 /// Runs the heavy stream through (a) the single store with inline
 /// compaction and (b) the sharded store with background compaction, under
 /// a deliberately tight compaction policy so several rebuilds land inside
@@ -469,6 +658,7 @@ fn emit_latency_report(heavy: &[StreamBatch]) {
         runs.push(sweep_run(&sweep_onto, IngestMode::Pooled, "pooled", size));
     }
     runs.extend(persistence_runs(&onto));
+    runs.extend(server_runs(&onto));
 
     let entries: Vec<String> = runs.iter().map(LatencyRun::json).collect();
     let json = format!(

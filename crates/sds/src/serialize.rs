@@ -46,11 +46,21 @@ pub trait ReadBin: io::Read {
         self.read_exact(&mut buf)?;
         Ok(buf[0])
     }
-    /// Length-prefixed UTF-8 string.
+    /// Length-prefixed UTF-8 string. The declared length is untrusted
+    /// (it may come off the network or a corrupted file): reading goes
+    /// through `take` + `read_to_end` so a hostile length yields a clean
+    /// `UnexpectedEof` when the source runs dry instead of an up-front
+    /// `vec![0; huge]` allocation aborting the process.
     fn read_str(&mut self) -> io::Result<String> {
-        let len = self.read_u64()? as usize;
-        let mut buf = vec![0u8; len];
-        self.read_exact(&mut buf)?;
+        let len = self.read_u64()?;
+        let mut buf = Vec::new();
+        let n = io::Read::read_to_end(&mut io::Read::take(&mut *self, len), &mut buf)?;
+        if n as u64 != len {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("string declared {len} bytes, only {n} available"),
+            ));
+        }
         String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 }

@@ -1,0 +1,157 @@
+//! The se-server binary: binds a TCP address and serves a sharded
+//! streaming store to any number of clients.
+//!
+//! ```text
+//! se-server [--addr HOST:PORT] [--shards N] [--tick-ms MS] [--ontology FILE]
+//! ```
+//!
+//! The ontology file is a plain line format (offline — no RDF parser
+//! dependency): one declaration per line, `#` comments allowed.
+//!
+//! ```text
+//! class    <iri> [<super-iri>]
+//! property <iri> [<super-iri>]
+//! oprop    <iri>        # object property
+//! dprop    <iri>        # datatype property
+//! domain   <prop> <class>
+//! range    <prop> <class>
+//! ```
+//!
+//! Without `--ontology` the server starts on the built-in water-network
+//! demo ontology, matching `examples/stream_server.rs`.
+
+use se_ontology::Ontology;
+use se_rdf::Graph;
+use se_server::{Server, ServerConfig};
+use se_stream::ShardedHybridStore;
+use std::time::Duration;
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut shards = 4usize;
+    let mut tick_ms = 2u64;
+    let mut ontology_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--shards" => shards = parse(&value("--shards"), "--shards"),
+            "--tick-ms" => tick_ms = parse(&value("--tick-ms"), "--tick-ms"),
+            "--ontology" => ontology_file = Some(value("--ontology")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: se-server [--addr HOST:PORT] [--shards N] [--tick-ms MS] \
+                     [--ontology FILE]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let ontology = match &ontology_file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match parse_ontology(&text) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => se_ontology::water_ontology(),
+    };
+
+    let store = match ShardedHybridStore::build(&ontology, &Graph::new(), shards) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to build the store: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let config = ServerConfig {
+        tick: Duration::from_millis(tick_ms),
+    };
+    let server = match Server::start(store, addr.as_str(), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "se-server listening on {} ({} shards, {}ms group-commit tick)",
+        server.addr(),
+        shards,
+        tick_ms
+    );
+    server.join();
+    println!("se-server stopped");
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value '{s}' for {flag}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_ontology(text: &str) -> Result<Ontology, String> {
+    let mut o = Ontology::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().unwrap_or("");
+        let a = parts.next();
+        let b = parts.next();
+        match kind {
+            "class" => {
+                o.add_class(need(a, kind, lineno)?, b.unwrap_or(""));
+            }
+            "property" => {
+                o.add_property(need(a, kind, lineno)?, b.unwrap_or(""));
+            }
+            "oprop" => {
+                o.add_object_property(need(a, kind, lineno)?);
+            }
+            "dprop" => {
+                o.add_datatype_property(need(a, kind, lineno)?);
+            }
+            "domain" => {
+                o.add_domain(need(a, kind, lineno)?, need(b, kind, lineno)?);
+            }
+            "range" => {
+                o.add_range(need(a, kind, lineno)?, need(b, kind, lineno)?);
+            }
+            other => {
+                return Err(format!(
+                    "line {}: unknown declaration '{other}'",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    Ok(o)
+}
+
+fn need<'a>(field: Option<&'a str>, kind: &str, lineno: usize) -> Result<&'a str, String> {
+    field.ok_or_else(|| format!("line {}: '{kind}' needs an IRI", lineno + 1))
+}

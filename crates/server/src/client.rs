@@ -1,0 +1,213 @@
+//! A blocking client for the se-server wire protocol, used by tests,
+//! examples and benches.
+//!
+//! Subscription pushes arrive on the same stream as request replies, so
+//! a push observed while waiting for a reply is queued and surfaced
+//! later through [`Client::next_push`].
+
+use crate::protocol::{self as proto, read_frame, write_frame};
+use se_rdf::Graph;
+use se_sds::{ReadBin, WriteBin};
+use se_sparql::{QueryOptions, ResultSet};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// The ack of one ingest request: aggregate accounting for the whole
+/// group-commit tick the request rode in.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestAck {
+    /// Store epoch after the tick.
+    pub epoch: u64,
+    /// Effective insertions across the tick.
+    pub inserted: u64,
+    /// Effective deletions across the tick.
+    pub deleted: u64,
+    /// No-op operations across the tick.
+    pub noops: u64,
+    /// Ingest requests coalesced into the tick (≥ 1, includes ours).
+    pub coalesced: u32,
+    /// Whether the tick triggered a compaction.
+    pub compacted: bool,
+}
+
+/// A point-query answer, stamped with the snapshot epoch it saw.
+#[derive(Debug, Clone)]
+pub struct Rows {
+    /// Epoch of the snapshot the query executed against.
+    pub epoch: u64,
+    /// The answer set.
+    pub results: ResultSet,
+}
+
+/// One pushed continuous-query answer.
+#[derive(Debug, Clone)]
+pub struct Push {
+    /// The subscription id the answer belongs to.
+    pub id: String,
+    /// Store epoch after the batch that produced it.
+    pub epoch: u64,
+    /// The answer set over the post-batch state.
+    pub results: ResultSet,
+}
+
+/// Server counters, as answered by a `STATS` request.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerStats {
+    /// Store epoch (group-commit ticks applied).
+    pub epoch: u64,
+    /// Triples visible in the live store.
+    pub triples: u64,
+    /// Snapshots currently pinning store resources.
+    pub live_pins: u64,
+    /// Snapshots taken over the store's lifetime.
+    pub snapshots: u64,
+    /// Shard compactions performed.
+    pub compactions: u64,
+    /// Active continuous-query subscriptions.
+    pub subscriptions: u64,
+}
+
+/// A blocking protocol client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    pending_pushes: VecDeque<Push>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            pending_pushes: VecDeque::new(),
+        })
+    }
+
+    /// Sends one write batch; blocks until its group-commit tick is
+    /// applied and acked.
+    pub fn ingest(&mut self, inserts: &Graph, deletes: &Graph) -> io::Result<IngestAck> {
+        let mut payload = Vec::new();
+        proto::write_graph(&mut payload, inserts)?;
+        proto::write_graph(&mut payload, deletes)?;
+        let (kind, body) = self.request(proto::req::INGEST, &payload)?;
+        expect(kind, proto::resp::INGEST, &body)?;
+        let mut r = body.as_slice();
+        Ok(IngestAck {
+            epoch: r.read_u64()?,
+            inserted: r.read_u64()?,
+            deleted: r.read_u64()?,
+            noops: r.read_u64()?,
+            coalesced: r.read_u32()?,
+            compacted: r.read_u8()? != 0,
+        })
+    }
+
+    /// Executes a point query against the server's latest snapshot.
+    pub fn query(&mut self, text: &str, options: &QueryOptions) -> io::Result<Rows> {
+        let mut payload = Vec::new();
+        payload.write_str(text)?;
+        proto::write_options(&mut payload, options)?;
+        let (kind, body) = self.request(proto::req::QUERY, &payload)?;
+        expect(kind, proto::resp::ROWS, &body)?;
+        let mut r = body.as_slice();
+        Ok(Rows {
+            epoch: r.read_u64()?,
+            results: proto::read_result_set(&mut r)?,
+        })
+    }
+
+    /// Registers a continuous query under `id`; after every subsequent
+    /// batch the server pushes its answer set (see [`Client::next_push`]).
+    pub fn subscribe(&mut self, id: &str, text: &str, options: &QueryOptions) -> io::Result<()> {
+        let mut payload = Vec::new();
+        payload.write_str(id)?;
+        payload.write_str(text)?;
+        proto::write_options(&mut payload, options)?;
+        let (kind, body) = self.request(proto::req::SUBSCRIBE, &payload)?;
+        expect(kind, proto::resp::OK, &body)
+    }
+
+    /// Returns the next continuous-query push, blocking until one
+    /// arrives. Pushes queued while waiting for request replies are
+    /// drained first, in arrival order.
+    pub fn next_push(&mut self) -> io::Result<Push> {
+        if let Some(push) = self.pending_pushes.pop_front() {
+            return Ok(push);
+        }
+        let (kind, body) = read_frame(&mut self.stream)?;
+        if kind == proto::resp::PUSH {
+            return parse_push(&body);
+        }
+        // A non-push frame here means the caller interleaved requests
+        // and pushes incorrectly; surface it as data.
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected a push frame, got kind {kind:#04x}"),
+        ))
+    }
+
+    /// Fetches the server's counters.
+    pub fn stats(&mut self) -> io::Result<ServerStats> {
+        let (kind, body) = self.request(proto::req::STATS, &[])?;
+        expect(kind, proto::resp::STATS, &body)?;
+        let mut r = body.as_slice();
+        Ok(ServerStats {
+            epoch: r.read_u64()?,
+            triples: r.read_u64()?,
+            live_pins: r.read_u64()?,
+            snapshots: r.read_u64()?,
+            compactions: r.read_u64()?,
+            subscriptions: r.read_u64()?,
+        })
+    }
+
+    /// Asks the server to stop; returns once the ack arrives.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        let (kind, body) = self.request(proto::req::SHUTDOWN, &[])?;
+        expect(kind, proto::resp::OK, &body)
+    }
+
+    /// Writes one request frame and reads until its reply, queueing any
+    /// pushes that arrive in between.
+    fn request(&mut self, kind: u8, payload: &[u8]) -> io::Result<(u8, Vec<u8>)> {
+        write_frame(&mut self.stream, kind, payload)?;
+        loop {
+            let (kind, body) = read_frame(&mut self.stream)?;
+            if kind == proto::resp::PUSH {
+                self.pending_pushes.push_back(parse_push(&body)?);
+                continue;
+            }
+            return Ok((kind, body));
+        }
+    }
+}
+
+fn parse_push(body: &[u8]) -> io::Result<Push> {
+    let mut r = body;
+    Ok(Push {
+        id: r.read_str()?,
+        epoch: r.read_u64()?,
+        results: proto::read_result_set(&mut r)?,
+    })
+}
+
+/// Maps an `ERR` frame to `io::Error` and checks the reply kind.
+fn expect(kind: u8, want: u8, body: &[u8]) -> io::Result<()> {
+    if kind == want {
+        return Ok(());
+    }
+    if kind == proto::resp::ERR {
+        let mut r = body;
+        let msg = r
+            .read_str()
+            .unwrap_or_else(|_| "malformed error frame".into());
+        return Err(io::Error::other(format!("server: {msg}")));
+    }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("expected reply kind {want:#04x}, got {kind:#04x}"),
+    ))
+}

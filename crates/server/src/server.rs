@@ -1,0 +1,519 @@
+//! The stream server: one writer thread owning the store, any number of
+//! connection threads serving clients over the snapshot slot.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  client conns ──frames──▶ connection threads
+//!       │                        │        ╲
+//!       │   INGEST/SUBSCRIBE     │ QUERY   ╲ (clone)
+//!       ▼                        ▼          ▼
+//!   mpsc::Sender<Cmd> ───▶ writer thread   snapshot slot
+//!                          (group commit)  Arc<Mutex<StoreSnapshot>>
+//!                          owns the store ──publishes──▲
+//! ```
+//!
+//! * **Writer thread** — sole owner of the
+//!   [`StreamSession<ShardedHybridStore>`]. It drains the command channel
+//!   with a group-commit tick: the first `INGEST` opens a window of
+//!   [`ServerConfig::tick`]; every write arriving inside the window is
+//!   coalesced (all deletes, then all inserts) into **one** pipelined
+//!   [`apply`](se_stream::ShardedHybridStore::apply). After the apply it
+//!   publishes a fresh [`StoreSnapshot`], acks every coalesced request
+//!   with the tick's aggregate report, and pushes each continuous-query
+//!   answer to its subscriber.
+//! * **Connection threads** — one per client. Point queries clone the
+//!   published snapshot (an `Arc` bump) and execute on the connection
+//!   thread: readers never enter the writer's queue and are never blocked
+//!   by ingest or compaction. Responses and pushes to one client are
+//!   serialized through a shared sink lock.
+
+use crate::protocol::{self as proto, read_frame, write_frame};
+use se_sparql::QueryOptions;
+use se_stream::{ShardedHybridStore, StoreSnapshot, StreamError, StreamSession};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// A client's write half, shared between its connection thread
+/// (request replies) and the writer thread (subscription pushes).
+type ClientSink = Arc<Mutex<TcpStream>>;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Group-commit window: how long the writer keeps coalescing after
+    /// the first write of a tick before applying. Zero degenerates to
+    /// one apply per request.
+    pub tick: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            tick: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Aggregate ack for one group-commit tick (every coalesced request
+/// receives the same numbers).
+#[derive(Debug, Clone, Copy)]
+pub struct TickReport {
+    /// Store epoch after the tick's apply.
+    pub epoch: u64,
+    /// Effective insertions across the whole tick.
+    pub inserted: u64,
+    /// Effective deletions across the whole tick.
+    pub deleted: u64,
+    /// No-op operations across the whole tick.
+    pub noops: u64,
+    /// Ingest requests coalesced into this tick.
+    pub coalesced: u32,
+    /// Whether the apply triggered a compaction.
+    pub compacted: bool,
+}
+
+/// Commands the connection threads hand to the writer.
+enum Cmd {
+    Ingest {
+        inserts: se_rdf::Graph,
+        deletes: se_rdf::Graph,
+        done: mpsc::Sender<Result<TickReport, String>>,
+    },
+    Subscribe {
+        id: String,
+        text: String,
+        options: QueryOptions,
+        sink: ClientSink,
+        done: mpsc::Sender<Result<(), String>>,
+    },
+    Stats {
+        done: mpsc::Sender<StatsReport>,
+    },
+    Shutdown,
+}
+
+/// Snapshot of the server's counters, answered by the writer thread.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsReport {
+    /// Store epoch (group-commit ticks applied).
+    pub epoch: u64,
+    /// Triples visible in the live store.
+    pub triples: u64,
+    /// Snapshots currently pinning store resources.
+    pub live_pins: u64,
+    /// Snapshots taken over the store's lifetime.
+    pub snapshots: u64,
+    /// Shard compactions performed.
+    pub compactions: u64,
+    /// Active continuous-query subscriptions.
+    pub subscriptions: u64,
+}
+
+/// A running server: its bound address plus the threads to join.
+pub struct Server {
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `store`. The store moves into the writer thread; all
+    /// further access goes through client connections.
+    pub fn start(
+        store: ShardedHybridStore,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let slot = Arc::new(Mutex::new(store.snapshot()));
+        let (tx, rx) = mpsc::channel::<Cmd>();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let writer = {
+            let slot = Arc::clone(&slot);
+            thread::Builder::new()
+                .name("se-server-writer".into())
+                .spawn(move || writer_loop(StreamSession::new(store), rx, slot, config.tick))?
+        };
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let tx = tx.clone();
+            let slot = Arc::clone(&slot);
+            thread::Builder::new()
+                .name("se-server-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let tx = tx.clone();
+                        let slot = Arc::clone(&slot);
+                        let stop = Arc::clone(&stop);
+                        let addr = local;
+                        // Connection threads are detached: they exit when
+                        // their client hangs up or the writer goes away.
+                        let _ =
+                            thread::Builder::new()
+                                .name("se-server-conn".into())
+                                .spawn(move || {
+                                    let _ = serve_connection(stream, tx, slot, stop, addr);
+                                });
+                    }
+                })?
+        };
+
+        Ok(Server {
+            addr: local,
+            accept: Some(accept),
+            writer: Some(writer),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to stop (a client sent `SHUTDOWN`).
+    pub fn join(mut self) {
+        if let Some(w) = self.writer.take() {
+            let _ = w.join();
+        }
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+// --------------------------------------------------------------- writer
+
+/// An ingest rider waiting in the tick window: inserts, deletes, ack.
+type PendingIngest = (
+    se_rdf::Graph,
+    se_rdf::Graph,
+    mpsc::Sender<Result<TickReport, String>>,
+);
+
+fn writer_loop(
+    mut session: StreamSession<ShardedHybridStore>,
+    rx: mpsc::Receiver<Cmd>,
+    slot: Arc<Mutex<StoreSnapshot>>,
+    tick: Duration,
+) {
+    // Active subscriptions: registry id → the subscriber's sink.
+    let mut subs: HashMap<String, ClientSink> = HashMap::new();
+    'outer: loop {
+        let Ok(first) = rx.recv() else { break };
+        let mut pending: Vec<PendingIngest> = Vec::new();
+        match first {
+            Cmd::Shutdown => break,
+            Cmd::Subscribe {
+                id,
+                text,
+                options,
+                sink,
+                done,
+            } => {
+                subscribe(&mut session, &mut subs, id, text, options, sink, done);
+                continue;
+            }
+            Cmd::Stats { done } => {
+                let _ = done.send(stats(&session, subs.len()));
+                continue;
+            }
+            Cmd::Ingest {
+                inserts,
+                deletes,
+                done,
+            } => pending.push((inserts, deletes, done)),
+        }
+
+        // Group-commit window: coalesce every write that arrives within
+        // `tick` of the first one. Non-write commands are handled inline
+        // so a stats probe can't extend the window.
+        let mut shutdown = false;
+        let deadline = Instant::now() + tick;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(left) {
+                Ok(Cmd::Ingest {
+                    inserts,
+                    deletes,
+                    done,
+                }) => pending.push((inserts, deletes, done)),
+                Ok(Cmd::Subscribe {
+                    id,
+                    text,
+                    options,
+                    sink,
+                    done,
+                }) => subscribe(&mut session, &mut subs, id, text, options, sink, done),
+                Ok(Cmd::Stats { done }) => {
+                    let _ = done.send(stats(&session, subs.len()));
+                }
+                Ok(Cmd::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    shutdown = true;
+                    break;
+                }
+            }
+        }
+
+        // One apply for the whole tick: all deletes, then all inserts.
+        let coalesced = pending.len() as u32;
+        let mut inserts = se_rdf::Graph::new();
+        let mut deletes = se_rdf::Graph::new();
+        for (ins, del, _) in &pending {
+            for t in del.iter() {
+                deletes.insert(t.clone());
+            }
+            for t in ins.iter() {
+                inserts.insert(t.clone());
+            }
+        }
+        match session.apply_batch(&inserts, &deletes) {
+            Ok(outcome) => {
+                let snap = session.store().snapshot();
+                let report = TickReport {
+                    epoch: snap.epoch(),
+                    inserted: outcome.report.inserted as u64,
+                    deleted: outcome.report.deleted as u64,
+                    noops: outcome.report.noops as u64,
+                    coalesced,
+                    compacted: outcome.report.compacted,
+                };
+                *slot.lock().expect("snapshot slot poisoned") = snap;
+                for (_, _, done) in &pending {
+                    let _ = done.send(Ok(report));
+                }
+                // Push each continuous answer to its subscriber; a dead
+                // sink retires the subscription.
+                for result in outcome.results {
+                    let Some(sink) = subs.get(&result.id) else {
+                        continue;
+                    };
+                    let mut payload = Vec::new();
+                    let ok = se_sds::WriteBin::write_str(&mut payload, &result.id)
+                        .and_then(|()| se_sds::WriteBin::write_u64(&mut payload, report.epoch))
+                        .and_then(|()| proto::write_result_set(&mut payload, &result.results))
+                        .is_ok()
+                        && {
+                            let mut sink = sink.lock().expect("client sink poisoned");
+                            write_frame(&mut *sink, proto::resp::PUSH, &payload).is_ok()
+                        };
+                    if !ok {
+                        subs.remove(&result.id);
+                        session.registry_mut().deregister(&result.id);
+                    }
+                }
+            }
+            Err(e) => {
+                // A poisoned store stays poisoned; a validation error is
+                // per-tick. Either way every rider learns what happened.
+                let msg = e.to_string();
+                for (_, _, done) in &pending {
+                    let _ = done.send(Err(msg.clone()));
+                }
+                if matches!(e, StreamError::Worker(_)) {
+                    break 'outer;
+                }
+            }
+        }
+        if shutdown {
+            break;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn subscribe(
+    session: &mut StreamSession<ShardedHybridStore>,
+    subs: &mut HashMap<String, ClientSink>,
+    id: String,
+    text: String,
+    options: QueryOptions,
+    sink: ClientSink,
+    done: mpsc::Sender<Result<(), String>>,
+) {
+    match session.register_query(id.clone(), &text, options) {
+        Ok(()) => {
+            subs.insert(id, sink);
+            let _ = done.send(Ok(()));
+        }
+        Err(e) => {
+            let _ = done.send(Err(e.to_string()));
+        }
+    }
+}
+
+fn stats(session: &StreamSession<ShardedHybridStore>, subscriptions: usize) -> StatsReport {
+    let s = session.store().stats();
+    StatsReport {
+        epoch: s.epoch,
+        triples: se_core::TripleSource::len(session.store()) as u64,
+        live_pins: s.live_pins as u64,
+        snapshots: s.snapshots as u64,
+        compactions: s.compactions as u64,
+        subscriptions: subscriptions as u64,
+    }
+}
+
+// ---------------------------------------------------------- connections
+
+fn serve_connection(
+    stream: TcpStream,
+    tx: mpsc::Sender<Cmd>,
+    slot: Arc<Mutex<StoreSnapshot>>,
+    stop: Arc<AtomicBool>,
+    server_addr: SocketAddr,
+) -> io::Result<()> {
+    let mut reader = stream.try_clone()?;
+    let sink: ClientSink = Arc::new(Mutex::new(stream));
+    loop {
+        let (kind, payload) = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(_) => return Ok(()), // client hung up
+        };
+        let mut p = payload.as_slice();
+        match kind {
+            proto::req::INGEST => {
+                let parsed = (|| -> io::Result<_> {
+                    let inserts = proto::read_graph(&mut p)?;
+                    let deletes = proto::read_graph(&mut p)?;
+                    Ok((inserts, deletes))
+                })();
+                match parsed {
+                    Ok((inserts, deletes)) => {
+                        let (done, ack) = mpsc::channel();
+                        let sent = tx
+                            .send(Cmd::Ingest {
+                                inserts,
+                                deletes,
+                                done,
+                            })
+                            .is_ok();
+                        match (sent, sent.then(|| ack.recv()).and_then(Result::ok)) {
+                            (true, Some(Ok(r))) => {
+                                let mut out = Vec::new();
+                                se_sds::WriteBin::write_u64(&mut out, r.epoch)?;
+                                se_sds::WriteBin::write_u64(&mut out, r.inserted)?;
+                                se_sds::WriteBin::write_u64(&mut out, r.deleted)?;
+                                se_sds::WriteBin::write_u64(&mut out, r.noops)?;
+                                se_sds::WriteBin::write_u32(&mut out, r.coalesced)?;
+                                se_sds::WriteBin::write_u8(&mut out, r.compacted as u8)?;
+                                reply(&sink, proto::resp::INGEST, &out)?;
+                            }
+                            (true, Some(Err(msg))) => reply_err(&sink, &msg)?,
+                            _ => reply_err(&sink, "server is shutting down")?,
+                        }
+                    }
+                    Err(e) => reply_err(&sink, &e.to_string())?,
+                }
+            }
+            proto::req::QUERY => {
+                let parsed = (|| -> io::Result<_> {
+                    let text = se_sds::ReadBin::read_str(&mut p)?;
+                    let options = proto::read_options(&mut p)?;
+                    Ok((text, options))
+                })();
+                match parsed {
+                    Ok((text, options)) => {
+                        // Clone the latest snapshot (an Arc bump) and
+                        // evaluate here — the writer is never involved.
+                        let snap = slot.lock().expect("snapshot slot poisoned").clone();
+                        match se_sparql::execute_query(&snap, &text, &options) {
+                            Ok(rows) => {
+                                let mut out = Vec::new();
+                                se_sds::WriteBin::write_u64(&mut out, snap.epoch())?;
+                                proto::write_result_set(&mut out, &rows)?;
+                                reply(&sink, proto::resp::ROWS, &out)?;
+                            }
+                            Err(e) => reply_err(&sink, &e.to_string())?,
+                        }
+                    }
+                    Err(e) => reply_err(&sink, &e.to_string())?,
+                }
+            }
+            proto::req::SUBSCRIBE => {
+                let parsed = (|| -> io::Result<_> {
+                    let id = se_sds::ReadBin::read_str(&mut p)?;
+                    let text = se_sds::ReadBin::read_str(&mut p)?;
+                    let options = proto::read_options(&mut p)?;
+                    Ok((id, text, options))
+                })();
+                match parsed {
+                    Ok((id, text, options)) => {
+                        let (done, ack) = mpsc::channel();
+                        let sent = tx
+                            .send(Cmd::Subscribe {
+                                id,
+                                text,
+                                options,
+                                sink: Arc::clone(&sink),
+                                done,
+                            })
+                            .is_ok();
+                        match (sent, sent.then(|| ack.recv()).and_then(Result::ok)) {
+                            (true, Some(Ok(()))) => reply(&sink, proto::resp::OK, &[])?,
+                            (true, Some(Err(msg))) => reply_err(&sink, &msg)?,
+                            _ => reply_err(&sink, "server is shutting down")?,
+                        }
+                    }
+                    Err(e) => reply_err(&sink, &e.to_string())?,
+                }
+            }
+            proto::req::STATS => {
+                let (done, ack) = mpsc::channel();
+                let sent = tx.send(Cmd::Stats { done }).is_ok();
+                match (sent, sent.then(|| ack.recv()).and_then(Result::ok)) {
+                    (true, Some(s)) => {
+                        let mut out = Vec::new();
+                        se_sds::WriteBin::write_u64(&mut out, s.epoch)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.triples)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.live_pins)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.snapshots)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.compactions)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.subscriptions)?;
+                        reply(&sink, proto::resp::STATS, &out)?;
+                    }
+                    _ => reply_err(&sink, "server is shutting down")?,
+                }
+            }
+            proto::req::SHUTDOWN => {
+                stop.store(true, Ordering::Release);
+                let _ = tx.send(Cmd::Shutdown);
+                // Wake the accept loop so it observes the stop flag.
+                let _ = TcpStream::connect(server_addr);
+                reply(&sink, proto::resp::OK, &[])?;
+                return Ok(());
+            }
+            other => reply_err(&sink, &format!("unknown request kind {other:#04x}"))?,
+        }
+    }
+}
+
+fn reply(sink: &ClientSink, kind: u8, payload: &[u8]) -> io::Result<()> {
+    let mut sink = sink.lock().expect("client sink poisoned");
+    write_frame(&mut *sink, kind, payload)
+}
+
+fn reply_err(sink: &ClientSink, msg: &str) -> io::Result<()> {
+    let mut payload = Vec::new();
+    se_sds::WriteBin::write_str(&mut payload, msg)?;
+    reply(sink, proto::resp::ERR, &payload)
+}

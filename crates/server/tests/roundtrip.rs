@@ -1,0 +1,201 @@
+//! End-to-end server round trip: concurrent clients ingesting, point
+//! querying and subscribing over TCP, checked against a single-threaded
+//! replay on a local store.
+
+use se_datagen::water::{generate_stream, WaterConfig};
+use se_datagen::workload::water_anomaly_query;
+use se_ontology::water_ontology;
+use se_rdf::{Graph, Term, Triple};
+use se_server::{Client, Server, ServerConfig};
+use se_sparql::{QueryOptions, ResultSet};
+use se_stream::{ShardedHybridStore, StreamSession};
+use std::time::Duration;
+
+fn normalize(rs: &ResultSet) -> Vec<String> {
+    let mut rows: Vec<String> = rs.rows.iter().map(|r| format!("{r:?}")).collect();
+    rows.sort();
+    rows
+}
+
+fn iri(s: String) -> Term {
+    Term::iri(s)
+}
+
+/// Client `k`'s disjoint partition: `n` triples over its own predicate,
+/// so concurrent ingest commutes and the final state is replay-equal.
+fn partition_batch(k: usize, batch: usize, per_batch: usize) -> Graph {
+    Graph::from_triples((0..per_batch).map(|j| {
+        let i = batch * per_batch + j;
+        Triple::new(
+            iri(format!("http://x/s{k}_{i}")),
+            iri(format!("http://x/p{k}")),
+            iri(format!("http://x/o{k}_{i}")),
+        )
+    }))
+}
+
+fn partition_query(k: usize) -> String {
+    format!("SELECT ?s ?o WHERE {{ ?s <http://x/p{k}> ?o }}")
+}
+
+const WRITERS: usize = 4;
+const BATCHES_PER_WRITER: usize = 6;
+const PER_BATCH: usize = 5;
+
+#[test]
+fn concurrent_clients_agree_with_single_threaded_replay() {
+    let ontology = water_ontology();
+    let store = ShardedHybridStore::build(&ontology, &Graph::new(), 4).unwrap();
+    let server = Server::start(
+        store,
+        "127.0.0.1:0",
+        ServerConfig {
+            tick: Duration::from_millis(2),
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let opts = QueryOptions::default();
+
+    // ---- Phase A: 4 writers ingest disjoint partitions concurrently,
+    // while a reader hammers point queries against snapshots.
+    let reader = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        let opts = QueryOptions::default();
+        let mut last_epoch = 0;
+        let mut last_rows = 0;
+        for _ in 0..60 {
+            let rows = c.query(&partition_query(0), &opts).unwrap();
+            // Snapshots are immutable and published in apply order:
+            // epochs and (insert-only) row counts never move backwards.
+            assert!(rows.epoch >= last_epoch, "epoch went backwards");
+            assert!(rows.results.len() >= last_rows, "rows went backwards");
+            last_epoch = rows.epoch;
+            last_rows = rows.results.len();
+        }
+    });
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut acks = Vec::new();
+                for b in 0..BATCHES_PER_WRITER {
+                    let ack = c
+                        .ingest(&partition_batch(k, b, PER_BATCH), &Graph::new())
+                        .unwrap();
+                    assert!(ack.coalesced >= 1);
+                    acks.push(ack);
+                }
+                // Acks are issued post-apply: this client's epochs are
+                // strictly increasing even under coalescing.
+                assert!(acks.windows(2).all(|w| w[1].epoch > w[0].epoch));
+                c
+            })
+        })
+        .collect();
+    let mut clients: Vec<Client> = writers.into_iter().map(|w| w.join().unwrap()).collect();
+    reader.join().unwrap();
+
+    // Replay the same data single-threaded; every partition query must
+    // agree (concurrent group commit changed batching, not content).
+    let mut replay =
+        StreamSession::new(ShardedHybridStore::build(&ontology, &Graph::new(), 4).unwrap());
+    for k in 0..WRITERS {
+        for b in 0..BATCHES_PER_WRITER {
+            replay
+                .apply_batch(&partition_batch(k, b, PER_BATCH), &Graph::new())
+                .unwrap();
+        }
+    }
+    for (k, c) in clients.iter_mut().enumerate() {
+        let got = c.query(&partition_query(k), &opts).unwrap();
+        assert_eq!(got.results.len(), BATCHES_PER_WRITER * PER_BATCH);
+        let want = se_sparql::execute_query(replay.store(), &partition_query(k), &opts).unwrap();
+        assert_eq!(normalize(&got.results), normalize(&want));
+    }
+
+    // ---- Phase B: one client subscribes to the anomaly query; another
+    // streams the water batches. One batch per ack-gated request means
+    // one tick per batch, so pushes align 1:1 with the replay.
+    let mut sub = Client::connect(addr).unwrap();
+    sub.subscribe("alerts", &water_anomaly_query(), &opts)
+        .unwrap();
+    replay
+        .register_query("alerts", &water_anomaly_query(), opts.clone())
+        .unwrap();
+
+    let cfg = WaterConfig {
+        stations: 2,
+        rounds: 1,
+        anomaly_rate: 0.4,
+        seed: 11,
+    };
+    let stream = generate_stream(&cfg, 8, 3);
+    let feeder = &mut clients[0];
+    let mut saw_alert = false;
+    for batch in &stream {
+        let ack = feeder.ingest(&batch.inserts, &batch.deletes).unwrap();
+        let outcome = replay.apply_batch(&batch.inserts, &batch.deletes).unwrap();
+        let push = sub.next_push().unwrap();
+        assert_eq!(push.id, "alerts");
+        assert_eq!(push.epoch, ack.epoch);
+        assert_eq!(
+            normalize(&push.results),
+            normalize(&outcome.results[0].results),
+            "push at epoch {} diverged from the replay",
+            push.epoch
+        );
+        saw_alert |= !push.results.rows.is_empty();
+    }
+    assert!(saw_alert, "the stream produced no anomaly to compare");
+
+    // ---- Phase C: stats reflect the session; shutdown stops the server.
+    let stats = sub.stats().unwrap();
+    assert_eq!(stats.subscriptions, 1);
+    // Phase A's 24 requests ran as anywhere between 6 ticks (maximal
+    // coalescing: each writer's requests are ack-gated, so at least
+    // BATCHES_PER_WRITER ticks) and 24 (none); phase B added exactly one
+    // tick per water batch.
+    let phase_b = stream.len() as u64;
+    assert!(stats.epoch >= BATCHES_PER_WRITER as u64 + phase_b);
+    assert!(stats.epoch <= (WRITERS * BATCHES_PER_WRITER) as u64 + phase_b);
+    assert!(stats.triples > 0);
+    sub.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn malformed_and_unknown_requests_leave_the_connection_usable() {
+    let store = ShardedHybridStore::build(&water_ontology(), &Graph::new(), 2).unwrap();
+    let server = Server::start(store, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+    let mut c = Client::connect(addr).unwrap();
+
+    // A bad query surfaces as a server error, not a hangup.
+    let err = c.query("SELECT WHERE garbage", &QueryOptions::default());
+    assert!(err.is_err());
+
+    // The connection still works afterwards.
+    let ack = c
+        .ingest(
+            &Graph::from_triples([Triple::new(
+                Term::iri("http://x/s"),
+                Term::iri("http://x/p"),
+                Term::iri("http://x/o"),
+            )]),
+            &Graph::new(),
+        )
+        .unwrap();
+    assert_eq!(ack.inserted, 1);
+    let rows = c
+        .query(
+            "SELECT ?o WHERE { <http://x/s> <http://x/p> ?o }",
+            &QueryOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(rows.results.len(), 1);
+    assert!(rows.epoch >= 1);
+
+    c.shutdown().unwrap();
+    server.join();
+}

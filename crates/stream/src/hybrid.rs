@@ -41,6 +41,7 @@ use se_rdf::{Graph, Literal, Term, Triple};
 use std::collections::BTreeSet;
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -98,6 +99,16 @@ pub struct HybridStats {
     /// Total time spent compacting (rebuild + swap; for background
     /// compaction this is worker wall time, off the ingest hot path).
     pub total_compaction: Duration,
+    /// Logical write epoch: successful `apply` batches over the store's
+    /// lifetime (restored across v02 save/load). Compactions do not
+    /// advance it — they preserve content.
+    pub epoch: u64,
+    /// Snapshots taken over the store's lifetime.
+    pub snapshots: usize,
+    /// Snapshots currently alive, pinning resources (swapped-out
+    /// baselines, overlay literals). A monotonically growing value here
+    /// under a steady workload is a snapshot leak.
+    pub live_pins: usize,
 }
 
 /// Overflow dictionary for properties or concepts: ids above
@@ -206,7 +217,11 @@ impl OverflowInstances {
 /// and periodically compacts the overlay back into the succinct layers.
 #[derive(Debug)]
 pub struct HybridStore {
-    pub(crate) base: SuccinctEdgeStore,
+    /// The immutable succinct baseline, `Arc`-shared with every
+    /// [`StoreSnapshot`](crate::snapshot::StoreSnapshot) pinned at the
+    /// current generation: a compaction installs a fresh `Arc` and the
+    /// swapped-out layers are reclaimed when the last pin drops.
+    pub(crate) base: Arc<SuccinctEdgeStore>,
     ontology: Ontology,
     pub(crate) delta: DeltaStore,
     pub(crate) ovf_instances: OverflowInstances,
@@ -224,6 +239,18 @@ pub struct HybridStore {
     /// because `save` takes `&self` (it is observationally side-effect
     /// free: the cache only records what `save` wrote).
     pub(crate) persist_mark: std::sync::Mutex<Option<crate::persist::BaselineMark>>,
+    /// Logical write epoch: the number of successful [`apply`] batches
+    /// over this store's lifetime (single-triple `insert_triple` /
+    /// `delete_triple` calls outside a batch do not advance it).
+    /// Persisted in the v02 manifest so epochs stay monotone across
+    /// restarts. [`apply`]: HybridStore::apply
+    pub(crate) epoch: u64,
+    /// Live snapshot pins: shared with every [`StoreSnapshot`] taken from
+    /// this store; each snapshot decrements it on drop.
+    /// [`StoreSnapshot`]: crate::snapshot::StoreSnapshot
+    pub(crate) pins: Arc<AtomicUsize>,
+    /// Snapshots taken over the store's lifetime (observability).
+    pub(crate) snapshots_taken: AtomicUsize,
 }
 
 impl Clone for HybridStore {
@@ -247,6 +274,11 @@ impl Clone for HybridStore {
                     .unwrap_or_else(|e| e.into_inner())
                     .clone(),
             ),
+            epoch: self.epoch,
+            // The clone is an independent store: snapshots of the
+            // original must not pin (or be leaked into) the clone.
+            pins: Arc::new(AtomicUsize::new(0)),
+            snapshots_taken: AtomicUsize::new(self.snapshots_taken.load(Ordering::Relaxed)),
         }
     }
 }
@@ -256,7 +288,7 @@ impl HybridStore {
     pub fn new(base: SuccinctEdgeStore, ontology: Ontology) -> Self {
         let base_len = base.dictionaries().instances.len() as u64;
         Self {
-            base,
+            base: Arc::new(base),
             ontology,
             delta: DeltaStore::new(),
             ovf_instances: OverflowInstances {
@@ -269,6 +301,9 @@ impl HybridStore {
             stats: HybridStats::default(),
             generation: crate::persist::next_generation(),
             persist_mark: std::sync::Mutex::new(None),
+            epoch: 0,
+            pins: Arc::new(AtomicUsize::new(0)),
+            snapshots_taken: AtomicUsize::new(0),
         }
     }
 
@@ -285,10 +320,11 @@ impl HybridStore {
         ovf_concepts: OverflowDict,
         policy: CompactionPolicy,
         generation: u64,
+        epoch: u64,
         mark: Option<crate::persist::BaselineMark>,
     ) -> Self {
         Self {
-            base,
+            base: Arc::new(base),
             ontology,
             delta,
             ovf_instances,
@@ -298,6 +334,9 @@ impl HybridStore {
             stats: HybridStats::default(),
             generation,
             persist_mark: std::sync::Mutex::new(mark),
+            epoch,
+            pins: Arc::new(AtomicUsize::new(0)),
+            snapshots_taken: AtomicUsize::new(0),
         }
     }
 
@@ -328,9 +367,43 @@ impl HybridStore {
         &self.ontology
     }
 
-    /// Lifetime counters.
-    pub fn stats(&self) -> &HybridStats {
-        &self.stats
+    /// Lifetime counters, with the live epoch/pin gauges filled in.
+    pub fn stats(&self) -> HybridStats {
+        let mut s = self.stats.clone();
+        s.epoch = self.epoch;
+        s.snapshots = self.snapshots_taken.load(Ordering::Relaxed);
+        s.live_pins = self.pins.load(Ordering::Acquire);
+        s
+    }
+
+    /// The logical write epoch: successful [`apply`](HybridStore::apply)
+    /// batches so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Snapshots currently pinning this store's resources.
+    pub fn live_pins(&self) -> usize {
+        self.pins.load(Ordering::Acquire)
+    }
+
+    /// An immutable view of the store at the current epoch.
+    ///
+    /// The snapshot shares the succinct baseline by `Arc` (O(1)) and
+    /// freezes the overlay and overflow dictionaries by value
+    /// (O(overlay)), so readers on other threads answer every
+    /// [`TripleSource`] access against a consistent epoch while `apply`
+    /// and compaction proceed on the live store. The pin is released when
+    /// the last clone of the snapshot drops; until then the swapped-out
+    /// baseline generation stays alive (via the `Arc`) and the pin is
+    /// visible in [`HybridStats::live_pins`].
+    pub fn snapshot(&self) -> crate::snapshot::StoreSnapshot {
+        self.snapshots_taken.fetch_add(1, Ordering::Relaxed);
+        crate::snapshot::StoreSnapshot::from_hybrid(
+            self.clone(),
+            self.epoch,
+            Arc::clone(&self.pins),
+        )
     }
 
     /// The compaction policy in force.
@@ -453,6 +526,7 @@ impl HybridStore {
             report.compacted = true;
             report.compaction = t1.elapsed();
         }
+        self.epoch += 1;
         Ok(report)
     }
 
@@ -697,7 +771,7 @@ impl HybridStore {
     /// graph plus the raced writes.
     pub fn swap_baseline(&mut self, rebuilt: SuccinctEdgeStore) -> Result<(), StreamError> {
         let replay = self.overlay_term_ops();
-        self.base = rebuilt;
+        self.base = Arc::new(rebuilt);
         self.generation = crate::persist::next_generation();
         self.delta.clear();
         self.ovf_instances

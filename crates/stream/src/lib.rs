@@ -116,6 +116,7 @@ pub mod hybrid;
 pub mod persist;
 pub mod runtime;
 pub mod shard;
+pub mod snapshot;
 
 pub use continuous::{
     BatchOutcome, ContinuousQuery, ContinuousQueryRegistry, ContinuousResult, StreamSession,
@@ -132,6 +133,7 @@ pub use shard::{
     IngestMode, ShardPolicy, ShardedHybridStore, ShardedStats, LIT_SHARD_STRIDE, MAX_SHARDS,
     PIPELINE_CHUNK, POOL_MIN_OPS,
 };
+pub use snapshot::StoreSnapshot;
 
 #[cfg(test)]
 mod tests {
@@ -343,18 +345,17 @@ mod tests {
         assert_eq!(h.len(), 10);
     }
 
-    /// The legacy v01 shutdown path (compact-then-dump) still round-trips.
+    /// The v02 directory save/load path round-trips a dirty overlay.
     #[test]
-    #[allow(deprecated)]
     fn persist_roundtrip_through_compaction() {
         let mut h = hybrid();
         h.insert_triple(&t("c", "knows", iri("a"))).unwrap();
         h.delete_triple(&ty("b", "C1")).unwrap();
         let mut path = std::env::temp_dir();
-        path.push(format!("se-stream-persist-{}.db", std::process::id()));
-        h.save_to_file(&path).unwrap();
-        let back = HybridStore::load_from_file(&path, ontology()).unwrap();
-        std::fs::remove_file(&path).ok();
+        path.push(format!("se-stream-persist-{}.v02", std::process::id()));
+        h.save(&path).unwrap();
+        let back = HybridStore::load(&path, &ontology()).unwrap();
+        std::fs::remove_dir_all(&path).ok();
         assert_eq!(back.len(), h.len());
         let norm = |g: &Graph| {
             let mut v: Vec<String> = g.iter().map(|t| t.to_string()).collect();

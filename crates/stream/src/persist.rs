@@ -558,6 +558,7 @@ impl HybridStore {
         meta.write_u64(mark.checksum)?;
         meta.write_u64(mark.bytes)?;
         meta.write_u64(self.policy().max_overlay as u64)?;
+        meta.write_u64(self.epoch)?;
         write_section(&mut buf, b"META", &meta)?;
         write_section(&mut buf, b"OVFI", &ovf_instances_bytes(&self.ovf_instances))?;
         write_section(
@@ -598,13 +599,16 @@ impl HybridStore {
 
         let meta = expect_section(&mut r, b"META")?;
         let mut m = meta.as_slice();
-        let (file, checksum, bytes_len, max_overlay) = (|| -> io::Result<_> {
+        let (file, checksum, bytes_len, max_overlay, epoch) = (|| -> io::Result<_> {
             let file = m.read_str()?;
             let _gen_at_save = m.read_u64()?;
             let checksum = m.read_u64()?;
             let bytes_len = m.read_u64()?;
             let max_overlay = m.read_u64()?;
-            Ok((file, checksum, bytes_len, max_overlay))
+            // Epoch was appended to META later; files written before it
+            // simply restart the epoch counter at zero.
+            let epoch = if m.is_empty() { 0 } else { m.read_u64()? };
+            Ok((file, checksum, bytes_len, max_overlay, epoch))
         })()
         .map_err(corrupt("META"))?;
 
@@ -652,6 +656,7 @@ impl HybridStore {
                 max_overlay: max_overlay as usize,
             },
             generation,
+            epoch,
             Some(mark),
         ))
     }
@@ -976,6 +981,7 @@ impl ShardedHybridStore {
         meta.write_u64(inst_len)?;
         meta.write_str(&dicts_file)?;
         meta.write_u64(self.policy().max_overlay as u64)?;
+        meta.write_u64(self.epoch)?;
         write_section(&mut buf, b"META", &meta)?;
         let mut iseg = Vec::new();
         iseg.write_u64(segments.len() as u64)?;
@@ -1067,7 +1073,7 @@ impl ShardedHybridStore {
 
         let meta = expect_section(&mut r, b"META")?;
         let mut m = meta.as_slice();
-        let (n_shards, tag, rr_next, stride, inst_len, dicts_file, max_overlay) =
+        let (n_shards, tag, rr_next, stride, inst_len, dicts_file, max_overlay, epoch) =
             (|| -> io::Result<_> {
                 let n = m.read_u64()? as usize;
                 let tag = m.read_str()?;
@@ -1076,7 +1082,19 @@ impl ShardedHybridStore {
                 let inst_len = m.read_u64()?;
                 let dicts_file = m.read_str()?;
                 let max_overlay = m.read_u64()? as usize;
-                Ok((n, tag, next, stride, inst_len, dicts_file, max_overlay))
+                // Epoch was appended to META later; manifests written
+                // before it restart the epoch counter at zero.
+                let epoch = if m.is_empty() { 0 } else { m.read_u64()? };
+                Ok((
+                    n,
+                    tag,
+                    next,
+                    stride,
+                    inst_len,
+                    dicts_file,
+                    max_overlay,
+                    epoch,
+                ))
             })()
             .map_err(corrupt("META"))?;
         if n_shards == 0 {
@@ -1223,6 +1241,7 @@ impl ShardedHybridStore {
             ovf_concepts,
             literals,
             CompactionPolicy { max_overlay },
+            epoch,
             Some(mark),
         ))
     }

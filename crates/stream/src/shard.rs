@@ -79,6 +79,7 @@ use se_ontology::Ontology;
 use se_rdf::{Graph, Literal, Term, Triple};
 use std::any::Any;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -419,6 +420,16 @@ pub struct ShardedStats {
     /// Batches fanned out to per-batch scoped spawns
     /// ([`IngestMode::Scoped`], the benchmarking comparator).
     pub scoped_batches: usize,
+    /// Logical write epoch: successful `apply` batches over the store's
+    /// lifetime (restored across v02 save/load). Compactions do not
+    /// advance it — they preserve content.
+    pub epoch: u64,
+    /// Snapshots taken over the store's lifetime.
+    pub snapshots: usize,
+    /// Snapshots currently alive, pinning resources (swapped-out shard
+    /// layers, the shared overlay-literal table). A monotonically
+    /// growing value here under a steady workload is a snapshot leak.
+    pub live_pins: usize,
 }
 
 /// Encoded object position of one routed operation.
@@ -521,6 +532,18 @@ pub struct ShardedHybridStore {
     /// to succeed.
     poisoned: bool,
     stats: ShardedStats,
+    /// Logical write epoch: the number of successful `apply` batches over
+    /// this store's lifetime. Persisted in the v02 manifest so epochs
+    /// stay monotone across restarts.
+    pub(crate) epoch: u64,
+    /// Live snapshot pins: shared with every
+    /// [`StoreSnapshot`](crate::snapshot::StoreSnapshot) taken from this
+    /// store; each snapshot decrements it on drop. [`gc_literals`]
+    /// treats a non-zero count as non-quiescent.
+    /// [`gc_literals`]: ShardedHybridStore::gc_literals
+    pub(crate) pins: Arc<AtomicUsize>,
+    /// Snapshots taken over the store's lifetime (observability).
+    snapshots_taken: AtomicUsize,
 }
 
 impl ShardedHybridStore {
@@ -626,6 +649,9 @@ impl ShardedHybridStore {
             ops_pool: Vec::new(),
             poisoned: false,
             stats: ShardedStats::default(),
+            epoch: 0,
+            pins: Arc::new(AtomicUsize::new(0)),
+            snapshots_taken: AtomicUsize::new(0),
         })
     }
 
@@ -642,6 +668,7 @@ impl ShardedHybridStore {
         ovf_concepts: OverflowDict,
         literals: LiteralTable,
         policy: CompactionPolicy,
+        epoch: u64,
         mark: Option<crate::persist::ShardedMark>,
     ) -> Self {
         let n_shards = shards.len();
@@ -662,6 +689,9 @@ impl ShardedHybridStore {
             ops_pool: Vec::new(),
             poisoned: false,
             stats: ShardedStats::default(),
+            epoch,
+            pins: Arc::new(AtomicUsize::new(0)),
+            snapshots_taken: AtomicUsize::new(0),
         }
     }
 
@@ -713,9 +743,86 @@ impl ShardedHybridStore {
         self.shards.len()
     }
 
-    /// Lifetime counters.
-    pub fn stats(&self) -> &ShardedStats {
-        &self.stats
+    /// Lifetime counters, with the live epoch/pin gauges filled in.
+    pub fn stats(&self) -> ShardedStats {
+        let mut s = self.stats.clone();
+        s.epoch = self.epoch;
+        s.snapshots = self.snapshots_taken.load(Ordering::Relaxed);
+        s.live_pins = self.pins.load(Ordering::Acquire);
+        s
+    }
+
+    /// The logical write epoch: successful
+    /// [`apply`](ShardedHybridStore::apply) batches so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Snapshots currently pinning this store's resources.
+    pub fn live_pins(&self) -> usize {
+        self.pins.load(Ordering::Acquire)
+    }
+
+    /// An immutable view of the store at the current epoch.
+    ///
+    /// Shard layers are shared by `Arc` (O(1) per shard); the overlays,
+    /// dictionaries and the shared literal table are frozen by value, so
+    /// the snapshot costs O(overlay + dictionaries) to take and the
+    /// resulting [`StoreSnapshot`](crate::snapshot::StoreSnapshot) is
+    /// O(1) to clone. Reader threads answer every [`TripleSource`]
+    /// access at a consistent epoch while `apply` and background
+    /// compaction proceed; while any clone of the snapshot is alive the
+    /// store counts it as a pin ([`ShardedStats::live_pins`]) and the
+    /// quiescence-only literal GC will not reclaim the shared literal
+    /// table (ids handed out at this epoch must keep decoding to the
+    /// same content on the live store).
+    pub fn snapshot(&self) -> crate::snapshot::StoreSnapshot {
+        self.snapshots_taken.fetch_add(1, Ordering::Relaxed);
+        crate::snapshot::StoreSnapshot::from_sharded(
+            self.frozen_view(),
+            self.epoch,
+            Arc::clone(&self.pins),
+        )
+    }
+
+    /// A read-only deep-frozen clone backing [`snapshot`](Self::snapshot):
+    /// `Arc`-shared shard layers, cloned overlays (pending rebuilds are
+    /// irrelevant to a frozen view and dropped), no runtime, no persist
+    /// mark. Never written to — background compaction is off and the
+    /// snapshot wrapper exposes it read-only.
+    fn frozen_view(&self) -> ShardedHybridStore {
+        ShardedHybridStore {
+            dicts: self.dicts.clone(),
+            ontology: self.ontology.clone(),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| Shard {
+                    base: Arc::clone(&s.base),
+                    delta: s.delta.clone(),
+                    pending: None,
+                    gen: s.gen,
+                })
+                .collect(),
+            routes: self.routes.clone(),
+            ovf_properties: self.ovf_properties.clone(),
+            ovf_concepts: self.ovf_concepts.clone(),
+            literals: self.literals.clone(),
+            policy: self.policy,
+            background: false,
+            ingest_mode: IngestMode::Inline,
+            persist_mark: std::sync::Mutex::new(None),
+            runtime: None,
+            staging: (0..self.shards.len())
+                .map(|_| ShardOps::default())
+                .collect(),
+            ops_pool: Vec::new(),
+            poisoned: false,
+            stats: ShardedStats::default(),
+            epoch: self.epoch,
+            pins: Arc::new(AtomicUsize::new(0)),
+            snapshots_taken: AtomicUsize::new(0),
+        }
     }
 
     /// The compaction policy in force (per shard).
@@ -827,6 +934,7 @@ impl ShardedHybridStore {
         }
         report.compaction = compaction_time;
         self.gc_literals();
+        self.epoch += 1;
         Ok(report)
     }
 
@@ -1014,11 +1122,19 @@ impl ShardedHybridStore {
     /// distinct literal ever ingested. (Steady streams with always-dirty
     /// overlays still grow the table — see the ROADMAP item on literal
     /// reference counting.)
+    ///
+    /// A live [`StoreSnapshot`](crate::snapshot::StoreSnapshot) counts as
+    /// non-quiescent: `Value::Literal(OVERFLOW_BASE + id)` values decoded
+    /// from a pinned snapshot share this table's id space, and resetting
+    /// it would re-issue the same ids for different content — a value
+    /// handed from snapshot to live store would silently decode to the
+    /// wrong literal. Reclamation resumes once the last pin drops.
     fn gc_literals(&mut self) {
         let quiescent = self
             .shards
             .iter()
-            .all(|s| s.delta.is_empty() && s.pending.is_none());
+            .all(|s| s.delta.is_empty() && s.pending.is_none())
+            && self.pins.load(Ordering::Acquire) == 0;
         if quiescent && !self.literals.literals.is_empty() {
             self.literals = LiteralTable::default();
         }
@@ -2517,6 +2633,46 @@ mod tests {
         let objs = h.objects(note, x);
         assert_eq!(objs.len(), 1, "content lives on in the layers");
         assert_eq!(h.value_to_term(objs[0]).unwrap(), Term::literal("hello"));
+    }
+
+    /// Regression: a live snapshot pins the shared literal table. The
+    /// quiescence GC resets the table and re-issues ids from zero, so
+    /// clearing it under a snapshot would make the snapshot's overlay
+    /// literal ids silently decode to *different* content interned later
+    /// by the live store. A pinned snapshot must block the GC; dropping
+    /// it re-enables reclamation.
+    #[test]
+    fn literal_gc_blocked_by_pinned_snapshot() {
+        let mut h = sharded(2).with_background_compaction(false);
+        h.apply(
+            &Graph::from_triples([t("x", "note", Term::literal("hello"))]),
+            &Graph::new(),
+        )
+        .unwrap();
+        let snap = h.snapshot();
+        for i in 0..h.shard_count() {
+            h.compact_shard(i);
+        }
+        // Same sequence that reclaims the table in the quiescent test —
+        // but the snapshot holds a pin, so the table must survive.
+        h.apply(&Graph::new(), &Graph::new()).unwrap();
+        assert!(
+            h.literals.id(&Literal::string("hello")).is_some(),
+            "pinned snapshot keeps the shared literal table alive"
+        );
+        // The snapshot still resolves its overlay literal.
+        let note = snap.property_id("http://x/note").unwrap();
+        let x = snap.instance_id(&iri("x")).unwrap();
+        let objs = snap.objects(note, x);
+        assert_eq!(objs.len(), 1);
+        assert_eq!(snap.value_to_term(objs[0]).unwrap(), Term::literal("hello"));
+        // Once the last pin drops, the next apply reclaims as before.
+        drop(snap);
+        h.apply(&Graph::new(), &Graph::new()).unwrap();
+        assert!(
+            h.literals.literals.is_empty(),
+            "table reclaimed after unpin"
+        );
     }
 
     #[test]

@@ -42,5 +42,6 @@ pub use se_litemat as litemat;
 pub use se_ontology as ontology;
 pub use se_rdf as rdf;
 pub use se_sds as sds;
+pub use se_server as server;
 pub use se_sparql as sparql;
 pub use se_stream as stream;
