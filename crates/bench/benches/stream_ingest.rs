@@ -11,12 +11,15 @@
 //! apply latency per engine, pooled/inline batch counts, the sweep, and
 //! the v02 persistence trajectory: O(delta) save vs compact-then-dump,
 //! with 4x-overlay / 4x-baseline cells pinning what the save time scales
-//! with, and the se-server trajectory: group-commit ingest for 16
-//! concurrent TCP writers vs per-client serial applies, plus
-//! snapshot-read QPS at 1/4/16 readers) so the perf trajectory can be
-//! tracked across commits — CI gates on the
-//! `sharded_background_compaction` and `server_group_commit_16_writers`
-//! entries.
+//! with, the continuous-query trajectory: {4,16} registered queries ×
+//! {small,heavy} store, differential delta evaluation vs forced full
+//! re-evaluation over the same small-batch stream, and the se-server
+//! trajectory: group-commit ingest for 16 concurrent TCP writers vs
+//! per-client serial applies, plus snapshot-read QPS at 1/4/16 readers)
+//! so the perf trajectory can be tracked across commits — CI gates on
+//! the `sharded_background_compaction`,
+//! `continuous_incremental_16q_heavy_store` and
+//! `server_group_commit_16_writers` entries.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use se_core::SuccinctEdgeStore;
@@ -425,6 +428,138 @@ fn sweep_run(onto: &Ontology, mode: IngestMode, mode_name: &str, size: usize) ->
     run
 }
 
+/// The continuous-query section: registered queries × store size,
+/// differential delta evaluation against full re-evaluation.
+const CQ_LIVE_BATCHES: usize = 24;
+const CQ_PRELOAD_BATCHES: usize = 48;
+
+/// `n` incremental-eligible continuous queries (pure constant-predicate
+/// BGPs) over the water vocabulary, cycling 8 distinct shapes — single
+/// scans, two-pattern joins, and a DISTINCT projection.
+fn continuous_queries(n: usize) -> Vec<String> {
+    const SHAPES: [&str; 8] = [
+        "SELECT ?s ?o WHERE { ?s sosa:observes ?o }",
+        "SELECT ?s ?o WHERE { ?s sosa:hosts ?o }",
+        "SELECT ?o ?r WHERE { ?o sosa:hasResult ?r }",
+        "SELECT ?o ?t WHERE { ?o sosa:resultTime ?t }",
+        "SELECT ?st ?obs WHERE { ?st sosa:hosts ?sen . ?sen sosa:observes ?obs }",
+        "SELECT ?sen ?res WHERE { ?sen sosa:observes ?obs . ?obs sosa:hasResult ?res }",
+        "SELECT ?obs ?t WHERE { ?obs sosa:hasResult ?res . ?obs sosa:resultTime ?t }",
+        "SELECT DISTINCT ?sen WHERE { ?sen sosa:observes ?obs }",
+    ];
+    (0..n)
+        .map(|i| {
+            format!(
+                "PREFIX sosa: <http://www.w3.org/ns/sosa/> {}",
+                SHAPES[i % SHAPES.len()]
+            )
+        })
+        .collect()
+}
+
+/// One continuous-query cell: `nq` registered queries riding `live`
+/// small batches on top of a `preload`ed store. `incremental` keeps the
+/// registry's differential strategy; otherwise every query is demoted to
+/// full re-evaluation (`force_full`) — the per-batch O(store) model the
+/// delta path replaces. Seeding runs untimed, so the timed region is
+/// the steady state. Eval counters ride the JSON's pooled/inline slots.
+fn continuous_run(
+    onto: &Ontology,
+    label: &str,
+    preload: &[StreamBatch],
+    live: &[StreamBatch],
+    nq: usize,
+    incremental: bool,
+) -> LatencyRun {
+    let store = ShardedHybridStore::build(onto, &Graph::new(), SHARDS)
+        .unwrap()
+        .with_policy(CompactionPolicy { max_overlay: 4096 });
+    let mut session = StreamSession::new(store);
+    for b in preload {
+        session.apply_batch(&b.inserts, &b.deletes).unwrap();
+    }
+    for (i, q) in continuous_queries(nq).iter().enumerate() {
+        let id = format!("q{i}");
+        session
+            .register_query(&id, q, QueryOptions::default())
+            .unwrap();
+        if !incremental {
+            assert!(session.registry_mut().force_full(&id));
+        }
+    }
+    // Steady state pushes changes, not full sets — don't bill the delta
+    // path for materializing answers nobody asked for.
+    session.registry_mut().set_emit_full(false);
+    let (seed, steady) = live.split_first().unwrap();
+    session.apply_batch(&seed.inserts, &seed.deletes).unwrap();
+    let mut run = run_latency(label, steady, |b| {
+        session.apply_batch(&b.inserts, &b.deletes).unwrap();
+    });
+    let stats = session.stream_stats();
+    run.pooled_batches = stats.incremental_evals as usize;
+    run.inline_batches = stats.full_evals as usize;
+    run.compactions = session.store().stats().compactions;
+    run.final_len = se_core::TripleSource::len(session.store());
+    run
+}
+
+/// The continuous-query trajectory: {4, 16} queries × {small, heavy}
+/// store, incremental vs forced-full, over the same live stream of
+/// small batches. Asserts the headline claim: at 16 queries on the
+/// heavy store, differential evaluation beats per-batch full
+/// re-evaluation by at least 5x.
+fn continuous_runs(onto: &Ontology) -> Vec<LatencyRun> {
+    let preload_cfg = WaterConfig {
+        stations: LAT_STATIONS,
+        rounds: 1,
+        anomaly_rate: 0.15,
+        seed: 33,
+    };
+    // Wide retention: the preload is insert-only bulk, so the heavy
+    // store dwarfs each live batch and O(store) vs O(delta) separates.
+    let preload = generate_stream(&preload_cfg, CQ_PRELOAD_BATCHES, CQ_PRELOAD_BATCHES);
+    let live_cfg = WaterConfig {
+        stations: 2,
+        rounds: 1,
+        anomaly_rate: 0.15,
+        seed: 41,
+    };
+    // A short retention window keeps expiry deletions in the deltas.
+    let live = generate_stream(&live_cfg, CQ_LIVE_BATCHES, 3);
+
+    let mut runs = Vec::new();
+    for (store_label, preload) in [("small_store", &[][..]), ("heavy_store", &preload[..])] {
+        for nq in [4usize, 16] {
+            for (mode, incremental) in [("incremental", true), ("full", false)] {
+                runs.push(continuous_run(
+                    onto,
+                    &format!("continuous_{mode}_{nq}q_{store_label}"),
+                    preload,
+                    &live,
+                    nq,
+                    incremental,
+                ));
+            }
+        }
+    }
+
+    let total = |label: &str| {
+        runs.iter()
+            .find(|r| r.label == label)
+            .unwrap()
+            .total
+            .as_secs_f64()
+    };
+    let win =
+        total("continuous_full_16q_heavy_store") / total("continuous_incremental_16q_heavy_store");
+    assert!(
+        win >= 5.0,
+        "differential evaluation must beat full re-evaluation by >=5x \
+         at 16 queries on the heavy store (got {win:.2}x)"
+    );
+    runs
+}
+
 /// The server section: 16 concurrent TCP writers (group commit) against
 /// 16 clients' worth of serial single-client applies.
 const SRV_WRITERS: usize = 16;
@@ -657,6 +792,7 @@ fn emit_latency_report(heavy: &[StreamBatch]) {
         runs.push(sweep_run(&sweep_onto, IngestMode::Inline, "inline", size));
         runs.push(sweep_run(&sweep_onto, IngestMode::Pooled, "pooled", size));
     }
+    runs.extend(continuous_runs(&onto));
     runs.extend(persistence_runs(&onto));
     runs.extend(server_runs(&onto));
 

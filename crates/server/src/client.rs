@@ -9,7 +9,7 @@ use crate::protocol::{self as proto, read_frame, write_frame};
 use se_rdf::Graph;
 use se_sds::{ReadBin, WriteBin};
 use se_sparql::{QueryOptions, ResultSet};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -41,13 +41,27 @@ pub struct Rows {
 }
 
 /// One pushed continuous-query answer.
+///
+/// The wire carries either a full frame (a subscription's first push)
+/// or a changes frame (added/removed rows for one tick); the client
+/// folds change frames into a per-subscription materialized view, so
+/// every `Push` exposes **both** the tick's changes and the full
+/// answer set they produce.
 #[derive(Debug, Clone)]
 pub struct Push {
     /// The subscription id the answer belongs to.
     pub id: String,
     /// Store epoch after the batch that produced it.
     pub epoch: u64,
-    /// The answer set over the post-batch state.
+    /// Whether this was the subscription's initial full frame.
+    pub initial: bool,
+    /// Rows that entered the answer set this tick (the whole set on the
+    /// initial frame).
+    pub added: ResultSet,
+    /// Rows that left the answer set this tick.
+    pub removed: ResultSet,
+    /// The full answer set over the post-batch state, reconstructed
+    /// from the change stream.
     pub results: ResultSet,
 }
 
@@ -66,6 +80,37 @@ pub struct ServerStats {
     pub compactions: u64,
     /// Active continuous-query subscriptions.
     pub subscriptions: u64,
+    /// Continuous-query evaluations served by the delta path.
+    pub incremental_evals: u64,
+    /// Continuous-query full (re-)evaluations.
+    pub full_evals: u64,
+    /// Net triples added across all captured batch deltas.
+    pub delta_added: u64,
+    /// Net triples removed across all captured batch deltas.
+    pub delta_removed: u64,
+}
+
+/// The client-side materialized view of one subscription: row → count
+/// (derivations under bag semantics, 0/1 under DISTINCT).
+#[derive(Debug, Default)]
+struct View {
+    variables: Vec<String>,
+    counts: HashMap<Vec<Option<se_rdf::Term>>, i64>,
+}
+
+impl View {
+    fn materialize(&self) -> ResultSet {
+        let mut rows = Vec::new();
+        for (row, &c) in &self.counts {
+            for _ in 0..c.max(0) {
+                rows.push(row.clone());
+            }
+        }
+        ResultSet {
+            variables: self.variables.clone(),
+            rows,
+        }
+    }
 }
 
 /// A blocking protocol client over one TCP connection.
@@ -73,6 +118,7 @@ pub struct ServerStats {
 pub struct Client {
     stream: TcpStream,
     pending_pushes: VecDeque<Push>,
+    views: HashMap<String, View>,
 }
 
 impl Client {
@@ -83,6 +129,7 @@ impl Client {
         Ok(Self {
             stream,
             pending_pushes: VecDeque::new(),
+            views: HashMap::new(),
         })
     }
 
@@ -119,8 +166,10 @@ impl Client {
         })
     }
 
-    /// Registers a continuous query under `id`; after every subsequent
-    /// batch the server pushes its answer set (see [`Client::next_push`]).
+    /// Registers a continuous query under `id`. The server pushes the
+    /// full answer set once, then only per-tick changes — and nothing
+    /// on ticks that leave the answers untouched (see
+    /// [`Client::next_push`]).
     pub fn subscribe(&mut self, id: &str, text: &str, options: &QueryOptions) -> io::Result<()> {
         let mut payload = Vec::new();
         payload.write_str(id)?;
@@ -139,7 +188,7 @@ impl Client {
         }
         let (kind, body) = read_frame(&mut self.stream)?;
         if kind == proto::resp::PUSH {
-            return parse_push(&body);
+            return self.parse_push(&body);
         }
         // A non-push frame here means the caller interleaved requests
         // and pushes incorrectly; surface it as data.
@@ -161,6 +210,10 @@ impl Client {
             snapshots: r.read_u64()?,
             compactions: r.read_u64()?,
             subscriptions: r.read_u64()?,
+            incremental_evals: r.read_u64()?,
+            full_evals: r.read_u64()?,
+            delta_added: r.read_u64()?,
+            delta_removed: r.read_u64()?,
         })
     }
 
@@ -177,21 +230,85 @@ impl Client {
         loop {
             let (kind, body) = read_frame(&mut self.stream)?;
             if kind == proto::resp::PUSH {
-                self.pending_pushes.push_back(parse_push(&body)?);
+                let push = self.parse_push(&body)?;
+                self.pending_pushes.push_back(push);
                 continue;
             }
             return Ok((kind, body));
         }
     }
-}
 
-fn parse_push(body: &[u8]) -> io::Result<Push> {
-    let mut r = body;
-    Ok(Push {
-        id: r.read_str()?,
-        epoch: r.read_u64()?,
-        results: proto::read_result_set(&mut r)?,
-    })
+    /// Decodes a push frame and folds it into the subscription's
+    /// materialized view.
+    fn parse_push(&mut self, body: &[u8]) -> io::Result<Push> {
+        let mut r = body;
+        let id = r.read_str()?;
+        let epoch = r.read_u64()?;
+        match r.read_u8()? {
+            proto::PUSH_FULL => {
+                let results = proto::read_result_set(&mut r)?;
+                let mut view = View {
+                    variables: results.variables.clone(),
+                    counts: HashMap::new(),
+                };
+                for row in &results.rows {
+                    *view.counts.entry(row.clone()).or_insert(0) += 1;
+                }
+                self.views.insert(id.clone(), view);
+                Ok(Push {
+                    id,
+                    epoch,
+                    initial: true,
+                    added: results.clone(),
+                    removed: ResultSet {
+                        variables: results.variables.clone(),
+                        rows: Vec::new(),
+                    },
+                    results,
+                })
+            }
+            proto::PUSH_CHANGES => {
+                let added = proto::read_result_set(&mut r)?;
+                let removed = proto::read_result_set(&mut r)?;
+                let view = self.views.get_mut(&id).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("changes frame for unprimed subscription {id:?}"),
+                    )
+                })?;
+                for row in &added.rows {
+                    *view.counts.entry(row.clone()).or_insert(0) += 1;
+                }
+                for row in &removed.rows {
+                    let n = view.counts.entry(row.clone()).or_insert(0);
+                    *n -= 1;
+                    if *n <= 0 {
+                        let neg = *n < 0;
+                        view.counts.remove(row);
+                        if neg {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("subscription {id:?} removed a row it never held"),
+                            ));
+                        }
+                    }
+                }
+                let results = self.views[&id].materialize();
+                Ok(Push {
+                    id,
+                    epoch,
+                    initial: false,
+                    added,
+                    removed,
+                    results,
+                })
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown push payload kind {other:#04x}"),
+            )),
+        }
+    }
 }
 
 /// Maps an `ERR` frame to `io::Error` and checks the reply kind.

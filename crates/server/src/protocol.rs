@@ -46,18 +46,33 @@ pub mod resp {
     pub const INGEST: u8 = 0x80;
     /// Point-query answer: snapshot epoch `u64` + [`ResultSet`].
     pub const ROWS: u8 = 0x81;
-    /// Continuous-query push: subscription id `str`, epoch `u64`,
-    /// [`ResultSet`]. Arrives interleaved with request replies; clients
-    /// must queue it (see [`Client`](crate::client::Client)).
+    /// Continuous-query push: subscription id `str`, epoch `u64`, then a
+    /// payload-kind byte — [`PUSH_FULL`](super::PUSH_FULL) followed by
+    /// one [`ResultSet`] (the whole answer set; a subscription's first
+    /// push), or [`PUSH_CHANGES`](super::PUSH_CHANGES) followed by two
+    /// `ResultSet`s (rows added, rows removed this tick). Ticks that
+    /// leave a query's answers untouched push nothing at all. Arrives
+    /// interleaved with request replies; clients must queue it (see
+    /// [`Client`](crate::client::Client)).
     pub const PUSH: u8 = 0x82;
     /// Stats: epoch `u64`, triples `u64`, live pins `u64`, snapshots
-    /// `u64`, compactions `u64`, subscriptions `u64`.
+    /// `u64`, compactions `u64`, subscriptions `u64`, incremental evals
+    /// `u64`, full evals `u64`, delta triples added `u64`, delta
+    /// triples removed `u64`.
     pub const STATS: u8 = 0x83;
     /// Bare success (subscribe / shutdown ack). Empty payload.
     pub const OK: u8 = 0x84;
     /// Failure: message `str`. The connection stays usable.
     pub const ERR: u8 = 0xFF;
 }
+
+/// [`resp::PUSH`] payload kind: one [`ResultSet`] holding the whole
+/// answer set. Sent once per subscription, on its first evaluation.
+pub const PUSH_FULL: u8 = 0;
+/// [`resp::PUSH`] payload kind: two [`ResultSet`]s — rows added, then
+/// rows removed this tick. Sent for every later tick that changed the
+/// answer set.
+pub const PUSH_CHANGES: u8 = 1;
 
 // ------------------------------------------------------------- framing
 

@@ -44,6 +44,15 @@ use std::time::{Duration, Instant};
 /// (request replies) and the writer thread (subscription pushes).
 type ClientSink = Arc<Mutex<TcpStream>>;
 
+/// One active subscription as the writer sees it.
+struct Sub {
+    sink: ClientSink,
+    /// Whether the subscriber has received its initial full frame.
+    /// Until then every tick pushes the whole answer set; afterwards
+    /// only changed ticks push, and they push just the changes.
+    primed: bool,
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -114,6 +123,15 @@ pub struct StatsReport {
     pub compactions: u64,
     /// Active continuous-query subscriptions.
     pub subscriptions: u64,
+    /// Continuous-query evaluations served by the delta path.
+    pub incremental_evals: u64,
+    /// Continuous-query full (re-)evaluations: seeding, fallback
+    /// queries, and batches without a captured delta.
+    pub full_evals: u64,
+    /// Net triples added across all captured batch deltas.
+    pub delta_added: u64,
+    /// Net triples removed across all captured batch deltas.
+    pub delta_removed: u64,
 }
 
 /// A running server: its bound address plus the threads to join.
@@ -211,8 +229,12 @@ fn writer_loop(
     slot: Arc<Mutex<StoreSnapshot>>,
     tick: Duration,
 ) {
-    // Active subscriptions: registry id → the subscriber's sink.
-    let mut subs: HashMap<String, ClientSink> = HashMap::new();
+    // Active subscriptions: registry id → sink + primed flag.
+    let mut subs: HashMap<String, Sub> = HashMap::new();
+    // Initial frames always come from a seeding (or fallback) evaluation,
+    // which carries the full answer set regardless of this flag — so the
+    // steady-state delta path never has to materialize full sets.
+    session.registry_mut().set_emit_full(false);
     'outer: loop {
         let Ok(first) = rx.recv() else { break };
         let mut pending: Vec<PendingIngest> = Vec::new();
@@ -301,22 +323,39 @@ fn writer_loop(
                 for (_, _, done) in &pending {
                     let _ = done.send(Ok(report));
                 }
-                // Push each continuous answer to its subscriber; a dead
-                // sink retires the subscription.
+                // Push each continuous answer to its subscriber: the
+                // whole set once (the initial frame), then only the
+                // per-tick changes — and nothing at all on ticks that
+                // left the answer set untouched. A dead sink retires
+                // the subscription.
                 for result in outcome.results {
-                    let Some(sink) = subs.get(&result.id) else {
+                    let Some(sub) = subs.get_mut(&result.id) else {
                         continue;
                     };
+                    if sub.primed && result.unchanged() {
+                        continue;
+                    }
                     let mut payload = Vec::new();
-                    let ok = se_sds::WriteBin::write_str(&mut payload, &result.id)
+                    let encoded = se_sds::WriteBin::write_str(&mut payload, &result.id)
                         .and_then(|()| se_sds::WriteBin::write_u64(&mut payload, report.epoch))
-                        .and_then(|()| proto::write_result_set(&mut payload, &result.results))
-                        .is_ok()
-                        && {
-                            let mut sink = sink.lock().expect("client sink poisoned");
-                            write_frame(&mut *sink, proto::resp::PUSH, &payload).is_ok()
-                        };
-                    if !ok {
+                        .and_then(|()| {
+                            if sub.primed {
+                                se_sds::WriteBin::write_u8(&mut payload, proto::PUSH_CHANGES)?;
+                                proto::write_result_set(&mut payload, &result.added)?;
+                                proto::write_result_set(&mut payload, &result.removed)
+                            } else {
+                                se_sds::WriteBin::write_u8(&mut payload, proto::PUSH_FULL)?;
+                                proto::write_result_set(&mut payload, &result.results)
+                            }
+                        })
+                        .is_ok();
+                    let ok = encoded && {
+                        let mut sink = sub.sink.lock().expect("client sink poisoned");
+                        write_frame(&mut *sink, proto::resp::PUSH, &payload).is_ok()
+                    };
+                    if ok {
+                        sub.primed = true;
+                    } else {
                         subs.remove(&result.id);
                         session.registry_mut().deregister(&result.id);
                     }
@@ -343,7 +382,7 @@ fn writer_loop(
 #[allow(clippy::too_many_arguments)]
 fn subscribe(
     session: &mut StreamSession<ShardedHybridStore>,
-    subs: &mut HashMap<String, ClientSink>,
+    subs: &mut HashMap<String, Sub>,
     id: String,
     text: String,
     options: QueryOptions,
@@ -352,7 +391,15 @@ fn subscribe(
 ) {
     match session.register_query(id.clone(), &text, options) {
         Ok(()) => {
-            subs.insert(id, sink);
+            // Re-subscribing an id replaces the query, so the sink must
+            // be re-primed with a fresh full frame.
+            subs.insert(
+                id,
+                Sub {
+                    sink,
+                    primed: false,
+                },
+            );
             let _ = done.send(Ok(()));
         }
         Err(e) => {
@@ -363,6 +410,7 @@ fn subscribe(
 
 fn stats(session: &StreamSession<ShardedHybridStore>, subscriptions: usize) -> StatsReport {
     let s = session.store().stats();
+    let cq = session.stream_stats();
     StatsReport {
         epoch: s.epoch,
         triples: se_core::TripleSource::len(session.store()) as u64,
@@ -370,6 +418,10 @@ fn stats(session: &StreamSession<ShardedHybridStore>, subscriptions: usize) -> S
         snapshots: s.snapshots as u64,
         compactions: s.compactions as u64,
         subscriptions: subscriptions as u64,
+        incremental_evals: cq.incremental_evals,
+        full_evals: cq.full_evals,
+        delta_added: cq.delta_added,
+        delta_removed: cq.delta_removed,
     }
 }
 
@@ -489,6 +541,10 @@ fn serve_connection(
                         se_sds::WriteBin::write_u64(&mut out, s.snapshots)?;
                         se_sds::WriteBin::write_u64(&mut out, s.compactions)?;
                         se_sds::WriteBin::write_u64(&mut out, s.subscriptions)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.incremental_evals)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.full_evals)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.delta_added)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.delta_removed)?;
                         reply(&sink, proto::resp::STATS, &out)?;
                     }
                     _ => reply_err(&sink, "server is shutting down")?,

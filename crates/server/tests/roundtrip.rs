@@ -114,14 +114,23 @@ fn concurrent_clients_agree_with_single_threaded_replay() {
         assert_eq!(normalize(&got.results), normalize(&want));
     }
 
-    // ---- Phase B: one client subscribes to the anomaly query; another
-    // streams the water batches. One batch per ack-gated request means
-    // one tick per batch, so pushes align 1:1 with the replay.
+    // ---- Phase B: one client holds two subscriptions — the anomaly
+    // query (FILTER → full fallback) and a bare pattern scan (delta
+    // path) — while another streams the water batches. One batch per
+    // ack-gated request means one tick per batch. The server pushes
+    // each full set once, then only per-tick changes, and skips
+    // unchanged ticks entirely; the client's reconstructed view must
+    // match the replay's full evaluation anyway.
+    let scan_query = "SELECT ?s ?o WHERE { ?s <http://www.w3.org/ns/sosa/observes> ?o }";
     let mut sub = Client::connect(addr).unwrap();
     sub.subscribe("alerts", &water_anomaly_query(), &opts)
         .unwrap();
+    sub.subscribe("scan", scan_query, &opts).unwrap();
     replay
         .register_query("alerts", &water_anomaly_query(), opts.clone())
+        .unwrap();
+    replay
+        .register_query("scan", scan_query, opts.clone())
         .unwrap();
 
     let cfg = WaterConfig {
@@ -133,25 +142,45 @@ fn concurrent_clients_agree_with_single_threaded_replay() {
     let stream = generate_stream(&cfg, 8, 3);
     let feeder = &mut clients[0];
     let mut saw_alert = false;
+    let mut saw_delta_changes = false;
+    let mut primed = std::collections::HashSet::new();
     for batch in &stream {
         let ack = feeder.ingest(&batch.inserts, &batch.deletes).unwrap();
         let outcome = replay.apply_batch(&batch.inserts, &batch.deletes).unwrap();
-        let push = sub.next_push().unwrap();
-        assert_eq!(push.id, "alerts");
-        assert_eq!(push.epoch, ack.epoch);
-        assert_eq!(
-            normalize(&push.results),
-            normalize(&outcome.results[0].results),
-            "push at epoch {} diverged from the replay",
-            push.epoch
-        );
-        saw_alert |= !push.results.rows.is_empty();
+        // The server walks results in registration order and pushes a
+        // frame only for the initial set or a changed tick.
+        for want in &outcome.results {
+            let first = primed.insert(want.id.clone());
+            if !first && want.unchanged() {
+                continue;
+            }
+            let push = sub.next_push().unwrap();
+            assert_eq!(push.id, want.id);
+            assert_eq!(push.epoch, ack.epoch);
+            assert_eq!(push.initial, first, "frame kind diverged at {}", ack.epoch);
+            assert_eq!(
+                normalize(&push.results),
+                normalize(&want.results),
+                "{} push at epoch {} diverged from the replay",
+                push.id,
+                push.epoch
+            );
+            if !first {
+                assert_eq!(normalize(&push.added), normalize(&want.added));
+                assert_eq!(normalize(&push.removed), normalize(&want.removed));
+                saw_delta_changes |= want.incremental && !push.added.is_empty();
+            }
+            if want.id == "alerts" {
+                saw_alert |= !push.results.rows.is_empty();
+            }
+        }
     }
     assert!(saw_alert, "the stream produced no anomaly to compare");
+    assert!(saw_delta_changes, "the scan never exercised the delta path");
 
     // ---- Phase C: stats reflect the session; shutdown stops the server.
     let stats = sub.stats().unwrap();
-    assert_eq!(stats.subscriptions, 1);
+    assert_eq!(stats.subscriptions, 2);
     // Phase A's 24 requests ran as anywhere between 6 ticks (maximal
     // coalescing: each writer's requests are ack-gated, so at least
     // BATCHES_PER_WRITER ticks) and 24 (none); phase B added exactly one
@@ -160,6 +189,17 @@ fn concurrent_clients_agree_with_single_threaded_replay() {
     assert!(stats.epoch >= BATCHES_PER_WRITER as u64 + phase_b);
     assert!(stats.epoch <= (WRITERS * BATCHES_PER_WRITER) as u64 + phase_b);
     assert!(stats.triples > 0);
+    // "scan" seeds once then rides the delta path; "alerts" (FILTER)
+    // re-evaluates in full every tick. The replay session counted the
+    // identical work, delta sizes included.
+    assert_eq!(stats.incremental_evals, phase_b - 1);
+    assert_eq!(stats.full_evals, phase_b + 1);
+    let replayed = replay.stream_stats();
+    assert_eq!(stats.incremental_evals, replayed.incremental_evals);
+    assert_eq!(stats.full_evals, replayed.full_evals);
+    assert_eq!(stats.delta_added, replayed.delta_added);
+    assert_eq!(stats.delta_removed, replayed.delta_removed);
+    assert!(stats.delta_added > 0);
     sub.shutdown().unwrap();
     server.join();
 }

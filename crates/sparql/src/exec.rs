@@ -83,14 +83,17 @@ impl ResultSet {
 }
 
 /// A slot of the intermediate relation: an encoded store value, or a term
-/// computed by BIND.
+/// computed by BIND (or seeded from a delta triple whose term no longer
+/// resolves in the store — see `se-stream::incremental`).
 #[derive(Debug, Clone)]
-enum Slot {
+pub enum Slot {
     Enc(Value),
     Term(Term),
 }
 
-type Row = Vec<Option<Slot>>;
+/// One row of the intermediate relation; positions follow the group's
+/// column layout (see [`group_var_index`]).
+pub type Row = Vec<Option<Slot>>;
 
 /// Executes a parsed query.
 pub fn execute<S: TripleSource + ?Sized>(
@@ -128,7 +131,8 @@ pub fn execute<S: TripleSource + ?Sized>(
     })
 }
 
-fn slot_to_term<S: TripleSource + ?Sized>(store: &S, slot: &Slot) -> Term {
+/// Decodes one intermediate-relation slot back to an RDF term.
+pub fn slot_to_term<S: TripleSource + ?Sized>(store: &S, slot: &Slot) -> Term {
     match slot {
         Slot::Enc(v) => store
             .value_to_term(*v)
@@ -139,13 +143,11 @@ fn slot_to_term<S: TripleSource + ?Sized>(store: &S, slot: &Slot) -> Term {
 
 type GroupRows<'a> = Vec<(HashMap<&'a str, usize>, Row)>;
 
-/// Evaluates one group: BGP (ordered), then BINDs, then FILTERs.
-fn execute_group<'a, S: TripleSource + ?Sized>(
-    store: &S,
-    group: &'a GroupPattern,
-    options: &QueryOptions,
-) -> Result<GroupRows<'a>, QueryError> {
-    // Column layout: TP variables then BIND variables.
+/// The column layout of one group's intermediate relation: TP variables
+/// in first-occurrence order, then BIND variables. Shared by the full
+/// executor and `se-stream`'s incremental delta evaluator, so both build
+/// rows with identical shapes.
+pub fn group_var_index(group: &GroupPattern) -> HashMap<&str, usize> {
     let mut var_index: HashMap<&str, usize> = HashMap::new();
     for tp in &group.patterns {
         for v in tp.variables() {
@@ -157,6 +159,16 @@ fn execute_group<'a, S: TripleSource + ?Sized>(
         let next = var_index.len();
         var_index.entry(b.var.as_str()).or_insert(next);
     }
+    var_index
+}
+
+/// Evaluates one group: BGP (ordered), then BINDs, then FILTERs.
+fn execute_group<'a, S: TripleSource + ?Sized>(
+    store: &S,
+    group: &'a GroupPattern,
+    options: &QueryOptions,
+) -> Result<GroupRows<'a>, QueryError> {
+    let var_index = group_var_index(group);
     let n_cols = var_index.len();
 
     // ---- BGP ---------------------------------------------------------------
@@ -278,13 +290,18 @@ fn pos_subject_id<S: TripleSource + ?Sized>(store: &S, pos: &Pos) -> Option<u64>
 }
 
 /// How a constant predicate evaluates.
-enum PSpec {
+pub enum PSpec {
+    /// One property id.
     Exact(u64),
+    /// A LiteMat subproperty interval.
     Interval(IdInterval),
+    /// The IRI resolves to nothing: the pattern matches no triple.
     NoMatch,
 }
 
-fn predicate_spec<S: TripleSource + ?Sized>(store: &S, iri: &str, reasoning: bool) -> PSpec {
+/// Resolves a constant predicate IRI: its LiteMat interval with reasoning
+/// on, its exact id with reasoning off.
+pub fn predicate_spec<S: TripleSource + ?Sized>(store: &S, iri: &str, reasoning: bool) -> PSpec {
     if reasoning {
         match store.property_interval(iri) {
             Some(iv) if iv.is_singleton() => PSpec::Exact(iv.lower),
@@ -299,7 +316,9 @@ fn predicate_spec<S: TripleSource + ?Sized>(store: &S, iri: &str, reasoning: boo
     }
 }
 
-fn concept_spec<S: TripleSource + ?Sized>(
+/// Resolves a constant concept IRI to the id interval it matches: the
+/// LiteMat subclass interval with reasoning on, a singleton otherwise.
+pub fn concept_spec<S: TripleSource + ?Sized>(
     store: &S,
     iri: &str,
     reasoning: bool,
@@ -314,7 +333,11 @@ fn concept_spec<S: TripleSource + ?Sized>(
     }
 }
 
-fn eval_pattern<S: TripleSource + ?Sized>(
+/// Joins one triple pattern against the store, propagating the bindings
+/// of `rows` (index nested loop, or a merge join when the fast-path
+/// conditions of §5.2 hold). This is the pattern-matching entry point the
+/// incremental evaluator reuses to extend delta-seeded partial rows.
+pub fn eval_pattern<S: TripleSource + ?Sized>(
     store: &S,
     tp: &TriplePattern,
     rows: Vec<Row>,

@@ -1,17 +1,23 @@
 //! Continuous queries: parsed SPARQL queries registered once and
-//! re-evaluated against the hybrid view after every ingested batch —
+//! kept answered against the hybrid view after every ingested batch —
 //! the paper's execution model ("these queries are executed once per
-//! graph instance", §1) without rebuilding the store per instance.
+//! graph instance", §1) without rebuilding the store per instance, and
+//! without re-running the query per instance either: eligible queries
+//! are maintained **differentially** from the batch's captured delta
+//! (see [`crate::incremental`]), so steady-state evaluation cost is
+//! O(delta), not O(store).
 //!
 //! [`StreamSession`] is generic over any ingestible [`TripleSource`]
 //! (the [`StreamStore`] seam): the single-overlay [`HybridStore`] and the
 //! scatter/gather [`ShardedHybridStore`](crate::ShardedHybridStore) drive
 //! the same registry. With more than one registered query the registry
-//! can evaluate them concurrently over the shared view — the `Send +
-//! Sync` bounds on `TripleSource` make the fan-out free.
+//! evaluates them concurrently over the shared view — as jobs on the
+//! store's persistent [`ShardRuntime`] when it runs one, on scoped
+//! spawns otherwise.
 
 use crate::error::StreamError;
-use crate::hybrid::{HybridStore, IngestReport};
+use crate::hybrid::{BatchDelta, HybridStore, IngestReport};
+use crate::incremental::{self, choose_strategy, EvalStrategy, MaterializedState};
 use crate::runtime::ShardRuntime;
 use crate::shard::ShardedHybridStore;
 use se_core::TripleSource;
@@ -30,6 +36,11 @@ pub trait StreamStore: TripleSource {
         deletes: &Graph,
     ) -> Result<IngestReport, StreamError>;
 
+    /// Turns capture of per-batch net deltas on [`IngestReport::delta`]
+    /// on or off. Stores that cannot capture deltas may ignore this;
+    /// incremental queries then fall back to full re-evaluation.
+    fn set_delta_capture(&mut self, _on: bool) {}
+
     /// The store's persistent worker pool, if it runs one: continuous
     /// queries are evaluated as jobs on these workers instead of
     /// per-batch scoped spawns, so the whole session — ingest,
@@ -47,6 +58,10 @@ impl StreamStore for HybridStore {
     ) -> Result<IngestReport, StreamError> {
         self.apply(inserts, deletes)
     }
+
+    fn set_delta_capture(&mut self, on: bool) {
+        HybridStore::set_delta_capture(self, on);
+    }
 }
 
 impl StreamStore for ShardedHybridStore {
@@ -58,12 +73,16 @@ impl StreamStore for ShardedHybridStore {
         self.apply(inserts, deletes)
     }
 
+    fn set_delta_capture(&mut self, on: bool) {
+        ShardedHybridStore::set_delta_capture(self, on);
+    }
+
     fn shared_runtime(&self) -> Option<&ShardRuntime> {
         self.runtime()
     }
 }
 
-/// One registered continuous query.
+/// One registered continuous query, with its materialized answers.
 #[derive(Debug, Clone)]
 pub struct ContinuousQuery {
     /// Caller-chosen identifier (reported with every result).
@@ -76,21 +95,79 @@ pub struct ContinuousQuery {
     pub query: Query,
     /// Execution options (reasoning on/off, optimizer switches).
     pub options: QueryOptions,
+    /// Evaluation strategy, chosen once at registration.
+    pub(crate) strategy: EvalStrategy,
+    /// The materialized multiset (seeded by the first evaluation).
+    pub(crate) state: MaterializedState,
 }
 
-/// The answer of one continuous query after a batch.
+impl ContinuousQuery {
+    /// How this query is evaluated each batch.
+    pub fn strategy(&self) -> EvalStrategy {
+        self.strategy
+    }
+
+    /// `true` once the materialized multiset holds the query's answers
+    /// (after its first evaluation).
+    pub fn is_seeded(&self) -> bool {
+        self.state.is_seeded()
+    }
+}
+
+/// The answer of one continuous query after a batch: the per-batch
+/// changes, plus (optionally) the full set.
 #[derive(Debug, Clone)]
 pub struct ContinuousResult {
     /// The query's registration id.
     pub id: String,
-    /// Its answer set over the post-batch hybrid view.
+    /// Its full answer set over the post-batch view. Empty when the
+    /// registry's `emit_full` is off and the delta path ran — the
+    /// changes below are then the whole story.
     pub results: ResultSet,
+    /// Rows that entered the answer set this batch. On the query's
+    /// first (seeding) evaluation this is the entire answer set.
+    pub added: ResultSet,
+    /// Rows that left the answer set this batch.
+    pub removed: ResultSet,
+    /// The query's registered strategy.
+    pub strategy: EvalStrategy,
+    /// Whether this batch was served by the delta path (`false` for the
+    /// seeding evaluation and for [`EvalStrategy::Full`] queries).
+    pub incremental: bool,
 }
 
-/// Holds parsed continuous queries and evaluates them on demand.
-#[derive(Debug, Clone, Default)]
+impl ContinuousResult {
+    /// `true` if the batch left this query's answers untouched.
+    pub fn unchanged(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// How a registry evaluation round distributes its queries.
+enum EvalMode<'rt> {
+    /// One after another on the calling thread.
+    Sequential,
+    /// One scoped worker per query.
+    Scoped,
+    /// Jobs on a store's persistent [`ShardRuntime`].
+    Pooled(&'rt ShardRuntime),
+}
+
+/// Holds parsed continuous queries and their materialized answers, and
+/// evaluates them on demand.
+#[derive(Debug, Clone)]
 pub struct ContinuousQueryRegistry {
     queries: Vec<ContinuousQuery>,
+    emit_full: bool,
+}
+
+impl Default for ContinuousQueryRegistry {
+    fn default() -> Self {
+        Self {
+            queries: Vec::new(),
+            emit_full: true,
+        }
+    }
 }
 
 impl ContinuousQueryRegistry {
@@ -99,8 +176,12 @@ impl ContinuousQueryRegistry {
         Self::default()
     }
 
-    /// Parses and registers a query under `id`. Re-registering an id
-    /// replaces the previous query.
+    /// Parses and registers a query under `id`, choosing its
+    /// [`EvalStrategy`]. Re-registering an id replaces the previous
+    /// query and drops its materialized state; the next evaluation
+    /// seeds afresh from the store (mid-stream registrations therefore
+    /// pick up all pre-existing state). Deltas the store captured while
+    /// the query was unregistered are irrelevant by construction.
     pub fn register(
         &mut self,
         id: impl Into<String>,
@@ -110,16 +191,20 @@ impl ContinuousQueryRegistry {
         let id = id.into();
         let query = parse_query(text)?;
         self.queries.retain(|q| q.id != id);
+        let strategy = choose_strategy(&query);
         self.queries.push(ContinuousQuery {
             id,
             text: text.to_string(),
             query,
             options,
+            strategy,
+            state: MaterializedState::default(),
         });
         Ok(())
     }
 
-    /// Removes the query registered under `id`; returns whether it existed.
+    /// Removes the query registered under `id` — and frees its
+    /// materialized multiset; returns whether it existed.
     pub fn deregister(&mut self, id: &str) -> bool {
         let before = self.queries.len();
         self.queries.retain(|q| q.id != id);
@@ -141,20 +226,53 @@ impl ContinuousQueryRegistry {
         self.queries.iter()
     }
 
-    /// Evaluates every registered query against `source`, sequentially.
-    pub fn evaluate_all<S: TripleSource + ?Sized>(
-        &self,
-        source: &S,
-    ) -> Result<Vec<ContinuousResult>, QueryError> {
+    /// Registered queries per strategy: `(incremental, full)`.
+    pub fn strategy_counts(&self) -> (usize, usize) {
+        let incr = self
+            .queries
+            .iter()
+            .filter(|q| q.strategy == EvalStrategy::Incremental)
+            .count();
+        (incr, self.queries.len() - incr)
+    }
+
+    /// `true` if any registered query can use a captured batch delta.
+    pub fn wants_delta(&self) -> bool {
         self.queries
             .iter()
-            .map(|q| {
-                Ok(ContinuousResult {
-                    id: q.id.clone(),
-                    results: se_sparql::exec::execute(source, &q.query, &q.options)?,
-                })
-            })
-            .collect()
+            .any(|q| q.strategy == EvalStrategy::Incremental)
+    }
+
+    /// Demotes the query registered under `id` to full re-evaluation
+    /// (dropping its materialized counts); returns whether it existed.
+    /// Benchmarks use this to compare the two paths on equal footing.
+    pub fn force_full(&mut self, id: &str) -> bool {
+        match self.queries.iter_mut().find(|q| q.id == id) {
+            Some(q) => {
+                q.strategy = EvalStrategy::Full;
+                q.state = MaterializedState::default();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether evaluations materialize the full answer set on the delta
+    /// path (on by default). Turning it off makes [`ContinuousResult::
+    /// results`] empty for delta-served batches — subscribers that only
+    /// consume changes skip the O(result) copy per tick.
+    pub fn set_emit_full(&mut self, on: bool) {
+        self.emit_full = on;
+    }
+
+    /// Evaluates every registered query against `source`, sequentially.
+    /// Without a captured delta every query (re-)seeds from the store —
+    /// results are always the query's exact answers over `source`.
+    pub fn evaluate_all<S: TripleSource + ?Sized>(
+        &mut self,
+        source: &S,
+    ) -> Result<Vec<ContinuousResult>, QueryError> {
+        self.evaluate_with(source, None, EvalMode::Sequential)
     }
 
     /// Evaluates every registered query against `source`, one scoped
@@ -164,32 +282,10 @@ impl ContinuousQueryRegistry {
     /// thread spawn costs more than a cheap query). Results keep
     /// registration order.
     pub fn evaluate_all_parallel<S: TripleSource + ?Sized>(
-        &self,
+        &mut self,
         source: &S,
     ) -> Result<Vec<ContinuousResult>, QueryError> {
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        if self.queries.len() <= 1 || cores <= 1 {
-            return self.evaluate_all(source);
-        }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .queries
-                .iter()
-                .map(|q| {
-                    scope.spawn(move || se_sparql::exec::execute(source, &q.query, &q.options))
-                })
-                .collect();
-            self.queries
-                .iter()
-                .zip(handles)
-                .map(|(q, h)| {
-                    Ok(ContinuousResult {
-                        id: q.id.clone(),
-                        results: h.join().expect("query worker panicked")?,
-                    })
-                })
-                .collect()
-        })
+        self.evaluate_with(source, None, EvalMode::Scoped)
     }
 
     /// Evaluates every registered query against `source` as jobs on a
@@ -200,40 +296,69 @@ impl ContinuousQueryRegistry {
     /// never outlive the call. Falls back to the sequential path when at
     /// most one query is registered. Results keep registration order.
     pub fn evaluate_all_pooled<S: TripleSource + ?Sized>(
-        &self,
+        &mut self,
         runtime: &ShardRuntime,
         source: &S,
     ) -> Result<Vec<ContinuousResult>, QueryError> {
-        if self.queries.len() <= 1 {
-            return self.evaluate_all(source);
-        }
-        let mut answers: Vec<Option<Result<ResultSet, QueryError>>> =
-            (0..self.queries.len()).map(|_| None).collect();
-        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
-            .queries
-            .iter()
-            .zip(answers.iter_mut())
-            .map(|(q, slot)| {
-                Box::new(move || {
-                    *slot = Some(se_sparql::exec::execute(source, &q.query, &q.options));
-                }) as Box<dyn FnOnce() + Send + '_>
-            })
-            .collect();
-        if let Err(msg) = runtime.run_scoped(tasks) {
-            // Mirror the scoped path's contract: a panicking query worker
-            // panics the caller, with the payload preserved.
-            panic!("query worker panicked: {msg}");
-        }
-        self.queries
-            .iter()
-            .zip(answers)
-            .map(|(q, answer)| {
-                Ok(ContinuousResult {
-                    id: q.id.clone(),
-                    results: answer.expect("run_scoped ran every task")?,
+        self.evaluate_with(source, None, EvalMode::Pooled(runtime))
+    }
+
+    /// The one evaluation driver behind every public variant: runs
+    /// [`incremental::evaluate_query`] once per registered query —
+    /// delta-fed for seeded incremental queries, full otherwise — and
+    /// only the distribution of those calls differs per [`EvalMode`].
+    fn evaluate_with<S: TripleSource + ?Sized>(
+        &mut self,
+        source: &S,
+        delta: Option<&BatchDelta>,
+        mode: EvalMode<'_>,
+    ) -> Result<Vec<ContinuousResult>, QueryError> {
+        let emit_full = self.emit_full;
+        let eval =
+            |q: &mut ContinuousQuery| incremental::evaluate_query(q, source, delta, emit_full);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let answers: Vec<Result<ContinuousResult, QueryError>> = match mode {
+            EvalMode::Pooled(runtime) if self.queries.len() > 1 => {
+                let mut slots: Vec<Option<Result<ContinuousResult, QueryError>>> =
+                    (0..self.queries.len()).map(|_| None).collect();
+                let eval = &eval;
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
+                    .queries
+                    .iter_mut()
+                    .zip(slots.iter_mut())
+                    .map(|(q, slot)| {
+                        Box::new(move || {
+                            *slot = Some(eval(q));
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                if let Err(msg) = runtime.run_scoped(tasks) {
+                    // Mirror the scoped path's contract: a panicking
+                    // query worker panics the caller, payload preserved.
+                    panic!("query worker panicked: {msg}");
+                }
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("run_scoped ran every task"))
+                    .collect()
+            }
+            EvalMode::Scoped if self.queries.len() > 1 && cores > 1 => {
+                let eval = &eval;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .queries
+                        .iter_mut()
+                        .map(|q| scope.spawn(move || eval(q)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("query worker panicked"))
+                        .collect()
                 })
-            })
-            .collect()
+            }
+            _ => self.queries.iter_mut().map(eval).collect(),
+        };
+        answers.into_iter().collect()
     }
 }
 
@@ -241,10 +366,54 @@ impl ContinuousQueryRegistry {
 /// continuous-query answer over the new state.
 #[derive(Debug, Clone)]
 pub struct BatchOutcome {
-    /// Ingest accounting (insert/delete/no-op counts, compaction flag).
+    /// Ingest accounting (insert/delete/no-op counts, compaction flag,
+    /// and — when any incremental query is registered — the captured
+    /// net [`BatchDelta`]).
     pub report: IngestReport,
     /// Continuous-query answers, in registration order.
     pub results: Vec<ContinuousResult>,
+}
+
+/// Session counters: how continuous queries were served and how big the
+/// captured batch deltas were, so the incremental-vs-fallback rate is
+/// observable (mirrored into the server's STATS reply).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Batches applied through the session.
+    pub batches: u64,
+    /// Query evaluations served by the delta path.
+    pub incremental_evals: u64,
+    /// Full (re-)evaluations: seeding, fallback queries, and batches
+    /// without a captured delta.
+    pub full_evals: u64,
+    /// Net triples added across all captured batch deltas.
+    pub delta_added: u64,
+    /// Net triples removed across all captured batch deltas.
+    pub delta_removed: u64,
+    /// Net added/removed sizes of the most recent captured delta.
+    pub last_delta_added: u64,
+    /// See [`StreamStats::last_delta_added`].
+    pub last_delta_removed: u64,
+}
+
+impl StreamStats {
+    fn record(&mut self, report: &IngestReport, results: &[ContinuousResult]) {
+        self.batches += 1;
+        if let Some(delta) = &report.delta {
+            let (a, r) = (delta.added.len() as u64, delta.removed.len() as u64);
+            self.delta_added += a;
+            self.delta_removed += r;
+            self.last_delta_added = a;
+            self.last_delta_removed = r;
+        }
+        for res in results {
+            if res.incremental {
+                self.incremental_evals += 1;
+            } else {
+                self.full_evals += 1;
+            }
+        }
+    }
 }
 
 /// A streaming session: an ingestible store (single-overlay
@@ -255,6 +424,7 @@ pub struct BatchOutcome {
 pub struct StreamSession<S: StreamStore = HybridStore> {
     store: S,
     registry: ContinuousQueryRegistry,
+    stats: StreamStats,
 }
 
 impl<S: StreamStore> StreamSession<S> {
@@ -263,10 +433,13 @@ impl<S: StreamStore> StreamSession<S> {
         Self {
             store,
             registry: ContinuousQueryRegistry::new(),
+            stats: StreamStats::default(),
         }
     }
 
-    /// Parses and registers a continuous query.
+    /// Parses and registers a continuous query. The next batch (or
+    /// evaluation) seeds its materialized answers with one full run
+    /// over the current store state.
     pub fn register_query(
         &mut self,
         id: impl Into<String>,
@@ -296,21 +469,43 @@ impl<S: StreamStore> StreamSession<S> {
         &mut self.registry
     }
 
+    /// The store and the mutable registry together — for evaluating the
+    /// registry against the session's own store outside `apply_batch`.
+    pub fn parts_mut(&mut self) -> (&S, &mut ContinuousQueryRegistry) {
+        (&self.store, &mut self.registry)
+    }
+
+    /// Session counters (delta sizes, incremental-vs-full evaluations).
+    pub fn stream_stats(&self) -> StreamStats {
+        self.stats
+    }
+
     /// Ingests one batch (deletes, then inserts), compacts if the policy
-    /// demands it, and re-evaluates every registered query over the new
-    /// state — on the store's persistent worker pool when it runs one
-    /// (sharing the ingest workers' thread budget), otherwise on scoped
-    /// spawns when more than one query is registered.
+    /// demands it, and brings every registered query's answers up to
+    /// date over the new state — differentially from the batch's
+    /// captured delta where possible, by full re-evaluation otherwise.
+    /// Evaluation runs on the store's persistent worker pool when it has
+    /// one (sharing the ingest workers' thread budget), otherwise on
+    /// scoped spawns when more than one query is registered.
     pub fn apply_batch(
         &mut self,
         inserts: &Graph,
         deletes: &Graph,
     ) -> Result<BatchOutcome, StreamError> {
+        self.store.set_delta_capture(self.registry.wants_delta());
         let report = self.store.apply_batch(inserts, deletes)?;
         let results = match self.store.shared_runtime() {
-            Some(runtime) => self.registry.evaluate_all_pooled(runtime, &self.store)?,
-            None => self.registry.evaluate_all_parallel(&self.store)?,
+            Some(runtime) => self.registry.evaluate_with(
+                &self.store,
+                report.delta.as_ref(),
+                EvalMode::Pooled(runtime),
+            )?,
+            None => {
+                self.registry
+                    .evaluate_with(&self.store, report.delta.as_ref(), EvalMode::Scoped)?
+            }
         };
+        self.stats.record(&report, &results);
         Ok(BatchOutcome { report, results })
     }
 }
@@ -365,6 +560,9 @@ mod tests {
         assert_eq!(results[0].id, "q");
         let row = &results[0].results.rows[0];
         assert_eq!(row[0].as_ref().unwrap(), &iri("c"));
+        // The replacement re-seeded: its whole answer set is "added".
+        assert_eq!(results[0].added.len(), 1);
+        assert!(!results[0].incremental);
     }
 
     #[test]
@@ -429,15 +627,26 @@ mod tests {
                 out.report.compacted
             );
             crossed |= out.report.compacted;
+            if round > 0 {
+                // After the seeding batch every round is delta-served
+                // and reports exactly the inserted row as added.
+                assert!(out.results[0].incremental);
+                assert_eq!(out.results[0].added.len(), 1);
+                assert!(out.results[0].removed.is_empty());
+            }
         }
         assert!(crossed, "the stream must cross a compaction boundary");
+        let stats = session.stream_stats();
+        assert_eq!(stats.batches, 6);
+        assert_eq!(stats.incremental_evals, 5);
+        assert_eq!(stats.full_evals, 1, "only the seeding run was full");
+        assert_eq!(stats.delta_added, 6);
+        assert_eq!(stats.last_delta_added, 1);
         // Evaluating again without a batch gives the same answers —
         // parallel and sequential paths agree.
-        let seq = session.registry().evaluate_all(session.store()).unwrap();
-        let par = session
-            .registry()
-            .evaluate_all_parallel(session.store())
-            .unwrap();
+        let (store, reg) = session.parts_mut();
+        let seq = reg.evaluate_all(store).unwrap();
+        let par = reg.evaluate_all_parallel(store).unwrap();
         assert_eq!(seq.len(), par.len());
         assert_eq!(seq[0].results.rows.len(), par[0].results.rows.len());
     }
@@ -467,6 +676,183 @@ mod tests {
             .unwrap();
         assert_eq!(out.report.inserted, 1);
         assert_eq!(out.results[0].results.len(), 2);
+        // Next batch is served differentially on the sharded engine too.
+        let out = session
+            .apply_batch(
+                &Graph::from_triples([t("c", "knows", iri("hub"))]),
+                &Graph::new(),
+            )
+            .unwrap();
+        assert!(out.results[0].incremental);
+        assert_eq!(out.results[0].added.len(), 1);
+        assert_eq!(out.results[0].results.len(), 3);
         session.store_mut().flush_compactions();
+    }
+
+    /// A query registered mid-stream seeds from the store state that
+    /// accumulated before registration.
+    #[test]
+    fn mid_stream_registration_picks_up_existing_state() {
+        let mut session = StreamSession::new(store_with([t("a", "knows", iri("hub"))]));
+        session
+            .apply_batch(
+                &Graph::from_triples([t("b", "knows", iri("hub"))]),
+                &Graph::new(),
+            )
+            .unwrap();
+        session
+            .register_query(
+                "late",
+                "PREFIX e: <http://x/> SELECT ?s WHERE { ?s e:knows e:hub }",
+                QueryOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(
+            session.registry().iter().next().unwrap().strategy(),
+            EvalStrategy::Incremental
+        );
+        let out = session
+            .apply_batch(
+                &Graph::from_triples([t("c", "knows", iri("hub"))]),
+                &Graph::new(),
+            )
+            .unwrap();
+        // Seeding run: full evaluation, everything reported as added —
+        // including the pre-registration triples.
+        assert!(!out.results[0].incremental);
+        assert_eq!(out.results[0].results.len(), 3);
+        assert_eq!(out.results[0].added.len(), 3);
+        // From here on, delta-served.
+        let out = session
+            .apply_batch(
+                &Graph::new(),
+                &Graph::from_triples([t("b", "knows", iri("hub"))]),
+            )
+            .unwrap();
+        assert!(out.results[0].incremental);
+        assert_eq!(out.results[0].removed.len(), 1);
+        assert_eq!(out.results[0].results.len(), 2);
+    }
+
+    /// Deregistering frees the materialized state; re-registering the
+    /// same id starts unseeded and re-seeds on the next evaluation.
+    #[test]
+    fn reregister_after_deregister_reseeds() {
+        let mut session = StreamSession::new(store_with([t("a", "knows", iri("hub"))]));
+        let q = "PREFIX e: <http://x/> SELECT ?s WHERE { ?s e:knows e:hub }";
+        session
+            .register_query("q", q, QueryOptions::default())
+            .unwrap();
+        session
+            .apply_batch(
+                &Graph::from_triples([t("b", "knows", iri("hub"))]),
+                &Graph::new(),
+            )
+            .unwrap();
+        assert!(session.registry().iter().next().unwrap().is_seeded());
+        assert!(session.registry_mut().deregister("q"));
+        assert!(session.registry().is_empty(), "state freed with the query");
+        session
+            .register_query("q", q, QueryOptions::default())
+            .unwrap();
+        assert!(!session.registry().iter().next().unwrap().is_seeded());
+        let out = session
+            .apply_batch(
+                &Graph::from_triples([t("c", "knows", iri("hub"))]),
+                &Graph::new(),
+            )
+            .unwrap();
+        assert!(
+            !out.results[0].incremental,
+            "first run after re-register seeds"
+        );
+        assert_eq!(out.results[0].results.len(), 3);
+        assert!(session.registry().iter().next().unwrap().is_seeded());
+    }
+
+    /// A batch that deletes a triple a rider in the same tick re-inserts
+    /// (Restored / Cancelled overlay states) nets to no delta — and the
+    /// incremental path reports no changes.
+    #[test]
+    fn same_tick_delete_and_reinsert_nets_to_unchanged() {
+        let mut session = StreamSession::new(store_with([t("a", "knows", iri("hub"))]));
+        session
+            .register_query(
+                "q",
+                "PREFIX e: <http://x/> SELECT ?s WHERE { ?s e:knows e:hub }",
+                QueryOptions::default(),
+            )
+            .unwrap();
+        session.apply_batch(&Graph::new(), &Graph::new()).unwrap();
+        // Restored: delete a baseline triple and re-insert it in the
+        // same batch (deletes run first). Cancelled: insert a brand-new
+        // triple and delete it in the same batch — net nothing.
+        let both = Graph::from_triples([t("a", "knows", iri("hub"))]);
+        let out = session.apply_batch(&both, &both).unwrap();
+        assert!(out.results[0].incremental);
+        assert!(out.results[0].unchanged());
+        assert_eq!(out.results[0].results.len(), 1);
+        let delta = out.report.delta.as_ref().expect("capture was on");
+        assert!(delta.is_empty(), "delete+reinsert nets to zero");
+        // And a genuinely new triple alongside a net-zero pair is the
+        // only change reported.
+        let out = session
+            .apply_batch(
+                &Graph::from_triples([t("a", "knows", iri("hub")), t("d", "knows", iri("hub"))]),
+                &both,
+            )
+            .unwrap();
+        assert!(out.results[0].incremental);
+        assert_eq!(out.results[0].added.len(), 1);
+        assert!(out.results[0].removed.is_empty());
+    }
+
+    /// FILTER queries fall back to full evaluation but still report
+    /// per-batch changes by diffing.
+    #[test]
+    fn full_fallback_reports_diffs() {
+        let mut session = StreamSession::new(store_with([t("a", "knows", iri("hub"))]));
+        session
+            .register_query(
+                "q",
+                "PREFIX e: <http://x/> SELECT ?s WHERE { ?s e:knows ?o FILTER(?o = e:hub) }",
+                QueryOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(
+            session.registry().iter().next().unwrap().strategy(),
+            EvalStrategy::Full
+        );
+        let out = session
+            .apply_batch(
+                &Graph::from_triples([t("b", "knows", iri("hub"))]),
+                &Graph::new(),
+            )
+            .unwrap();
+        assert!(!out.results[0].incremental);
+        assert_eq!(out.results[0].results.len(), 2);
+        let out = session
+            .apply_batch(
+                &Graph::from_triples([t("c", "knows", iri("elsewhere"))]),
+                &Graph::new(),
+            )
+            .unwrap();
+        assert!(
+            out.results[0].unchanged(),
+            "filtered-out insert changes nothing"
+        );
+        let out = session
+            .apply_batch(
+                &Graph::new(),
+                &Graph::from_triples([t("b", "knows", iri("hub"))]),
+            )
+            .unwrap();
+        assert_eq!(out.results[0].removed.len(), 1);
+        assert_eq!(session.stream_stats().incremental_evals, 0);
+        assert_eq!(
+            session.stream_stats().full_evals,
+            3,
+            "every batch re-evaluates"
+        );
     }
 }

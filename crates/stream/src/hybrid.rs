@@ -64,6 +64,54 @@ impl Default for CompactionPolicy {
     }
 }
 
+/// The net visibility changes of one batch, in term space: what the
+/// incremental continuous-query evaluator feeds through the delta rules.
+///
+/// "Net" means intra-batch churn cancels out — a triple deleted and
+/// re-inserted by riders of the same batch (`Restored` in overlay terms)
+/// appears in neither list, and a triple that was already present (or
+/// already absent) contributes nothing. `added` and `removed` are
+/// therefore disjoint, and replaying them against the pre-batch state
+/// reproduces the post-batch state exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchDelta {
+    /// Triples that became visible in this batch.
+    pub added: Vec<Triple>,
+    /// Triples that stopped being visible in this batch.
+    pub removed: Vec<Triple>,
+}
+
+impl BatchDelta {
+    /// `true` when the batch changed nothing visible.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total net changes (insertions plus removals).
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Folds raw per-operation events (`+1` became visible, `-1` stopped
+    /// being visible) into net lists. Per-triple nets stay in `{-1, 0, +1}`
+    /// because effective operations strictly alternate visibility.
+    pub(crate) fn from_events(events: Vec<(Triple, i64)>) -> Self {
+        let mut net: HashMap<Triple, i64> = HashMap::with_capacity(events.len());
+        for (t, w) in events {
+            *net.entry(t).or_insert(0) += w;
+        }
+        let mut delta = BatchDelta::default();
+        for (t, w) in net {
+            match w.cmp(&0) {
+                std::cmp::Ordering::Greater => delta.added.push(t),
+                std::cmp::Ordering::Less => delta.removed.push(t),
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        delta
+    }
+}
+
 /// Outcome of one [`HybridStore::apply`] batch.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IngestReport {
@@ -83,6 +131,10 @@ pub struct IngestReport {
     /// (inline rebuild, or the atomic swap of a finished background
     /// rebuild). Zero while a background rebuild is still running.
     pub compaction: Duration,
+    /// The batch's net term-space changes, captured only when the store's
+    /// delta capture is enabled (see `StreamStore::set_delta_capture`) —
+    /// `None` otherwise, so plain ingest paths pay nothing for it.
+    pub delta: Option<BatchDelta>,
 }
 
 /// Counters over the store's lifetime.
@@ -251,6 +303,10 @@ pub struct HybridStore {
     pub(crate) pins: Arc<AtomicUsize>,
     /// Snapshots taken over the store's lifetime (observability).
     pub(crate) snapshots_taken: AtomicUsize,
+    /// When `true`, [`apply`](HybridStore::apply) records the batch's net
+    /// term-space changes on its report (for incremental continuous-query
+    /// evaluation). Off by default: plain ingest pays nothing.
+    capture_delta: bool,
 }
 
 impl Clone for HybridStore {
@@ -279,6 +335,7 @@ impl Clone for HybridStore {
             // original must not pin (or be leaked into) the clone.
             pins: Arc::new(AtomicUsize::new(0)),
             snapshots_taken: AtomicUsize::new(self.snapshots_taken.load(Ordering::Relaxed)),
+            capture_delta: self.capture_delta,
         }
     }
 }
@@ -304,6 +361,7 @@ impl HybridStore {
             epoch: 0,
             pins: Arc::new(AtomicUsize::new(0)),
             snapshots_taken: AtomicUsize::new(0),
+            capture_delta: false,
         }
     }
 
@@ -337,6 +395,7 @@ impl HybridStore {
             epoch,
             pins: Arc::new(AtomicUsize::new(0)),
             snapshots_taken: AtomicUsize::new(0),
+            capture_delta: false,
         }
     }
 
@@ -496,15 +555,31 @@ impl HybridStore {
 
     // -------------------------------------------------------------- ingestion
 
+    /// Turns net-delta capture on or off: when on, every
+    /// [`apply`](HybridStore::apply) report carries a [`BatchDelta`] with
+    /// the batch's net term-space changes.
+    pub fn set_delta_capture(&mut self, on: bool) {
+        self.capture_delta = on;
+    }
+
+    /// Whether `apply` reports carry a [`BatchDelta`].
+    pub fn delta_capture(&self) -> bool {
+        self.capture_delta
+    }
+
     /// Applies one batch: deletions first, then insertions (an insert of a
     /// triple deleted in the same batch wins). Compacts afterwards if the
     /// overlay crossed the policy threshold.
     pub fn apply(&mut self, inserts: &Graph, deletes: &Graph) -> Result<IngestReport, StreamError> {
         let t0 = Instant::now();
         let mut report = IngestReport::default();
+        let mut events: Option<Vec<(Triple, i64)>> = self.capture_delta.then(Vec::new);
         for t in deletes {
             if self.delete_triple(t)? {
                 report.deleted += 1;
+                if let Some(ev) = events.as_mut() {
+                    ev.push((t.clone(), -1));
+                }
             } else {
                 report.noops += 1;
             }
@@ -512,10 +587,14 @@ impl HybridStore {
         for t in inserts {
             if self.insert_triple(t)? {
                 report.inserted += 1;
+                if let Some(ev) = events.as_mut() {
+                    ev.push((t.clone(), 1));
+                }
             } else {
                 report.noops += 1;
             }
         }
+        report.delta = events.map(BatchDelta::from_events);
         report.ingest = t0.elapsed();
         self.stats.total_inserted += report.inserted;
         self.stats.total_deleted += report.deleted;

@@ -113,6 +113,7 @@ pub mod continuous;
 pub mod delta;
 pub mod error;
 pub mod hybrid;
+pub mod incremental;
 pub mod persist;
 pub mod runtime;
 pub mod shard;
@@ -120,13 +121,15 @@ pub mod snapshot;
 
 pub use continuous::{
     BatchOutcome, ContinuousQuery, ContinuousQueryRegistry, ContinuousResult, StreamSession,
-    StreamStore,
+    StreamStats, StreamStore,
 };
 pub use delta::{DeltaObj, DeltaState, DeltaStore};
 pub use error::StreamError;
 pub use hybrid::{
-    CompactionPlan, CompactionPolicy, HybridStats, HybridStore, IngestReport, OVERFLOW_BASE,
+    BatchDelta, CompactionPlan, CompactionPolicy, HybridStats, HybridStore, IngestReport,
+    OVERFLOW_BASE,
 };
+pub use incremental::EvalStrategy;
 pub use persist::{PersistentStore, SaveReport};
 pub use runtime::ShardRuntime;
 pub use shard::{

@@ -67,7 +67,9 @@
 
 use crate::delta::{DeltaObj, DeltaState, DeltaStore};
 use crate::error::StreamError;
-use crate::hybrid::{transition, CompactionPolicy, IngestReport, OverflowDict, OVERFLOW_BASE};
+use crate::hybrid::{
+    transition, BatchDelta, CompactionPolicy, IngestReport, OverflowDict, OVERFLOW_BASE,
+};
 use crate::runtime::ShardRuntime;
 use se_core::builder::{instance_key, key_to_term_arc};
 use se_core::datatype::DatatypeLayer;
@@ -458,6 +460,19 @@ struct TypeOp {
     c: u64,
 }
 
+/// One *effective* (visibility-changing) operation, recorded by the shard
+/// workers when delta capture is on and decoded to a term-space triple
+/// after the batch. Ops already carry everything a worker resolved —
+/// literal content included — so gathering them costs one push per
+/// effective op and no shared-state access.
+#[derive(Debug, Clone)]
+enum EffOp {
+    /// An object/datatype op; `true` = became visible, `false` = removed.
+    Obj(Op, bool),
+    /// An rdf:type op with the same insert flag.
+    Type(TypeOp, bool),
+}
+
 /// The routed operation lists of one shard for one pipeline chunk. The
 /// buffers are recycled batch to batch (cleared, never dropped), so the
 /// steady-state hot path allocates nothing for routing.
@@ -491,8 +506,9 @@ impl ShardOps {
 type OpCounts = (usize, usize, usize);
 
 /// What an ingest job moves back to the store on reap: the shard's
-/// overlay, the recycled op buffer, and the effect counts.
-type IngestJobOut = (DeltaStore, ShardOps, OpCounts);
+/// overlay, the recycled op buffer, the effect counts, and the effective
+/// ops gathered for delta capture (empty when capture is off).
+type IngestJobOut = (DeltaStore, ShardOps, OpCounts, Vec<EffOp>);
 
 /// What a rebuild job moves back on reap: fresh layers, the snapshot
 /// overlay the swap rebases against, and the build wall time.
@@ -544,6 +560,10 @@ pub struct ShardedHybridStore {
     pub(crate) pins: Arc<AtomicUsize>,
     /// Snapshots taken over the store's lifetime (observability).
     snapshots_taken: AtomicUsize,
+    /// When `true`, `apply` gathers each worker's effective ops and
+    /// reports the batch's net term-space changes (for incremental
+    /// continuous-query evaluation). Off by default.
+    capture_delta: bool,
 }
 
 impl ShardedHybridStore {
@@ -652,6 +672,7 @@ impl ShardedHybridStore {
             epoch: 0,
             pins: Arc::new(AtomicUsize::new(0)),
             snapshots_taken: AtomicUsize::new(0),
+            capture_delta: false,
         })
     }
 
@@ -692,6 +713,7 @@ impl ShardedHybridStore {
             epoch,
             pins: Arc::new(AtomicUsize::new(0)),
             snapshots_taken: AtomicUsize::new(0),
+            capture_delta: false,
         }
     }
 
@@ -822,6 +844,7 @@ impl ShardedHybridStore {
             epoch: self.epoch,
             pins: Arc::new(AtomicUsize::new(0)),
             snapshots_taken: AtomicUsize::new(0),
+            capture_delta: false,
         }
     }
 
@@ -899,17 +922,19 @@ impl ShardedHybridStore {
         // through the restore, so a malformed batch never loses the
         // buffers.
         let mut staging = std::mem::take(&mut self.staging);
+        let mut effects: Option<Vec<EffOp>> = self.capture_delta.then(Vec::new);
         let counts = if pooled {
             self.stats.pooled_batches += 1;
-            self.apply_pooled(inserts, deletes, &mut staging, &mut report)
+            self.apply_pooled(inserts, deletes, &mut staging, &mut report, &mut effects)
         } else {
-            self.apply_unpooled(inserts, deletes, &mut staging, &mut report)
+            self.apply_unpooled(inserts, deletes, &mut staging, &mut report, &mut effects)
         };
         for ops in &mut staging {
             ops.clear();
         }
         self.staging = staging;
         let (ins, del, noop) = counts?;
+        report.delta = effects.map(|eff| self.decode_effects(eff));
         report.inserted += ins;
         report.deleted += del;
         report.noops += noop;
@@ -947,6 +972,7 @@ impl ShardedHybridStore {
         deletes: &Graph,
         staging: &mut [ShardOps],
         report: &mut IngestReport,
+        effects: &mut Option<Vec<EffOp>>,
     ) -> Result<OpCounts, StreamError> {
         for t in deletes {
             if !self.route_op(t, false, staging)? {
@@ -962,14 +988,16 @@ impl ShardedHybridStore {
             && staging.iter().filter(|o| !o.is_empty()).count() > 1;
         if scoped {
             self.stats.scoped_batches += 1;
-            Ok(self.run_ops_scoped(staging))
+            Ok(self.run_ops_scoped(staging, effects))
         } else {
             self.stats.inline_batches += 1;
             Ok(self
                 .shards
                 .iter_mut()
                 .zip(staging.iter())
-                .map(|(shard, ops)| run_shard_ops(&shard.base, &mut shard.delta, ops))
+                .map(|(shard, ops)| {
+                    run_shard_ops(&shard.base, &mut shard.delta, ops, effects.as_mut())
+                })
                 .fold((0, 0, 0), add_counts))
         }
     }
@@ -988,6 +1016,7 @@ impl ShardedHybridStore {
         deletes: &Graph,
         staging: &mut [ShardOps],
         report: &mut IngestReport,
+        effects: &mut Option<Vec<EffOp>>,
     ) -> Result<OpCounts, StreamError> {
         self.ensure_runtime();
         let n = self.shards.len();
@@ -1009,7 +1038,13 @@ impl ShardedHybridStore {
                 }
                 since_dispatch += 1;
                 if since_dispatch >= PIPELINE_CHUNK {
-                    self.dispatch_chunk(staging, &mut in_flight, &mut counts, &mut panic_msg);
+                    self.dispatch_chunk(
+                        staging,
+                        &mut in_flight,
+                        &mut counts,
+                        &mut panic_msg,
+                        effects,
+                    );
                     since_dispatch = 0;
                 }
             }
@@ -1017,10 +1052,16 @@ impl ShardedHybridStore {
         // Flush the tail chunk and reap every in-flight job — also on the
         // error path, so the shard overlays are home again before we
         // surface anything.
-        self.dispatch_chunk(staging, &mut in_flight, &mut counts, &mut panic_msg);
+        self.dispatch_chunk(
+            staging,
+            &mut in_flight,
+            &mut counts,
+            &mut panic_msg,
+            effects,
+        );
         for (s, flying) in in_flight.iter().enumerate() {
             if *flying {
-                self.reap_ingest(s, &mut counts, &mut panic_msg);
+                self.reap_ingest(s, &mut counts, &mut panic_msg, effects);
             }
         }
         // The panic check must come first: a worker panic loses that
@@ -1045,20 +1086,22 @@ impl ShardedHybridStore {
         in_flight: &mut [bool],
         counts: &mut OpCounts,
         panic_msg: &mut Option<String>,
+        effects: &mut Option<Vec<EffOp>>,
     ) {
+        let capture = effects.is_some();
         for s in 0..self.shards.len() {
             if staging[s].is_empty() {
                 continue;
             }
             if self.shards[s].pending.is_some() {
                 let shard = &mut self.shards[s];
-                let c = run_shard_ops(&shard.base, &mut shard.delta, &staging[s]);
+                let c = run_shard_ops(&shard.base, &mut shard.delta, &staging[s], effects.as_mut());
                 *counts = add_counts(*counts, c);
                 staging[s].clear();
                 continue;
             }
             if in_flight[s] {
-                self.reap_ingest(s, counts, panic_msg);
+                self.reap_ingest(s, counts, panic_msg, effects);
                 in_flight[s] = false;
             }
             let delta = std::mem::take(&mut self.shards[s].delta);
@@ -1069,8 +1112,9 @@ impl ShardedHybridStore {
                 s,
                 Box::new(move || {
                     let mut delta = delta;
-                    let c = run_shard_ops(&base, &mut delta, &ops);
-                    Box::new((delta, ops, c)) as Box<dyn Any + Send>
+                    let mut eff = capture.then(Vec::new);
+                    let c = run_shard_ops(&base, &mut delta, &ops, eff.as_mut());
+                    Box::new((delta, ops, c, eff.unwrap_or_default())) as Box<dyn Any + Send>
                 }),
             );
             in_flight[s] = true;
@@ -1081,22 +1125,96 @@ impl ShardedHybridStore {
     /// and op buffer home. A panicked job is recorded (first message
     /// wins); its overlay died with it, which `apply_pooled` converts
     /// into a poisoned store.
-    fn reap_ingest(&mut self, s: usize, counts: &mut OpCounts, panic_msg: &mut Option<String>) {
+    fn reap_ingest(
+        &mut self,
+        s: usize,
+        counts: &mut OpCounts,
+        panic_msg: &mut Option<String>,
+        effects: &mut Option<Vec<EffOp>>,
+    ) {
         let runtime = self.runtime.as_ref().expect("reap without runtime");
         match runtime.take(s) {
             Ok(out) => {
-                let (delta, mut ops, c) = *out
+                let (delta, mut ops, c, eff) = *out
                     .downcast::<IngestJobOut>()
                     .expect("ingest job returns IngestJobOut");
                 self.shards[s].delta = delta;
                 ops.clear();
                 self.ops_pool.push(ops);
                 *counts = add_counts(*counts, c);
+                if let Some(dst) = effects.as_mut() {
+                    dst.extend(eff);
+                }
             }
             Err(msg) => {
                 panic_msg.get_or_insert(msg);
             }
         }
+    }
+
+    /// Turns net-delta capture on or off: when on, every `apply` report
+    /// carries a [`BatchDelta`] with the batch's net term-space changes,
+    /// gathered from the shard workers' effective ops.
+    pub fn set_delta_capture(&mut self, on: bool) {
+        self.capture_delta = on;
+    }
+
+    /// Whether `apply` reports carry a [`BatchDelta`].
+    pub fn delta_capture(&self) -> bool {
+        self.capture_delta
+    }
+
+    /// Decodes the workers' gathered effective ops back to term space and
+    /// nets them per triple. Ids are decodable by construction: inserts
+    /// interned their terms while routing, deletes only routed terms that
+    /// already resolved, literal ops carry their content, and per-shard
+    /// compaction never re-encodes the id space.
+    fn decode_effects(&self, effects: Vec<EffOp>) -> BatchDelta {
+        let decode_inst = |id: u64| {
+            key_to_term_arc(
+                self.dicts
+                    .instances
+                    .term_arc(id)
+                    .expect("dictionary-complete instance id"),
+            )
+        };
+        let prop_term = |id: u64| -> Term {
+            let iri = if id >= OVERFLOW_BASE {
+                self.ovf_properties.term(id)
+            } else {
+                self.dicts.properties.term_arc(id)
+            };
+            Term::Iri(iri.expect("dictionary-complete property id"))
+        };
+        let concept_term = |id: u64| -> Term {
+            let iri = if id >= OVERFLOW_BASE {
+                self.ovf_concepts.term(id)
+            } else {
+                self.dicts.concepts.term_arc(id)
+            };
+            Term::Iri(iri.expect("dictionary-complete concept id"))
+        };
+        let rdf_type = Term::iri(se_rdf::vocab::rdf::TYPE);
+        let events = effects
+            .into_iter()
+            .map(|eff| match eff {
+                EffOp::Type(op, insert) => (
+                    Triple::new(decode_inst(op.s), rdf_type.clone(), concept_term(op.c)),
+                    if insert { 1 } else { -1 },
+                ),
+                EffOp::Obj(op, insert) => {
+                    let object = match op.o {
+                        OpObj::Inst(o) => decode_inst(o),
+                        OpObj::Lit(_, lit) => Term::Literal((*lit).clone()),
+                    };
+                    (
+                        Triple::new(decode_inst(op.s), prop_term(op.p), object),
+                        if insert { 1 } else { -1 },
+                    )
+                }
+            })
+            .collect();
+        BatchDelta::from_events(events)
     }
 
     /// Spawns the persistent pool (one parked worker per shard) if it is
@@ -1259,7 +1377,8 @@ impl ShardedHybridStore {
     /// gate, see [`IngestMode::Scoped`]) as the benchmarking comparator:
     /// its ~100µs-per-spawn cost is exactly what the persistent pool
     /// amortizes away.
-    fn run_ops_scoped(&mut self, ops: &[ShardOps]) -> OpCounts {
+    fn run_ops_scoped(&mut self, ops: &[ShardOps], effects: &mut Option<Vec<EffOp>>) -> OpCounts {
+        let capture = effects.is_some();
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
@@ -1271,14 +1390,24 @@ impl ShardedHybridStore {
                     } else {
                         let Shard { base, delta, .. } = shard;
                         let base = Arc::clone(base);
-                        Some(scope.spawn(move || run_shard_ops(&base, delta, ops)))
+                        Some(scope.spawn(move || {
+                            let mut eff = capture.then(Vec::new);
+                            let c = run_shard_ops(&base, delta, ops, eff.as_mut());
+                            (c, eff)
+                        }))
                     }
                 })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| match h {
-                    Some(h) => h.join().expect("ingest worker panicked"),
+                    Some(h) => {
+                        let (c, eff) = h.join().expect("ingest worker panicked");
+                        if let (Some(dst), Some(mut e)) = (effects.as_mut(), eff) {
+                            dst.append(&mut e);
+                        }
+                        c
+                    }
                     None => (0, 0, 0),
                 })
                 .fold((0, 0, 0), add_counts)
@@ -1667,7 +1796,12 @@ fn validate_triple(t: &Triple) -> Result<(), StreamError> {
 /// Runs on a pool worker (or a scoped/inline fallback); everything it
 /// touches is either moved into the job (`delta`, `ops` — literal ops
 /// carry their content) or frozen for the phase (`base`).
-fn run_shard_ops(base: &ShardBase, delta: &mut DeltaStore, ops: &ShardOps) -> OpCounts {
+fn run_shard_ops(
+    base: &ShardBase,
+    delta: &mut DeltaStore,
+    ops: &ShardOps,
+    mut effects: Option<&mut Vec<EffOp>>,
+) -> OpCounts {
     let (mut ins, mut del, mut noop) = (0, 0, 0);
     let mut bump = |hit: bool, insert: bool| {
         if hit && insert {
@@ -1679,16 +1813,40 @@ fn run_shard_ops(base: &ShardBase, delta: &mut DeltaStore, ops: &ShardOps) -> Op
         }
     };
     for op in &ops.type_del {
-        bump(apply_type_op(base, delta, op, false), false);
+        let hit = apply_type_op(base, delta, op, false);
+        if hit {
+            if let Some(eff) = effects.as_deref_mut() {
+                eff.push(EffOp::Type(*op, false));
+            }
+        }
+        bump(hit, false);
     }
     for op in &ops.del {
-        bump(apply_op(base, delta, op, false), false);
+        let hit = apply_op(base, delta, op, false);
+        if hit {
+            if let Some(eff) = effects.as_deref_mut() {
+                eff.push(EffOp::Obj(op.clone(), false));
+            }
+        }
+        bump(hit, false);
     }
     for op in &ops.type_ins {
-        bump(apply_type_op(base, delta, op, true), true);
+        let hit = apply_type_op(base, delta, op, true);
+        if hit {
+            if let Some(eff) = effects.as_deref_mut() {
+                eff.push(EffOp::Type(*op, true));
+            }
+        }
+        bump(hit, true);
     }
     for op in &ops.ins {
-        bump(apply_op(base, delta, op, true), true);
+        let hit = apply_op(base, delta, op, true);
+        if hit {
+            if let Some(eff) = effects.as_deref_mut() {
+                eff.push(EffOp::Obj(op.clone(), true));
+            }
+        }
+        bump(hit, true);
     }
     (ins, del, noop)
 }

@@ -4,7 +4,9 @@
 //! The server owns a sharded streaming store; around it:
 //!
 //! * a **subscriber** registers the paper's anomaly query and receives
-//!   its answer set pushed after every group-commit tick;
+//!   its full answer set once, then only per-tick changes — ticks that
+//!   leave the answers untouched push nothing, and the client folds the
+//!   change frames back into the full set;
 //! * a **feeder** streams the water measurement batches (with the
 //!   sliding retention window deleting expired observations);
 //! * four **concurrent writers** ingest disjoint side-channel readings
@@ -76,6 +78,47 @@ fn main() {
     sub.subscribe("water-anomaly", &water_anomaly_query(), &opts)
         .expect("subscription registers");
 
+    // Feeder + local replay (the expected alert sequence).
+    let mut feeder = Client::connect(addr).expect("feeder connects");
+    let mut replay = StreamSession::new(
+        ShardedHybridStore::build(&onto, &Graph::new(), 4).expect("replay store builds"),
+    );
+    replay
+        .register_query("water-anomaly", &water_anomaly_query(), opts.clone())
+        .expect("replay query registers");
+
+    // Water batch 0 runs before the side writers spawn: its tick is the
+    // server's first, so the subscription's initial full frame lands
+    // here deterministically.
+    let mut stream_iter = batches.iter().enumerate();
+    let mut total_alerts = 0usize;
+    {
+        let (tick, batch) = stream_iter.next().expect("stream is non-empty");
+        let ack = feeder
+            .ingest(&batch.inserts, &batch.deletes)
+            .expect("water batch applies");
+        let expected = replay
+            .apply_batch(&batch.inserts, &batch.deletes)
+            .expect("replay applies");
+        let push = sub.next_push().expect("initial push arrives");
+        assert!(push.initial, "the first push must be the full frame");
+        assert_eq!(push.id, "water-anomaly");
+        assert_eq!(push.epoch, ack.epoch);
+        assert_eq!(
+            normalize(&push.results),
+            normalize(&expected.results[0].results),
+            "batch {tick}: pushed alerts diverge from the single-threaded replay"
+        );
+        total_alerts += push.results.rows.len();
+        println!(
+            "batch {tick:2}: epoch {:3} | +{:<3} -{:<3} | {} alert(s) (initial full frame)",
+            ack.epoch,
+            ack.inserted,
+            ack.deleted,
+            push.results.rows.len()
+        );
+    }
+
     // Concurrent writers + a snapshot reader, racing the feeder below.
     let side = std::thread::spawn(move || {
         let writers: Vec<_> = (0..4)
@@ -114,45 +157,46 @@ fn main() {
         (coalesced, epoch, rows)
     });
 
-    // Feeder: the water batches, one group-commit tick each; the local
-    // replay produces the expected alert sequence.
-    let mut feeder = Client::connect(addr).expect("feeder connects");
-    let mut replay = StreamSession::new(
-        ShardedHybridStore::build(&onto, &Graph::new(), 4).expect("replay store builds"),
-    );
-    replay
-        .register_query("water-anomaly", &water_anomaly_query(), opts.clone())
-        .expect("replay query registers");
-
-    let mut total_alerts = 0usize;
-    for (tick, batch) in batches.iter().enumerate() {
+    // Feeder: the remaining water batches, one group-commit tick each.
+    // The server now pushes only *changes* — the side writers' ticks
+    // never touch the anomaly answers, so they produce no pushes at
+    // all, and a water tick pushes exactly when the replay says the
+    // alert set changed.
+    for (tick, batch) in stream_iter {
         let ack = feeder
             .ingest(&batch.inserts, &batch.deletes)
             .expect("water batch applies");
         let expected = replay
             .apply_batch(&batch.inserts, &batch.deletes)
             .expect("replay applies");
-        // Every tick pushes — including the side writers' — so locate
-        // this water batch's push by its tick epoch (the feeder is
-        // ack-gated, so each water batch lands in its own tick).
-        let mut push = sub.next_push().expect("push arrives");
-        while push.epoch < ack.epoch {
-            push = sub.next_push().expect("push arrives");
+        let want = &expected.results[0];
+        total_alerts += want.results.len();
+        if want.unchanged() {
+            println!(
+                "batch {tick:2}: epoch {:3} | +{:<3} -{:<3} | unchanged (no push)",
+                ack.epoch, ack.inserted, ack.deleted,
+            );
+            continue;
         }
+        let push = sub.next_push().expect("push arrives");
+        assert!(!push.initial, "only the first push carries the full set");
         assert_eq!(push.id, "water-anomaly");
         assert_eq!(push.epoch, ack.epoch, "the water tick's push was skipped");
+        // The client folded the change frame into its materialized
+        // view; it must equal the replay's full evaluation.
         assert_eq!(
             normalize(&push.results),
-            normalize(&expected.results[0].results),
+            normalize(&want.results),
             "batch {tick}: pushed alerts diverge from the single-threaded replay"
         );
-        total_alerts += push.results.rows.len();
         println!(
-            "batch {tick:2}: epoch {:3} | +{:<3} -{:<3} | {} alert(s)",
+            "batch {tick:2}: epoch {:3} | +{:<3} -{:<3} | {} alert(s) (+{} −{})",
             ack.epoch,
             ack.inserted,
             ack.deleted,
-            push.results.rows.len()
+            push.results.rows.len(),
+            push.added.rows.len(),
+            push.removed.rows.len(),
         );
     }
     assert!(total_alerts > 0, "the stream must raise alerts");

@@ -102,6 +102,18 @@ fn shape_queries() -> Vec<(&'static str, String, QueryOptions)> {
             q("SELECT ?s ?r WHERE { ?s a sosa:Observation . ?s sosa:hasResult ?r }"),
             QueryOptions::without_reasoning(),
         ),
+        // UNION: two groups feeding one multiset on the delta path.
+        (
+            "union-groups",
+            q("SELECT ?s ?o WHERE { ?s sosa:hosts ?o } UNION { ?s sosa:observes ?o }"),
+            QueryOptions::default(),
+        ),
+        // DISTINCT: support semantics over the materialized counts.
+        (
+            "distinct-subjects",
+            q("SELECT DISTINCT ?s WHERE { ?s sosa:observes ?o }"),
+            QueryOptions::default(),
+        ),
     ]
 }
 
@@ -127,7 +139,17 @@ fn hybrid_agrees_with_rebuild_across_stream_and_compaction() {
         session.register_query(id, &text, opts).unwrap();
     }
 
+    // Pure-BGP shapes run differentially; "anomaly" (FILTER + BIND)
+    // falls back to full re-evaluation.
+    let (incr, full) = session.registry().strategy_counts();
+    assert_eq!(full, 1, "only the anomaly query falls back");
+    assert_eq!(incr + full, shape_queries().len());
+
     let mut reference: BTreeSet<Triple> = BTreeSet::new();
+    // Per query: the materialized multiset reconstructed purely from the
+    // added/removed change streams (row string -> count).
+    let mut mirror: std::collections::HashMap<String, std::collections::BTreeMap<String, i64>> =
+        std::collections::HashMap::new();
     let mut compactions_seen = 0usize;
     let mut deletions_seen = 0usize;
     let mut anomaly_alerts = 0usize;
@@ -168,6 +190,38 @@ fn hybrid_agrees_with_rebuild_across_stream_and_compaction() {
                 "batch {tick}: query '{}' disagrees between hybrid and rebuild",
                 cq.id
             );
+            // Incremental materialized results == one full re-evaluation
+            // over the live store itself.
+            let refresh =
+                se_sparql::exec::execute(session.store(), &cq.query, &cq.options).unwrap();
+            assert_eq!(
+                normalize(&hybrid_result.results),
+                normalize(&refresh),
+                "batch {tick}: query '{}' materialized set vs full re-evaluation",
+                cq.id
+            );
+            // The added/removed change streams alone reconstruct the
+            // full set (what a change-frame subscriber materializes).
+            let m = mirror.entry(cq.id.clone()).or_default();
+            for row in &hybrid_result.added.rows {
+                *m.entry(format!("{row:?}")).or_insert(0) += 1;
+            }
+            for row in &hybrid_result.removed.rows {
+                *m.entry(format!("{row:?}")).or_insert(0) -= 1;
+            }
+            m.retain(|_, c| *c != 0);
+            let mut from_changes: Vec<String> = Vec::new();
+            for (row, &c) in m.iter() {
+                assert!(c > 0, "batch {tick}: '{}' over-removed {row}", cq.id);
+                from_changes.extend(std::iter::repeat_n(row.clone(), c as usize));
+            }
+            from_changes.sort();
+            assert_eq!(
+                from_changes,
+                normalize(&hybrid_result.results),
+                "batch {tick}: query '{}' change stream drifted from the full set",
+                cq.id
+            );
             if cq.id == "anomaly" {
                 anomaly_alerts += hybrid_result.results.len();
             }
@@ -193,6 +247,21 @@ fn hybrid_agrees_with_rebuild_across_stream_and_compaction() {
         anomaly_alerts > 0,
         "30% anomaly rate over 12 batches must raise alerts"
     );
+    // The delta path must actually have served the steady state: every
+    // batch after the seeding one, for every incremental-strategy query.
+    let stats = session.stream_stats();
+    assert_eq!(stats.batches, batches.len() as u64);
+    assert_eq!(
+        stats.incremental_evals,
+        (batches.len() as u64 - 1) * incr as u64,
+        "all post-seed batches must be delta-served"
+    );
+    assert_eq!(
+        stats.full_evals,
+        incr as u64 + batches.len() as u64 * full as u64,
+        "full evals = one seed per incremental query + every batch for fallbacks"
+    );
+    assert!(stats.delta_added > 0 && stats.delta_removed > 0);
 }
 
 /// The sharded acceptance property: across >= 12 batches with deletions
@@ -338,6 +407,16 @@ fn sharded_agrees_with_single_store_and_rebuild() {
                 "batch {tick}: '{}' sharded-forced-pool vs rebuild",
                 cq.id
             );
+            // Materialized set == full re-evaluation on the sharded
+            // engine whose queries run pooled on the shard workers.
+            let refresh =
+                se_sparql::exec::execute(sharded_pool.store(), &cq.query, &cq.options).unwrap();
+            assert_eq!(
+                normalize(&refresh),
+                want,
+                "batch {tick}: '{}' pooled full re-evaluation vs rebuild",
+                cq.id
+            );
         }
     }
 
@@ -386,6 +465,23 @@ fn sharded_agrees_with_single_store_and_rebuild() {
         "forced pool spawned its workers"
     );
     assert!(deletions > 0, "stream must exercise the deletion path");
+    // Every engine — single-overlay and all three sharded variants —
+    // served the steady state differentially.
+    let (incr, _) = single.registry().strategy_counts();
+    assert!(incr > 0);
+    for (name, stats) in [
+        ("single", single.stream_stats()),
+        ("sharded-inline", sharded_inline.stream_stats()),
+        ("sharded-background", sharded_bg.stream_stats()),
+        ("sharded-pool", sharded_pool.stream_stats()),
+    ] {
+        assert_eq!(
+            stats.incremental_evals,
+            (batches.len() as u64 - 1) * incr as u64,
+            "{name}: all post-seed batches must be delta-served"
+        );
+        assert!(stats.delta_added > 0, "{name}: deltas captured");
+    }
 }
 
 /// The v02 acceptance property: checkpoint both engines **mid-stream** —
@@ -470,6 +566,10 @@ fn save_load_mid_stream_preserves_agreement() {
             ckpt_sharded = StreamSession::resume(&sharded_dir, &onto).unwrap();
             assert_eq!(ckpt_single.registry().len(), shape_queries().len());
             assert_eq!(ckpt_sharded.registry().len(), shape_queries().len());
+            // Resume recomputes strategies but starts unseeded — the
+            // next batch re-seeds the materialized multisets.
+            assert!(ckpt_single.registry().wants_delta());
+            assert!(ckpt_single.registry().iter().all(|q| !q.is_seeded()));
         }
         let out_ls = live_single
             .apply_batch(&batch.inserts, &batch.deletes)
@@ -529,6 +629,20 @@ fn save_load_mid_stream_preserves_agreement() {
                 "batch {tick}: '{}' resumed sharded vs rebuild",
                 cq.id
             );
+            // The checkpointed sessions seed on batch 0, re-seed on the
+            // first post-restart batch, and run differentially on every
+            // other batch — agreeing throughout.
+            if cq.id == "scan" {
+                let expect_incr = tick != 0 && tick != restart_at;
+                assert_eq!(
+                    rs_ckpt.incremental, expect_incr,
+                    "batch {tick}: resumed single"
+                );
+                assert_eq!(
+                    rs_ckpt_sh.incremental, expect_incr,
+                    "batch {tick}: resumed sharded"
+                );
+            }
         }
     }
     ckpt_sharded.store_mut().flush_compactions();
