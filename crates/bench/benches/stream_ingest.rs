@@ -29,7 +29,10 @@ use se_ontology::water_ontology;
 use se_ontology::Ontology;
 use se_rdf::{Graph, Term, Triple};
 use se_sparql::QueryOptions;
-use se_stream::{CompactionPolicy, HybridStore, IngestMode, ShardedHybridStore, StreamSession};
+use se_stream::{
+    CompactionPolicy, HybridStore, IngestMode, ShardedHybridStore, StreamSession, SyncPolicy,
+    WalConfig,
+};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -407,6 +410,54 @@ fn persistence_runs(onto: &Ontology) -> Vec<LatencyRun> {
         "v02 O(delta) save must beat compact-then-dump"
     );
 
+    let _ = std::fs::remove_dir_all(&root);
+    runs
+}
+
+/// WAL sync-policy sweep: per-batch `apply` latency with a write-ahead
+/// log attached under each [`SyncPolicy`], against the same stream with
+/// no log at all. The spread is the durability price list — per-batch
+/// fsync (an ack is durable) down to OS-buffered (fastest, crash loss
+/// up to the flush interval) — to weigh against `persist_v02_save_dirty`,
+/// the checkpoint-granular alternative the WAL rides on top of.
+fn wal_runs(onto: &Ontology) -> Vec<LatencyRun> {
+    const WAL_BATCH_OPS: usize = 64;
+    const WAL_BATCHES: usize = 48;
+    let root = std::env::temp_dir().join(format!("se-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let batches = sweep_stream(WAL_BATCH_OPS, WAL_BATCHES);
+
+    let cells: [(&str, Option<SyncPolicy>); 4] = [
+        ("wal_append_off", None),
+        ("wal_append_every_batch", Some(SyncPolicy::EveryBatch)),
+        ("wal_append_every_8", Some(SyncPolicy::EveryN(8))),
+        ("wal_append_os_buffered", Some(SyncPolicy::OsBuffered)),
+    ];
+    let mut runs = Vec::new();
+    for (label, sync) in cells {
+        let mut h = HybridStore::build(onto, &Graph::new())
+            .unwrap()
+            .with_policy(CompactionPolicy {
+                max_overlay: usize::MAX,
+            });
+        if let Some(sync) = sync {
+            let dir = root.join(label);
+            h.attach_wal(
+                &dir,
+                WalConfig {
+                    sync,
+                    ..WalConfig::default()
+                },
+            )
+            .unwrap();
+        }
+        let mut run = run_latency(label, &batches, |b| {
+            h.apply(&b.inserts, &b.deletes).unwrap();
+        });
+        run.final_len = se_core::TripleSource::len(&h);
+        run.inline_batches = batches.len();
+        runs.push(run);
+    }
     let _ = std::fs::remove_dir_all(&root);
     runs
 }
@@ -794,6 +845,7 @@ fn emit_latency_report(heavy: &[StreamBatch]) {
     }
     runs.extend(continuous_runs(&onto));
     runs.extend(persistence_runs(&onto));
+    runs.extend(wal_runs(&sweep_onto));
     runs.extend(server_runs(&onto));
 
     let entries: Vec<String> = runs.iter().map(LatencyRun::json).collect();

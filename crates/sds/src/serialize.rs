@@ -282,6 +282,40 @@ pub fn read_section<R: io::Read>(r: &mut R) -> Result<([u8; 4], Vec<u8>), Contai
     Ok((tag, payload))
 }
 
+/// Parses one section from the front of `buf` without copying, returning
+/// `(tag, payload, consumed_bytes)`. Unlike [`read_section`] the caller
+/// learns the frame's exact extent, which log-structured readers need:
+/// a checksum mismatch on a frame that runs to the very end of a file is
+/// a torn write, while one followed by more bytes is bit rot.
+pub fn read_section_from(buf: &[u8]) -> Result<([u8; 4], &[u8], usize), ContainerError> {
+    let mut tag = [0u8; 4];
+    if buf.len() < 4 {
+        tag[..buf.len()].copy_from_slice(buf);
+        return Err(ContainerError::Truncated { section: tag });
+    }
+    tag.copy_from_slice(&buf[..4]);
+    if buf.len() < 12 {
+        return Err(ContainerError::Truncated { section: tag });
+    }
+    let len = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    // The declared length is untrusted: checked arithmetic so a corrupted
+    // (huge) len reports truncation instead of overflowing.
+    let end = (len.checked_add(20))
+        .filter(|total| *total <= buf.len() as u64)
+        .ok_or(ContainerError::Truncated { section: tag })? as usize;
+    let payload = &buf[12..end - 8];
+    let expected = u64::from_le_bytes(buf[end - 8..end].try_into().unwrap());
+    let found = checksum64(payload);
+    if expected != found {
+        return Err(ContainerError::Checksum {
+            section: tag,
+            expected,
+            found,
+        });
+    }
+    Ok((tag, payload, end))
+}
+
 /// Reads the next section and checks it carries `tag` — the reader-side
 /// contract for formats whose section order is fixed.
 pub fn expect_section<R: io::Read>(r: &mut R, tag: &[u8; 4]) -> Result<Vec<u8>, ContainerError> {
@@ -370,6 +404,42 @@ mod tests {
                 found: 9,
                 max_supported: 2
             })
+        ));
+    }
+
+    #[test]
+    fn section_from_slice_reports_consumed_bytes() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, b"ALFA", b"one").unwrap();
+        let first_len = buf.len();
+        write_section(&mut buf, b"BETA", b"two!").unwrap();
+        let (tag, payload, used) = read_section_from(&buf).unwrap();
+        assert_eq!((&tag, payload, used), (b"ALFA", &b"one"[..], first_len));
+        let (tag, payload, used) = read_section_from(&buf[first_len..]).unwrap();
+        assert_eq!(
+            (&tag, payload, used),
+            (b"BETA", &b"two!"[..], buf.len() - first_len)
+        );
+
+        // Truncation anywhere inside the frame, including a huge declared
+        // length, is Truncated; a flipped payload bit is Checksum.
+        for cut in [1, 5, 11, first_len - 1] {
+            assert!(matches!(
+                read_section_from(&buf[..cut]),
+                Err(ContainerError::Truncated { .. })
+            ));
+        }
+        let mut huge = buf.clone();
+        huge[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            read_section_from(&huge),
+            Err(ContainerError::Truncated { .. })
+        ));
+        let mut corrupt = buf.clone();
+        corrupt[13] ^= 0x01;
+        assert!(matches!(
+            read_section_from(&corrupt),
+            Err(ContainerError::Checksum { .. })
         ));
     }
 

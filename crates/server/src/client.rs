@@ -10,8 +10,27 @@ use se_rdf::Graph;
 use se_sds::{ReadBin, WriteBin};
 use se_sparql::{QueryOptions, ResultSet};
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// The inner error of every timeout the client reports: a configured
+/// [`Client::set_read_timeout`] elapsed before a frame arrived. The
+/// connection is still synchronized (nothing of the next frame was
+/// consumed), so the same call can simply be retried. Test with
+/// [`Client::is_timeout`] rather than matching [`io::ErrorKind`] — the
+/// kind of a timeout differs across platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadTimedOut;
+
+impl fmt::Display for ReadTimedOut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "read timed out before a frame arrived")
+    }
+}
+
+impl std::error::Error for ReadTimedOut {}
 
 /// The ack of one ingest request: aggregate accounting for the whole
 /// group-commit tick the request rode in.
@@ -119,6 +138,7 @@ pub struct Client {
     stream: TcpStream,
     pending_pushes: VecDeque<Push>,
     views: HashMap<String, View>,
+    read_timeout: Option<Duration>,
 }
 
 impl Client {
@@ -130,7 +150,53 @@ impl Client {
             stream,
             pending_pushes: VecDeque::new(),
             views: HashMap::new(),
+            read_timeout: None,
         })
+    }
+
+    /// Bounds how long any read ([`Client::next_push`] and every
+    /// request's reply wait) blocks before failing with a retryable
+    /// timeout — `None` (the default) blocks forever. On a timeout the
+    /// error satisfies [`Client::is_timeout`] and the connection stays
+    /// synchronized: the wait only *peeks* at the socket, so no frame is
+    /// ever half-read, and the caller can retry the same call.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+    }
+
+    /// Whether `e` is this client's read timeout — i.e. retrying the
+    /// call that returned it is safe and meaningful.
+    pub fn is_timeout(e: &io::Error) -> bool {
+        e.get_ref().is_some_and(|inner| inner.is::<ReadTimedOut>())
+    }
+
+    /// Blocks until at least one byte of the next frame is available (or
+    /// the configured timeout elapses) without consuming anything, then
+    /// clears the socket timeout so the frame itself is read whole.
+    fn wait_for_frame(&mut self) -> io::Result<()> {
+        let Some(limit) = self.read_timeout else {
+            return Ok(());
+        };
+        self.stream.set_read_timeout(Some(limit))?;
+        let mut probe = [0u8; 1];
+        let ready = match self.stream.peek(&mut probe) {
+            Ok(0) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            Ok(_) => Ok(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(io::Error::new(io::ErrorKind::TimedOut, ReadTimedOut))
+            }
+            Err(e) => Err(e),
+        };
+        self.stream.set_read_timeout(None)?;
+        ready
     }
 
     /// Sends one write batch; blocks until its group-commit tick is
@@ -186,6 +252,7 @@ impl Client {
         if let Some(push) = self.pending_pushes.pop_front() {
             return Ok(push);
         }
+        self.wait_for_frame()?;
         let (kind, body) = read_frame(&mut self.stream)?;
         if kind == proto::resp::PUSH {
             return self.parse_push(&body);
@@ -228,6 +295,7 @@ impl Client {
     fn request(&mut self, kind: u8, payload: &[u8]) -> io::Result<(u8, Vec<u8>)> {
         write_frame(&mut self.stream, kind, payload)?;
         loop {
+            self.wait_for_frame()?;
             let (kind, body) = read_frame(&mut self.stream)?;
             if kind == proto::resp::PUSH {
                 let push = self.parse_push(&body)?;

@@ -44,6 +44,11 @@ use std::time::{Duration, Instant};
 /// (request replies) and the writer thread (subscription pushes).
 type ClientSink = Arc<Mutex<TcpStream>>;
 
+/// How often an idle connection thread wakes to check the stop flag.
+/// Bounded so `SHUTDOWN` never hangs on a quiet subscriber whose
+/// connection thread would otherwise block in a read forever.
+const CONN_POLL: Duration = Duration::from_millis(50);
+
 /// One active subscription as the writer sees it.
 struct Sub {
     sink: ClientSink,
@@ -377,6 +382,11 @@ fn writer_loop(
             break;
         }
     }
+    // Graceful exit: drain any WAL appends still buffered under a
+    // relaxed sync policy, so every acked batch is durable before the
+    // server reports itself stopped. With `SyncPolicy::EveryBatch` this
+    // is a no-op — acks are already durable when they are sent.
+    let _ = session.store().wal_flush();
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -437,6 +447,30 @@ fn serve_connection(
     let mut reader = stream.try_clone()?;
     let sink: ClientSink = Arc::new(Mutex::new(stream));
     loop {
+        // Wait for the next frame with a bounded peek so the thread can
+        // observe the stop flag between frames. The peek consumes
+        // nothing; once a byte is visible the timeout is cleared and the
+        // frame is read blocking, so a frame can never be torn in half
+        // by the poll interval.
+        reader.set_read_timeout(Some(CONN_POLL))?;
+        let mut probe = [0u8; 1];
+        match reader.peek(&mut probe) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(_) => return Ok(()),
+        }
+        reader.set_read_timeout(None)?;
         let (kind, payload) = match read_frame(&mut reader) {
             Ok(frame) => frame,
             Err(_) => return Ok(()), // client hung up

@@ -8,8 +8,19 @@ use se_ontology::water_ontology;
 use se_rdf::{Graph, Term, Triple};
 use se_server::{Client, Server, ServerConfig};
 use se_sparql::{QueryOptions, ResultSet};
-use se_stream::{ShardedHybridStore, StreamSession};
+use se_stream::{ShardedHybridStore, StreamSession, WalConfig};
+use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("se-server-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cleanup(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}
 
 fn normalize(rs: &ResultSet) -> Vec<String> {
     let mut rows: Vec<String> = rs.rows.iter().map(|r| format!("{r:?}")).collect();
@@ -236,6 +247,120 @@ fn malformed_and_unknown_requests_leave_the_connection_usable() {
     assert_eq!(rows.results.len(), 1);
     assert!(rows.epoch >= 1);
 
+    c.shutdown().unwrap();
+    server.join();
+}
+
+/// With a WAL attached under the default `EveryBatch` policy, an ingest
+/// ack *is* a durability receipt: after `SHUTDOWN` (or a crash — the
+/// crash matrix in `tests/crash_recovery.rs` covers that side), a
+/// restarted store recovers exactly the acked epoch, and a new server
+/// over it serves the same data.
+#[test]
+fn server_restart_recovers_every_acked_batch() {
+    let dir = scratch("restart");
+    let ontology = water_ontology();
+    let mut store = ShardedHybridStore::build(&ontology, &Graph::new(), 2).unwrap();
+    store.attach_wal(&dir, WalConfig::default()).unwrap();
+    let server = Server::start(store, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // An idle subscriber: a never-matching query gets its empty initial
+    // frame on the first tick and then no traffic at all, so its
+    // connection thread sits in a frame read. Shutdown must still
+    // complete promptly and close this connection (the bounded-poll
+    // loop in the server).
+    let mut idle = Client::connect(addr).unwrap();
+    idle.subscribe(
+        "quiet",
+        "SELECT ?s ?o WHERE { ?s <http://x/never> ?o }",
+        &QueryOptions::default(),
+    )
+    .unwrap();
+
+    let mut c = Client::connect(addr).unwrap();
+    let mut last_acked = 0;
+    for b in 0..5 {
+        let ack = c
+            .ingest(&partition_batch(0, b, PER_BATCH), &Graph::new())
+            .unwrap();
+        last_acked = ack.epoch;
+    }
+    let initial = idle.next_push().unwrap();
+    assert!(initial.initial && initial.results.rows.is_empty());
+    c.shutdown().unwrap();
+    server.join();
+
+    // The idle subscriber observes the shutdown as a closed connection
+    // — within its read timeout, not as a hang or a timeout error.
+    idle.set_read_timeout(Some(Duration::from_secs(10)));
+    let err = idle.next_push().unwrap_err();
+    assert!(
+        !Client::is_timeout(&err),
+        "idle connection was not closed by shutdown: {err}"
+    );
+
+    // Restart: manifest + WAL replay lands exactly on the acked epoch.
+    let recovered = ShardedHybridStore::load(&dir, &ontology).unwrap();
+    assert_eq!(recovered.epoch(), last_acked);
+
+    let server = Server::start(recovered, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let rows = c
+        .query(&partition_query(0), &QueryOptions::default())
+        .unwrap();
+    assert_eq!(rows.results.len(), 5 * PER_BATCH);
+    // And the recovered server keeps taking (and logging) new batches.
+    let ack = c
+        .ingest(&partition_batch(0, 5, PER_BATCH), &Graph::new())
+        .unwrap();
+    assert_eq!(ack.epoch, last_acked + 1);
+    c.shutdown().unwrap();
+    server.join();
+    cleanup(&dir);
+}
+
+/// The client's opt-in read timeout: waiting for a push that never
+/// comes fails with a typed, retryable timeout instead of blocking
+/// forever — and the connection stays fully usable afterwards.
+#[test]
+fn client_read_timeout_is_typed_and_retryable() {
+    let store = ShardedHybridStore::build(&water_ontology(), &Graph::new(), 2).unwrap();
+    let server = Server::start(store, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.subscribe(
+        "quiet",
+        "SELECT ?s ?o WHERE { ?s <http://x/never> ?o }",
+        &QueryOptions::default(),
+    )
+    .unwrap();
+    // One tick to flush the subscription's (empty) initial frame.
+    c.ingest(
+        &Graph::from_triples([Triple::new(
+            Term::iri("http://x/s"),
+            Term::iri("http://x/p"),
+            Term::iri("http://x/o"),
+        )]),
+        &Graph::new(),
+    )
+    .unwrap();
+    let _initial = c.next_push().unwrap();
+
+    // No further pushes are coming: the bounded wait times out with an
+    // error the caller can identify and act on.
+    c.set_read_timeout(Some(Duration::from_millis(50)));
+    let err = c.next_push().unwrap_err();
+    assert!(Client::is_timeout(&err), "expected a timeout, got: {err}");
+
+    // Nothing of the next frame was consumed: the same connection still
+    // serves requests (and their replies are not misframed).
+    let rows = c
+        .query(
+            "SELECT ?s WHERE { ?s <http://x/p> ?s }",
+            &QueryOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(rows.results.len(), 0);
     c.shutdown().unwrap();
     server.join();
 }

@@ -48,6 +48,14 @@ pub trait StreamStore: TripleSource {
     fn shared_runtime(&self) -> Option<&ShardRuntime> {
         None
     }
+
+    /// Drains any buffered write-ahead-log records to disk. A no-op for
+    /// stores without an attached WAL; callers that stop applying
+    /// batches (graceful shutdown) use it to make the tail durable under
+    /// lazy sync policies.
+    fn wal_flush(&self) -> Result<(), StreamError> {
+        Ok(())
+    }
 }
 
 impl StreamStore for HybridStore {
@@ -61,6 +69,10 @@ impl StreamStore for HybridStore {
 
     fn set_delta_capture(&mut self, on: bool) {
         HybridStore::set_delta_capture(self, on);
+    }
+
+    fn wal_flush(&self) -> Result<(), StreamError> {
+        HybridStore::wal_flush(self)
     }
 }
 
@@ -79,6 +91,10 @@ impl StreamStore for ShardedHybridStore {
 
     fn shared_runtime(&self) -> Option<&ShardRuntime> {
         self.runtime()
+    }
+
+    fn wal_flush(&self) -> Result<(), StreamError> {
+        ShardedHybridStore::wal_flush(self)
     }
 }
 

@@ -25,8 +25,11 @@ pub enum StreamError {
     Worker(String),
     /// A persisted store failed structural validation: bad magic, a
     /// truncated or checksum-mismatching section, a dangling manifest
-    /// reference, or internally inconsistent metadata. The on-disk state
-    /// is left untouched; nothing is partially loaded.
+    /// reference, internally inconsistent metadata, or write-ahead-log
+    /// damage *before* the torn tail (a bad record that is not the
+    /// interrupted final append, or an epoch gap between the manifest
+    /// and the log). The on-disk state is left untouched; nothing is
+    /// partially loaded.
     Corrupt(String),
     /// A persisted store was written by a newer format version than this
     /// build reads.

@@ -33,6 +33,7 @@
 
 use crate::delta::{DeltaObj, DeltaState, DeltaStore};
 use crate::error::StreamError;
+use crate::persist::SaveReport;
 use se_core::builder::{instance_key, key_to_term_arc};
 use se_core::{SuccinctEdgeStore, TripleSource, Value};
 use se_litemat::IdInterval;
@@ -49,6 +50,15 @@ use std::time::{Duration, Instant};
 /// overlay literals. LiteMat codes and flat-literal indices stay far below
 /// this in any realistic store.
 pub const OVERFLOW_BASE: u64 = 1 << 62;
+
+/// Locks a store's WAL slot, surviving a poisoned mutex (the WAL's own
+/// state is fail-stop: a panicked appender leaves it no worse than a
+/// crash, which recovery is built for).
+pub(crate) fn lock_wal(
+    m: &std::sync::Mutex<Option<crate::wal::Wal>>,
+) -> std::sync::MutexGuard<'_, Option<crate::wal::Wal>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// When to fold the overlay into the succinct baseline.
 #[derive(Debug, Clone, Copy)]
@@ -307,6 +317,12 @@ pub struct HybridStore {
     /// term-space changes on its report (for incremental continuous-query
     /// evaluation). Off by default: plain ingest pays nothing.
     capture_delta: bool,
+    /// Write-ahead log, when attached ([`attach_wal`]): every `apply`
+    /// appends its net delta before returning, making durability
+    /// per-batch. Interior mutability because `save` takes `&self` and
+    /// must truncate covered segments after its manifest rename.
+    /// [`attach_wal`]: HybridStore::attach_wal
+    pub(crate) wal: std::sync::Mutex<Option<crate::wal::Wal>>,
 }
 
 impl Clone for HybridStore {
@@ -336,6 +352,9 @@ impl Clone for HybridStore {
             pins: Arc::new(AtomicUsize::new(0)),
             snapshots_taken: AtomicUsize::new(self.snapshots_taken.load(Ordering::Relaxed)),
             capture_delta: self.capture_delta,
+            // A log is an exclusive append stream over one directory: the
+            // clone starts without one and attaches its own if needed.
+            wal: std::sync::Mutex::new(None),
         }
     }
 }
@@ -362,6 +381,7 @@ impl HybridStore {
             pins: Arc::new(AtomicUsize::new(0)),
             snapshots_taken: AtomicUsize::new(0),
             capture_delta: false,
+            wal: std::sync::Mutex::new(None),
         }
     }
 
@@ -396,6 +416,7 @@ impl HybridStore {
             pins: Arc::new(AtomicUsize::new(0)),
             snapshots_taken: AtomicUsize::new(0),
             capture_delta: false,
+            wal: std::sync::Mutex::new(None),
         }
     }
 
@@ -567,13 +588,52 @@ impl HybridStore {
         self.capture_delta
     }
 
+    /// Attaches a write-ahead log over `dir`: first checkpoints the
+    /// store there (so the directory always holds a manifest the log's
+    /// records chain onto), then every successful [`apply`] appends the
+    /// batch's net delta per `config` before returning. [`load`] replays
+    /// the tail past the manifest automatically; the recovered store has
+    /// no log attached — call `attach_wal` again to keep appending.
+    ///
+    /// [`apply`]: HybridStore::apply
+    /// [`load`]: HybridStore::load
+    pub fn attach_wal(
+        &mut self,
+        dir: &Path,
+        config: crate::wal::WalConfig,
+    ) -> Result<SaveReport, StreamError> {
+        let report = self.save(dir)?;
+        let wal = crate::wal::Wal::open(dir, config)?;
+        *lock_wal(&self.wal) = Some(wal);
+        Ok(report)
+    }
+
+    /// Whether a write-ahead log is attached.
+    pub fn wal_attached(&self) -> bool {
+        lock_wal(&self.wal).is_some()
+    }
+
+    /// Fsyncs any buffered log records (a no-op without an attached log
+    /// or under [`SyncPolicy::EveryBatch`](crate::wal::SyncPolicy), where
+    /// every record is already durable) — the graceful-shutdown drain.
+    pub fn wal_flush(&self) -> Result<(), StreamError> {
+        match lock_wal(&self.wal).as_mut() {
+            Some(wal) => wal.flush(),
+            None => Ok(()),
+        }
+    }
+
     /// Applies one batch: deletions first, then insertions (an insert of a
     /// triple deleted in the same batch wins). Compacts afterwards if the
-    /// overlay crossed the policy threshold.
+    /// overlay crossed the policy threshold. With a WAL attached the
+    /// record is appended (and synced per policy) before `Ok` returns:
+    /// an error means the batch must not be acknowledged — it is applied
+    /// in memory but its durability is unknown.
     pub fn apply(&mut self, inserts: &Graph, deletes: &Graph) -> Result<IngestReport, StreamError> {
         let t0 = Instant::now();
+        let wal_on = self.wal_attached();
         let mut report = IngestReport::default();
-        let mut events: Option<Vec<(Triple, i64)>> = self.capture_delta.then(Vec::new);
+        let mut events: Option<Vec<(Triple, i64)>> = (self.capture_delta || wal_on).then(Vec::new);
         for t in deletes {
             if self.delete_triple(t)? {
                 report.deleted += 1;
@@ -594,7 +654,7 @@ impl HybridStore {
                 report.noops += 1;
             }
         }
-        report.delta = events.map(BatchDelta::from_events);
+        let delta = events.map(BatchDelta::from_events);
         report.ingest = t0.elapsed();
         self.stats.total_inserted += report.inserted;
         self.stats.total_deleted += report.deleted;
@@ -606,6 +666,15 @@ impl HybridStore {
             report.compaction = t1.elapsed();
         }
         self.epoch += 1;
+        if wal_on {
+            let d = delta.as_ref().expect("wal_on forces event capture");
+            if let Some(wal) = lock_wal(&self.wal).as_mut() {
+                wal.append(self.epoch, d)?;
+            }
+        }
+        // The report only carries the delta when the caller asked for
+        // capture — the WAL forcing events internally stays invisible.
+        report.delta = if self.capture_delta { delta } else { None };
         Ok(report)
     }
 

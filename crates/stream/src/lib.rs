@@ -112,12 +112,14 @@
 pub mod continuous;
 pub mod delta;
 pub mod error;
+pub mod fault;
 pub mod hybrid;
 pub mod incremental;
 pub mod persist;
 pub mod runtime;
 pub mod shard;
 pub mod snapshot;
+pub mod wal;
 
 pub use continuous::{
     BatchOutcome, ContinuousQuery, ContinuousQueryRegistry, ContinuousResult, StreamSession,
@@ -137,6 +139,7 @@ pub use shard::{
     PIPELINE_CHUNK, POOL_MIN_OPS,
 };
 pub use snapshot::StoreSnapshot;
+pub use wal::{SyncPolicy, WalConfig, WalRecord};
 
 #[cfg(test)]
 mod tests {

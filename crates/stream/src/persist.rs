@@ -150,7 +150,7 @@ use se_core::typestore::RdfTypeStore;
 use se_core::SuccinctEdgeStore;
 use se_litemat::{Dictionaries, InstanceDictionary, LiteMatDictionary};
 use se_ontology::Ontology;
-use se_rdf::Literal;
+use se_rdf::{Graph, Literal};
 use se_sds::{
     checksum64, expect_section, read_container_header, write_container_header, write_section,
     ReadBin, Serialize, WriteBin,
@@ -253,13 +253,14 @@ fn lock<'a, T>(m: &'a std::sync::Mutex<T>) -> MutexGuard<'a, T> {
 }
 
 /// Writes `bytes` to `path` via a temp file + rename, so readers only
-/// ever see complete files.
+/// ever see complete files. Both steps run through the fault-injection
+/// shim ([`crate::fault`]) — in production a transparent pass-through.
 fn write_file_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
-    std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, path)
+    crate::fault::write_file(&tmp, bytes)?;
+    crate::fault::rename(&tmp, path)
 }
 
 /// Smallest number strictly greater than every digit run appearing in
@@ -268,7 +269,7 @@ fn write_file_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
 /// earlier process whose in-memory counters restarted — so overwriting
 /// a still-referenced snapshot file before the new manifest lands is
 /// impossible by construction.
-fn next_file_seq(dir: &Path) -> io::Result<u64> {
+pub(crate) fn next_file_seq(dir: &Path) -> io::Result<u64> {
     let mut max = 0u64;
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
@@ -299,7 +300,7 @@ fn remove_matching(dir: &Path, stale: impl Fn(&str) -> bool) -> io::Result<()> {
         let entry = entry?;
         if let Some(name) = entry.file_name().to_str() {
             if stale(name) {
-                let _ = std::fs::remove_file(entry.path());
+                let _ = crate::fault::remove_file(&entry.path());
             }
         }
     }
@@ -327,9 +328,17 @@ fn invalid<T>(msg: impl Into<String>) -> io::Result<T> {
     Err(io::Error::new(io::ErrorKind::InvalidData, msg.into()))
 }
 
+/// Caps a pre-allocation driven by an untrusted on-disk length prefix:
+/// the vector still grows to the real element count as parsing proceeds,
+/// but a corrupted (huge) count can no longer abort the process on an
+/// up-front `with_capacity` before truncation is detected.
+fn capped(n: u64) -> usize {
+    n.min(1 << 16) as usize
+}
+
 // ------------------------------------------------------ literal encoding
 
-fn write_literal(w: &mut Vec<u8>, lit: &Literal) -> io::Result<()> {
+pub(crate) fn write_literal(w: &mut Vec<u8>, lit: &Literal) -> io::Result<()> {
     w.write_str(&lit.value)?;
     let flags = u8::from(lit.datatype.is_some()) | (u8::from(lit.language.is_some()) << 1);
     w.write_u8(flags)?;
@@ -342,7 +351,7 @@ fn write_literal(w: &mut Vec<u8>, lit: &Literal) -> io::Result<()> {
     Ok(())
 }
 
-fn read_literal(r: &mut &[u8]) -> io::Result<Literal> {
+pub(crate) fn read_literal(r: &mut &[u8]) -> io::Result<Literal> {
     let value = r.read_str()?;
     let flags = r.read_u8()?;
     if flags > 3 {
@@ -501,7 +510,7 @@ fn ovf_instances_bytes(d: &OverflowInstances) -> Vec<u8> {
 fn ovf_instances_from_bytes(mut r: &[u8]) -> io::Result<OverflowInstances> {
     let base_len = r.read_u64()?;
     let n = r.read_u64()?;
-    let mut keys = Vec::with_capacity(n as usize);
+    let mut keys = Vec::with_capacity(capped(n));
     for _ in 0..n {
         keys.push(r.read_str()?);
     }
@@ -579,6 +588,14 @@ impl HybridStore {
         remove_matching(dir, |n| {
             n.starts_with("baseline-g") && n.ends_with(".v01") && n != mark.file
         })?;
+        // WAL maintenance, also only after the rename: the new manifest
+        // covers every record up to `self.epoch`, so sealed segments at
+        // or below it are dead weight.
+        if let Some(wal) = lock(&self.wal).as_mut() {
+            if wal.dir() == dir {
+                wal.checkpoint(self.epoch)?;
+            }
+        }
         *guard = Some(mark);
         Ok(report)
     }
@@ -645,7 +662,7 @@ impl HybridStore {
             checksum,
             bytes: bytes_len,
         };
-        Ok(HybridStore::from_loaded(
+        let mut store = HybridStore::from_loaded(
             base,
             ontology.clone(),
             delta,
@@ -658,8 +675,34 @@ impl HybridStore {
             generation,
             epoch,
             Some(mark),
-        ))
+        );
+        replay_wal(&mut store, path, epoch, |s, ins, del| {
+            s.apply(ins, del).map(|_| ())
+        })?;
+        Ok(store)
     }
+}
+
+/// Replays the WAL tail past `manifest_epoch` into a freshly loaded
+/// store. Each record is one batch whose net delta replays through the
+/// ordinary `apply` — the epoch counter advances exactly to the last
+/// record's epoch because [`crate::wal::recover`] verified the records
+/// are consecutive. The store has no WAL attached at this point, so
+/// replaying does not re-append.
+fn replay_wal<S>(
+    store: &mut S,
+    dir: &Path,
+    manifest_epoch: u64,
+    mut apply: impl FnMut(&mut S, &Graph, &Graph) -> Result<(), StreamError>,
+) -> Result<(), StreamError> {
+    for rec in crate::wal::recover(dir, manifest_epoch)? {
+        apply(
+            store,
+            &Graph::from_triples(rec.delta.added),
+            &Graph::from_triples(rec.delta.removed),
+        )?;
+    }
+    Ok(())
 }
 
 // ------------------------------------------- sharded store file encoding
@@ -824,7 +867,7 @@ fn routing_bytes(assignments: &HashMap<u64, usize>) -> Vec<u8> {
 
 fn routing_from_bytes(r: &mut &[u8], n_shards: usize) -> io::Result<HashMap<u64, usize>> {
     let n = r.read_u64()?;
-    let mut map = HashMap::with_capacity(n as usize);
+    let mut map = HashMap::with_capacity(capped(n));
     for _ in 0..n {
         let id = r.read_u64()?;
         let shard = r.read_u64()? as usize;
@@ -1039,6 +1082,13 @@ impl ShardedHybridStore {
         remove_matching(dir, |name| {
             name.starts_with("dicts-g") && name.ends_with(".bin") && name != dicts_file
         })?;
+        // WAL maintenance, also only after the rename: the new manifest
+        // covers every record up to `self.epoch`.
+        if let Some(wal) = lock(&self.wal).as_mut() {
+            if wal.dir() == dir {
+                wal.checkpoint(self.epoch)?;
+            }
+        }
 
         *guard = Some(ShardedMark {
             dir: dir.to_path_buf(),
@@ -1100,6 +1150,15 @@ impl ShardedHybridStore {
         if n_shards == 0 {
             return Err(StreamError::Corrupt("manifest declares zero shards".into()));
         }
+        // n_shards drives `with_capacity` pre-allocations below and the
+        // worker-fleet size after the load: an untrusted huge count is
+        // corruption, not a request for a million threads.
+        if n_shards > crate::shard::MAX_SHARDS {
+            return Err(StreamError::Corrupt(format!(
+                "manifest declares {n_shards} shards (this build caps at {})",
+                crate::shard::MAX_SHARDS
+            )));
+        }
         if stride != LIT_SHARD_STRIDE {
             return Err(StreamError::Corrupt(format!(
                 "literal shard stride {stride:#x} differs from this build's {LIT_SHARD_STRIDE:#x}"
@@ -1124,7 +1183,7 @@ impl ShardedHybridStore {
         let mut s = iseg.as_slice();
         let segments = (|| -> io::Result<Vec<SegmentRef>> {
             let n = s.read_u64()?;
-            let mut segs = Vec::with_capacity(n as usize);
+            let mut segs = Vec::with_capacity(capped(n));
             for _ in 0..n {
                 segs.push(SegmentRef {
                     file: s.read_str()?,
@@ -1232,7 +1291,7 @@ impl ShardedHybridStore {
             instances_persisted: inst_len,
             shard_files: shard_marks,
         };
-        Ok(ShardedHybridStore::from_loaded_parts(
+        let mut store = ShardedHybridStore::from_loaded_parts(
             dicts,
             ontology.clone(),
             shards,
@@ -1243,7 +1302,11 @@ impl ShardedHybridStore {
             CompactionPolicy { max_overlay },
             epoch,
             Some(mark),
-        ))
+        );
+        replay_wal(&mut store, dir, epoch, |s, ins, del| {
+            s.apply(ins, del).map(|_| ())
+        })?;
+        Ok(store)
     }
 }
 
@@ -1322,7 +1385,7 @@ impl<S: StreamStore + PersistentStore> StreamSession<S> {
         let mut q = qrys.as_slice();
         let queries = (|| -> io::Result<Vec<(String, String, se_sparql::QueryOptions)>> {
             let n = q.read_u64()?;
-            let mut out = Vec::with_capacity(n as usize);
+            let mut out = Vec::with_capacity(capped(n));
             for _ in 0..n {
                 let id = q.read_str()?;
                 let text = q.read_str()?;

@@ -81,6 +81,7 @@ use se_ontology::Ontology;
 use se_rdf::{Graph, Literal, Term, Triple};
 use std::any::Any;
 use std::collections::{BTreeSet, HashMap};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -564,6 +565,12 @@ pub struct ShardedHybridStore {
     /// reports the batch's net term-space changes (for incremental
     /// continuous-query evaluation). Off by default.
     capture_delta: bool,
+    /// Write-ahead log, when attached
+    /// ([`attach_wal`](ShardedHybridStore::attach_wal)): every `apply`
+    /// appends its net delta before returning. Interior mutability
+    /// because `save` takes `&self` and must truncate covered segments
+    /// after its manifest rename.
+    pub(crate) wal: std::sync::Mutex<Option<crate::wal::Wal>>,
 }
 
 impl ShardedHybridStore {
@@ -673,6 +680,7 @@ impl ShardedHybridStore {
             pins: Arc::new(AtomicUsize::new(0)),
             snapshots_taken: AtomicUsize::new(0),
             capture_delta: false,
+            wal: std::sync::Mutex::new(None),
         })
     }
 
@@ -714,6 +722,7 @@ impl ShardedHybridStore {
             pins: Arc::new(AtomicUsize::new(0)),
             snapshots_taken: AtomicUsize::new(0),
             capture_delta: false,
+            wal: std::sync::Mutex::new(None),
         }
     }
 
@@ -845,6 +854,7 @@ impl ShardedHybridStore {
             pins: Arc::new(AtomicUsize::new(0)),
             snapshots_taken: AtomicUsize::new(0),
             capture_delta: false,
+            wal: std::sync::Mutex::new(None),
         }
     }
 
@@ -922,7 +932,8 @@ impl ShardedHybridStore {
         // through the restore, so a malformed batch never loses the
         // buffers.
         let mut staging = std::mem::take(&mut self.staging);
-        let mut effects: Option<Vec<EffOp>> = self.capture_delta.then(Vec::new);
+        let wal_on = self.wal_attached();
+        let mut effects: Option<Vec<EffOp>> = (self.capture_delta || wal_on).then(Vec::new);
         let counts = if pooled {
             self.stats.pooled_batches += 1;
             self.apply_pooled(inserts, deletes, &mut staging, &mut report, &mut effects)
@@ -934,7 +945,7 @@ impl ShardedHybridStore {
         }
         self.staging = staging;
         let (ins, del, noop) = counts?;
-        report.delta = effects.map(|eff| self.decode_effects(eff));
+        let delta = effects.map(|eff| self.decode_effects(eff));
         report.inserted += ins;
         report.deleted += del;
         report.noops += noop;
@@ -960,6 +971,15 @@ impl ShardedHybridStore {
         report.compaction = compaction_time;
         self.gc_literals();
         self.epoch += 1;
+        if wal_on {
+            let d = delta.as_ref().expect("wal_on forces effect capture");
+            if let Some(wal) = crate::hybrid::lock_wal(&self.wal).as_mut() {
+                wal.append(self.epoch, d)?;
+            }
+        }
+        // The report only carries the delta when the caller asked for
+        // capture — the WAL forcing effects internally stays invisible.
+        report.delta = if self.capture_delta { delta } else { None };
         Ok(report)
     }
 
@@ -1162,6 +1182,39 @@ impl ShardedHybridStore {
     /// Whether `apply` reports carry a [`BatchDelta`].
     pub fn delta_capture(&self) -> bool {
         self.capture_delta
+    }
+
+    /// Attaches a write-ahead log over `dir`: first checkpoints the
+    /// store there (so the directory always holds a manifest the log's
+    /// records chain onto), then every successful `apply` appends the
+    /// batch's net delta per `config` before returning.
+    /// [`load`](ShardedHybridStore::load) replays the tail past the
+    /// manifest automatically; the recovered store has no log attached —
+    /// call `attach_wal` again to keep appending.
+    pub fn attach_wal(
+        &mut self,
+        dir: &Path,
+        config: crate::wal::WalConfig,
+    ) -> Result<crate::persist::SaveReport, StreamError> {
+        let report = self.save(dir)?;
+        let wal = crate::wal::Wal::open(dir, config)?;
+        *crate::hybrid::lock_wal(&self.wal) = Some(wal);
+        Ok(report)
+    }
+
+    /// Whether a write-ahead log is attached.
+    pub fn wal_attached(&self) -> bool {
+        crate::hybrid::lock_wal(&self.wal).is_some()
+    }
+
+    /// Fsyncs any buffered log records (a no-op without an attached log
+    /// or under [`SyncPolicy::EveryBatch`](crate::wal::SyncPolicy)) —
+    /// the graceful-shutdown drain.
+    pub fn wal_flush(&self) -> Result<(), StreamError> {
+        match crate::hybrid::lock_wal(&self.wal).as_mut() {
+            Some(wal) => wal.flush(),
+            None => Ok(()),
+        }
     }
 
     /// Decodes the workers' gathered effective ops back to term space and

@@ -21,6 +21,21 @@
 //! ```text
 //! cargo run --example stream_server
 //! ```
+//!
+//! Two extra modes drive the durability story end to end (the CI
+//! crash-recovery job runs them back to back):
+//!
+//! ```text
+//! cargo run --example stream_server -- --crash <dir> <batches>
+//! cargo run --example stream_server -- --recover <dir> <batches>
+//! ```
+//!
+//! `--crash` serves a WAL-attached store, ingests `<batches>` ack-gated
+//! batches over TCP and then kills the process without any shutdown —
+//! no writer drain, no checkpoint, destructors skipped. `--recover`
+//! reopens the directory the way a restarted server would, asserts the
+//! recovered epoch equals every acked batch, re-serves the data and
+//! shuts down gracefully.
 
 use std::time::Duration;
 use succinct_edge::datagen::water::{generate_stream, WaterConfig};
@@ -29,7 +44,7 @@ use succinct_edge::ontology::water_ontology;
 use succinct_edge::rdf::{Graph, Term, Triple};
 use succinct_edge::server::{Client, Server, ServerConfig};
 use succinct_edge::sparql::{QueryOptions, ResultSet};
-use succinct_edge::stream::{ShardedHybridStore, StreamSession};
+use succinct_edge::stream::{ShardedHybridStore, StreamSession, WalConfig};
 
 /// Sorted row strings: result sets compare as multisets.
 fn normalize(rs: &ResultSet) -> Vec<String> {
@@ -50,7 +65,86 @@ fn side_batch(k: usize, round: usize) -> Graph {
     }))
 }
 
+/// Batch `i` of the crash workload: three distinct readings, so epoch
+/// `e` implies exactly `3 * e` rows under the crash feed.
+fn crash_batch(i: u64) -> Graph {
+    Graph::from_triples((0..3).map(|j| {
+        Triple::new(
+            Term::iri(format!("http://crash.example/s{i}_{j}")),
+            Term::iri("http://crash.example/feed"),
+            Term::literal(format!("{}", i * 3 + j)),
+        )
+    }))
+}
+
+const CRASH_QUERY: &str = "SELECT ?s ?v WHERE { ?s <http://crash.example/feed> ?v }";
+
+/// `--crash`: ingest `batches` ack-gated batches into a WAL-attached
+/// server, then die without any shutdown path running.
+fn crash_mode(dir: &std::path::Path, batches: u64) -> ! {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut store =
+        ShardedHybridStore::build(&water_ontology(), &Graph::new(), 2).expect("store builds");
+    store
+        .attach_wal(dir, WalConfig::default())
+        .expect("wal attaches");
+    let server =
+        Server::start(store, "127.0.0.1:0", ServerConfig::default()).expect("server binds");
+    let mut c = Client::connect(server.addr()).expect("client connects");
+    let mut acked = 0;
+    for i in 0..batches {
+        acked = c.ingest(&crash_batch(i), &Graph::new()).expect("ack").epoch;
+    }
+    println!("crash: {acked} batch(es) acked, dying without shutdown");
+    // The whole point: no shutdown request, no writer drain, no save —
+    // destructors don't run. Every ack above must still be on disk.
+    std::process::exit(0);
+}
+
+/// `--recover`: reopen the crashed directory, assert nothing acked was
+/// lost, and serve the recovered store.
+fn recover_mode(dir: &std::path::Path, batches: u64) {
+    let store = ShardedHybridStore::load(dir, &water_ontology()).expect("recovery loads");
+    assert_eq!(
+        store.epoch(),
+        batches,
+        "recovered epoch must equal the acked batches"
+    );
+    let server =
+        Server::start(store, "127.0.0.1:0", ServerConfig::default()).expect("server binds");
+    let mut c = Client::connect(server.addr()).expect("client connects");
+    let rows = c
+        .query(CRASH_QUERY, &QueryOptions::default())
+        .expect("query runs");
+    assert_eq!(
+        rows.results.len() as u64,
+        3 * batches,
+        "recovered rows must cover every acked batch"
+    );
+    let ack = c
+        .ingest(&crash_batch(batches), &Graph::new())
+        .expect("recovered server takes new batches");
+    assert_eq!(ack.epoch, batches + 1);
+    c.shutdown().expect("shutdown acked");
+    server.join();
+    println!(
+        "recover: epoch {batches} with {} row(s) — no acked batch lost",
+        rows.results.len()
+    );
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let [_, mode, dir, batches] = args.as_slice() {
+        let dir = std::path::PathBuf::from(dir);
+        let batches: u64 = batches.parse().expect("batch count parses");
+        match mode.as_str() {
+            "--crash" => crash_mode(&dir, batches),
+            "--recover" => return recover_mode(&dir, batches),
+            other => panic!("unknown mode {other}; use --crash or --recover"),
+        }
+    }
+
     let onto = water_ontology();
     let cfg = WaterConfig {
         stations: 2,
