@@ -796,6 +796,93 @@ fn server_runs(onto: &Ontology) -> Vec<LatencyRun> {
     runs
 }
 
+/// Iterations per plan-cache cell: enough that the per-iteration µs
+/// costs average cleanly, short enough to stay a footnote in the run.
+const PLAN_ITERS: usize = 2000;
+
+/// The plan-cache trajectory: the same point query executed cold
+/// (parse + optimize + execute, every iteration) vs through a warmed
+/// shared [`se_sparql::PlanCache`] (hash lookup + constant bind +
+/// execute — zero parsing), plus the miss path on a fresh cache per
+/// iteration (`plan_compile_vs_bind`: its gap to the cached cell is the
+/// compile-vs-bind cost). Asserts the headline claim inline: cached
+/// throughput ≥ 3x cold — machine-independent, both cells run the same
+/// store on the same thread.
+fn plan_cache_runs(onto: &Ontology) -> Vec<LatencyRun> {
+    use se_sparql::PlanCache;
+
+    let cfg = WaterConfig {
+        stations: 2,
+        rounds: 1,
+        anomaly_rate: 0.15,
+        seed: 7,
+    };
+    let mut store = HybridStore::build(onto, &Graph::new()).unwrap();
+    // Two batches keep the answer set small: a serving-style point query
+    // spends its time in parse + optimize + join ordering, not in the
+    // scan — exactly the costs a cache hit skips.
+    for b in generate_stream(&cfg, 2, 8) {
+        store.apply(&b.inserts, &b.deletes).unwrap();
+    }
+    // A five-pattern chain off a bound subject, with two type checks.
+    // The cold path re-parses and re-orders it per call and the
+    // structural heuristic starts from the type patterns' scans; the
+    // compiled plan starts from the bound subject's exact counts.
+    let text = "PREFIX sosa: <http://www.w3.org/ns/sosa/> \
+                SELECT ?sensor ?obs ?r WHERE { \
+                <http://engie.example/station/1> sosa:hosts ?sensor . \
+                ?sensor a sosa:Sensor . \
+                ?sensor sosa:observes ?obs . \
+                ?obs a sosa:Observation . \
+                ?obs sosa:hasResult ?r }";
+    let opts = QueryOptions::default();
+    let iters = vec![(); PLAN_ITERS];
+
+    let rows = se_sparql::execute_query(&store, text, &opts).unwrap().len();
+    assert!(rows > 0, "the point query must have answers");
+
+    let mut cold = run_latency("point_query_cold_qps", &iters, |_| {
+        se_sparql::execute_query(&store, text, &opts).unwrap();
+    });
+    cold.final_len = rows;
+
+    let cache = PlanCache::new();
+    cache.execute_text(&store, text, &opts).unwrap(); // warm
+    let mut cached = run_latency("point_query_cached_qps", &iters, |_| {
+        cache.execute_text(&store, text, &opts).unwrap();
+    });
+    cached.final_len = rows;
+    let stats = cache.stats();
+    assert_eq!(stats.hits, PLAN_ITERS as u64, "every timed run must hit");
+    assert_eq!(stats.misses, 1, "only the warm-up parsed");
+
+    // Miss path, isolated: a fresh cache per iteration pays parse +
+    // compile + insert on top of the same execution.
+    let mut compile = run_latency("plan_compile_vs_bind", &iters, |_| {
+        let fresh = PlanCache::new();
+        fresh.execute_text(&store, text, &opts).unwrap();
+    });
+    compile.final_len = rows;
+
+    // Compare medians, not totals: a single descheduling blip in one
+    // cell (tens of a 2000-iteration run's total) would swing a total
+    // ratio, while the median is immune to tail outliers.
+    let median = |r: &LatencyRun| {
+        let mut sorted = r.per_batch.clone();
+        sorted.sort_unstable();
+        percentile(&sorted, 0.5)
+    };
+    let (cold_med, cached_med) = (median(&cold), median(&cached));
+    assert!(
+        cold_med >= cached_med * 3,
+        "cold parse+optimize+execute (median {:.2} us) must be >= 3x cached \
+         plan execution (median {:.2} us)",
+        cold_med.as_secs_f64() * 1e6,
+        cached_med.as_secs_f64() * 1e6,
+    );
+    vec![cold, cached, compile]
+}
+
 /// Runs the heavy stream through (a) the single store with inline
 /// compaction and (b) the sharded store with background compaction, under
 /// a deliberately tight compaction policy so several rebuilds land inside
@@ -847,6 +934,7 @@ fn emit_latency_report(heavy: &[StreamBatch]) {
     runs.extend(persistence_runs(&onto));
     runs.extend(wal_runs(&sweep_onto));
     runs.extend(server_runs(&onto));
+    runs.extend(plan_cache_runs(&onto));
 
     let entries: Vec<String> = runs.iter().map(LatencyRun::json).collect();
     let json = format!(

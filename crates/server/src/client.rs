@@ -107,6 +107,18 @@ pub struct ServerStats {
     pub delta_added: u64,
     /// Net triples removed across all captured batch deltas.
     pub delta_removed: u64,
+    /// Plan-cache executions that reused a cached plan with zero SPARQL
+    /// parsing (QUERY frames and continuous-query full evaluations).
+    pub plan_hits: u64,
+    /// Plan-cache executions that parsed and/or compiled.
+    pub plan_misses: u64,
+    /// Fresh plan compilations (excludes re-costs).
+    pub plan_compiles: u64,
+    /// Plan/text entries dropped by the cache's LRU caps.
+    pub plan_evictions: u64,
+    /// Stale plans re-ordered after the store epoch advanced past the
+    /// staleness threshold.
+    pub plan_recosts: u64,
 }
 
 /// The client-side materialized view of one subscription: row → count
@@ -130,6 +142,14 @@ impl View {
             rows,
         }
     }
+}
+
+/// A pre-encoded QUERY request payload (text + options), built once by
+/// [`Client::prepare`] and reusable across calls — and across clients:
+/// it holds no connection state.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    payload: Vec<u8>,
 }
 
 /// A blocking protocol client over one TCP connection.
@@ -220,10 +240,27 @@ impl Client {
 
     /// Executes a point query against the server's latest snapshot.
     pub fn query(&mut self, text: &str, options: &QueryOptions) -> io::Result<Rows> {
+        let prepared = Self::prepare(text, options)?;
+        self.query_prepared(&prepared)
+    }
+
+    /// Encodes a query request frame once, for repeated execution via
+    /// [`Client::query_prepared`]. Hot callers that re-issue the same
+    /// query skip re-encoding the text and options per call — and the
+    /// identical bytes keep the server's plan cache on its text-level
+    /// (zero-parse) fast path. No protocol change: the wire frame is
+    /// byte-identical to [`Client::query`]'s.
+    pub fn prepare(text: &str, options: &QueryOptions) -> io::Result<PreparedQuery> {
         let mut payload = Vec::new();
         payload.write_str(text)?;
         proto::write_options(&mut payload, options)?;
-        let (kind, body) = self.request(proto::req::QUERY, &payload)?;
+        Ok(PreparedQuery { payload })
+    }
+
+    /// Executes a query prepared with [`Client::prepare`]: writes the
+    /// pre-encoded frame verbatim.
+    pub fn query_prepared(&mut self, prepared: &PreparedQuery) -> io::Result<Rows> {
+        let (kind, body) = self.request(proto::req::QUERY, &prepared.payload)?;
         expect(kind, proto::resp::ROWS, &body)?;
         let mut r = body.as_slice();
         Ok(Rows {
@@ -281,6 +318,11 @@ impl Client {
             full_evals: r.read_u64()?,
             delta_added: r.read_u64()?,
             delta_removed: r.read_u64()?,
+            plan_hits: r.read_u64()?,
+            plan_misses: r.read_u64()?,
+            plan_compiles: r.read_u64()?,
+            plan_evictions: r.read_u64()?,
+            plan_recosts: r.read_u64()?,
         })
     }
 

@@ -28,5 +28,5 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, IngestAck, Push, ReadTimedOut, Rows, ServerStats};
+pub use client::{Client, IngestAck, PreparedQuery, Push, ReadTimedOut, Rows, ServerStats};
 pub use server::{Server, ServerConfig, StatsReport, TickReport};

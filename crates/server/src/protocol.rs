@@ -58,7 +58,9 @@ pub mod resp {
     /// Stats: epoch `u64`, triples `u64`, live pins `u64`, snapshots
     /// `u64`, compactions `u64`, subscriptions `u64`, incremental evals
     /// `u64`, full evals `u64`, delta triples added `u64`, delta
-    /// triples removed `u64`.
+    /// triples removed `u64`, plan-cache hits `u64`, plan-cache misses
+    /// `u64`, plan compiles `u64`, plan evictions `u64`, plan re-costs
+    /// `u64`.
     pub const STATS: u8 = 0x83;
     /// Bare success (subscribe / shutdown ack). Empty payload.
     pub const OK: u8 = 0x84;

@@ -29,7 +29,7 @@
 //!   serialized through a shared sink lock.
 
 use crate::protocol::{self as proto, read_frame, write_frame};
-use se_sparql::QueryOptions;
+use se_sparql::{PlanCache, QueryOptions};
 use se_stream::{ShardedHybridStore, StoreSnapshot, StreamError, StreamSession};
 use std::collections::HashMap;
 use std::io;
@@ -137,6 +137,18 @@ pub struct StatsReport {
     pub delta_added: u64,
     /// Net triples removed across all captured batch deltas.
     pub delta_removed: u64,
+    /// Plan-cache executions (QUERY frames and continuous-query full
+    /// evaluations) that reused a cached plan with zero SPARQL parsing.
+    pub plan_hits: u64,
+    /// Plan-cache executions that parsed and/or compiled.
+    pub plan_misses: u64,
+    /// Fresh plan compilations (excludes re-costs).
+    pub plan_compiles: u64,
+    /// Plan/text entries dropped by the cache's LRU caps.
+    pub plan_evictions: u64,
+    /// Stale plans re-ordered after the store epoch advanced past the
+    /// staleness threshold.
+    pub plan_recosts: u64,
 }
 
 /// A running server: its bound address plus the threads to join.
@@ -160,12 +172,22 @@ impl Server {
         let slot = Arc::new(Mutex::new(store.snapshot()));
         let (tx, rx) = mpsc::channel::<Cmd>();
         let stop = Arc::new(AtomicBool::new(false));
+        // One compiled-plan cache for the whole server: QUERY frames on
+        // every connection thread and continuous-query (re)seeding on
+        // the writer share its shape-level plans, so a repeated query
+        // text executes with zero parsing wherever it arrives.
+        let plan_cache = Arc::new(PlanCache::new());
 
         let writer = {
             let slot = Arc::clone(&slot);
+            let cache = Arc::clone(&plan_cache);
             thread::Builder::new()
                 .name("se-server-writer".into())
-                .spawn(move || writer_loop(StreamSession::new(store), rx, slot, config.tick))?
+                .spawn(move || {
+                    let mut session = StreamSession::new(store);
+                    session.registry_mut().set_plan_cache(cache);
+                    writer_loop(session, rx, slot, config.tick)
+                })?
         };
 
         let accept = {
@@ -183,6 +205,7 @@ impl Server {
                         let tx = tx.clone();
                         let slot = Arc::clone(&slot);
                         let stop = Arc::clone(&stop);
+                        let cache = Arc::clone(&plan_cache);
                         let addr = local;
                         // Connection threads are detached: they exit when
                         // their client hangs up or the writer goes away.
@@ -190,7 +213,7 @@ impl Server {
                             thread::Builder::new()
                                 .name("se-server-conn".into())
                                 .spawn(move || {
-                                    let _ = serve_connection(stream, tx, slot, stop, addr);
+                                    let _ = serve_connection(stream, tx, slot, stop, cache, addr);
                                 });
                     }
                 })?
@@ -432,6 +455,11 @@ fn stats(session: &StreamSession<ShardedHybridStore>, subscriptions: usize) -> S
         full_evals: cq.full_evals,
         delta_added: cq.delta_added,
         delta_removed: cq.delta_removed,
+        plan_hits: cq.plan_hits,
+        plan_misses: cq.plan_misses,
+        plan_compiles: cq.plan_compiles,
+        plan_evictions: cq.plan_evictions,
+        plan_recosts: cq.plan_recosts,
     }
 }
 
@@ -442,6 +470,7 @@ fn serve_connection(
     tx: mpsc::Sender<Cmd>,
     slot: Arc<Mutex<StoreSnapshot>>,
     stop: Arc<AtomicBool>,
+    plan_cache: Arc<PlanCache>,
     server_addr: SocketAddr,
 ) -> io::Result<()> {
     let mut reader = stream.try_clone()?;
@@ -521,8 +550,11 @@ fn serve_connection(
                     Ok((text, options)) => {
                         // Clone the latest snapshot (an Arc bump) and
                         // evaluate here — the writer is never involved.
+                        // The shared plan cache makes a repeated query
+                        // text a pure bind-and-execute: no parsing, no
+                        // optimizing on the hot path.
                         let snap = slot.lock().expect("snapshot slot poisoned").clone();
-                        match se_sparql::execute_query(&snap, &text, &options) {
+                        match plan_cache.execute_text(&snap, &text, &options) {
                             Ok(rows) => {
                                 let mut out = Vec::new();
                                 se_sds::WriteBin::write_u64(&mut out, snap.epoch())?;
@@ -579,6 +611,11 @@ fn serve_connection(
                         se_sds::WriteBin::write_u64(&mut out, s.full_evals)?;
                         se_sds::WriteBin::write_u64(&mut out, s.delta_added)?;
                         se_sds::WriteBin::write_u64(&mut out, s.delta_removed)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.plan_hits)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.plan_misses)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.plan_compiles)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.plan_evictions)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.plan_recosts)?;
                         reply(&sink, proto::resp::STATS, &out)?;
                     }
                     _ => reply_err(&sink, "server is shutting down")?,

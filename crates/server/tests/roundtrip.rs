@@ -320,6 +320,60 @@ fn server_restart_recovers_every_acked_batch() {
     cleanup(&dir);
 }
 
+/// The server QUERY hot path performs zero SPARQL parsing on a plan-
+/// cache hit — counter-verified: repeated (prepared) queries bump only
+/// `plan_hits`, a same-shape query with different constants compiles
+/// nothing new, and the counters travel the wire through STATS.
+#[test]
+fn repeated_queries_hit_the_plan_cache_with_zero_parsing() {
+    let store = ShardedHybridStore::build(&water_ontology(), &Graph::new(), 2).unwrap();
+    let server = Server::start(store, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    for k in 0..2 {
+        c.ingest(&partition_batch(k, 0, PER_BATCH), &Graph::new())
+            .unwrap();
+    }
+    let opts = QueryOptions::default();
+    let baseline = c.stats().unwrap();
+    assert_eq!(baseline.plan_hits, 0, "no queries ran yet");
+    assert_eq!(baseline.plan_misses, 0);
+
+    // First execution: one text-level miss, one compile. The prepared
+    // frame is encoded once and reused byte-identically after that.
+    let prepared = Client::prepare(&partition_query(0), &opts).unwrap();
+    let first = c.query_prepared(&prepared).unwrap();
+    assert_eq!(first.results.len(), PER_BATCH);
+    for _ in 0..5 {
+        let again = c.query_prepared(&prepared).unwrap();
+        assert_eq!(normalize(&again.results), normalize(&first.results));
+    }
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.plan_misses, 1, "only the cold run parsed");
+    assert_eq!(stats.plan_hits, 5, "every repeat was a zero-parse hit");
+    assert_eq!(stats.plan_compiles, 1);
+
+    // Two queries differing only in a constant subject share one shape:
+    // each misses at the text level (parsed once), but only the first
+    // compiles — the second binds its constant into the cached plan,
+    // and each still gets its own answer.
+    let point = |i: usize| format!("SELECT ?o WHERE {{ <http://x/s0_{i}> <http://x/p0> ?o }}");
+    let r0 = c.query(&point(0), &opts).unwrap();
+    let r1 = c.query(&point(1), &opts).unwrap();
+    assert_eq!((r0.results.len(), r1.results.len()), (1, 1));
+    assert_ne!(
+        normalize(&r0.results),
+        normalize(&r1.results),
+        "shared plan must bind each query's own constant"
+    );
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.plan_misses, 3);
+    assert_eq!(stats.plan_compiles, 2, "shape shared, one compile for both");
+    assert_eq!(stats.plan_evictions, 0);
+    assert_eq!(stats.plan_recosts, 0);
+    c.shutdown().unwrap();
+    server.join();
+}
+
 /// The client's opt-in read timeout: waiting for a push that never
 /// comes fails with a typed, retryable timeout instead of blocking
 /// forever — and the connection stays fully usable afterwards.

@@ -207,7 +207,10 @@ fn execute_group<'a, S: TripleSource + ?Sized>(
     Ok(rows.into_iter().map(|r| (var_index.clone(), r)).collect())
 }
 
-fn row_env<'a, S: TripleSource + ?Sized>(
+/// Builds the expression environment of one intermediate row — shared by
+/// the interpreted executor and the compiled-IR executor (`crate::ir`),
+/// so BIND/FILTER evaluate identically on both paths.
+pub fn row_env<'a, S: TripleSource + ?Sized>(
     store: &S,
     row: &Row,
     var_index: &HashMap<&'a str, usize>,

@@ -23,12 +23,14 @@ pub mod ast;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod ir;
 pub mod optimizer;
 pub mod parser;
 
 pub use ast::{Query, TermPattern, TriplePattern};
 pub use error::{QueryError, SparqlParseError};
 pub use exec::{QueryOptions, ResultSet};
+pub use ir::{CompiledPlan, PlanCache, PlanCacheConfig, PlanCacheStats, PlanTrace};
 pub use parser::parse_query;
 
 use se_core::TripleSource;
@@ -41,4 +43,18 @@ pub fn execute_query<S: TripleSource + ?Sized>(
 ) -> Result<ResultSet, QueryError> {
     let parsed = parse_query(query)?;
     exec::execute(store, &parsed, options)
+}
+
+/// [`execute_query`] through a compiled-plan cache: a repeated query
+/// text (or a different query of an already-seen *shape*) skips
+/// parse/optimize and binds its constants into the cached plan. The
+/// embedded-caller entry point; servers and the continuous-query
+/// registry hold their own shared [`PlanCache`].
+pub fn execute_query_cached<S: TripleSource + ?Sized>(
+    store: &S,
+    query: &str,
+    options: &QueryOptions,
+    cache: &PlanCache,
+) -> Result<ResultSet, QueryError> {
+    cache.execute_text(store, query, options)
 }

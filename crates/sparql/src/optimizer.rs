@@ -113,8 +113,11 @@ fn shape_priority(tp: &TriplePattern, bound: &HashSet<&str>) -> u8 {
 }
 
 /// Estimated result cardinality of a TP from the creation-time statistics
-/// and the run-time SDS counts.
-fn estimate<S: TripleSource + ?Sized>(tp: &TriplePattern, store: &S, reasoning: bool) -> usize {
+/// and the run-time SDS counts — predicate interval widths via
+/// rank/select, per-concept type counts, overlay per-predicate counts.
+/// All O(1)-ish on the store; this is also the cost model the compiled
+/// IR's cardinality-driven ordering builds on.
+pub fn estimate<S: TripleSource + ?Sized>(tp: &TriplePattern, store: &S, reasoning: bool) -> usize {
     if tp.is_type_pattern() {
         match &tp.object {
             TermPattern::Term(Term::Iri(c)) => {
@@ -223,6 +226,91 @@ pub fn order_patterns<S: TripleSource + ?Sized>(
                     i,
                 )
             })
+            .expect("candidates nonempty while TPs remain");
+        used[next] = true;
+        order.push(next);
+        bound.extend(patterns[next].variables());
+    }
+    order
+}
+
+/// Cardinality-driven left-deep ordering — the compiled-IR planner.
+///
+/// Where [`order_patterns`] ranks by the structural Heuristic 1 first
+/// and only consults statistics as a tiebreak, this ordering makes the
+/// statistics primary: each candidate's [`estimate`] is discounted by
+/// how many of its subject/object positions are already bound
+/// (constants, or variables bound by the prefix) — a bound position
+/// turns a scan into a per-row probe, so the discount is steep
+/// (`base >> 4` per bound position). Join shape only breaks ties.
+/// Connectivity still constrains candidates: a disconnected pattern is
+/// chosen only when nothing connected remains (cartesian fallback).
+pub fn order_patterns_by_cardinality<S: TripleSource + ?Sized>(
+    patterns: &[TriplePattern],
+    store: &S,
+    reasoning: bool,
+) -> Vec<usize> {
+    let n = patterns.len();
+    if n <= 1 {
+        return (0..n).collect();
+    }
+    let base: Vec<usize> = patterns
+        .iter()
+        .map(|tp| estimate(tp, store, reasoning))
+        .collect();
+    let cost = |i: usize, bound: &HashSet<&str>| -> usize {
+        let is_bound = |p: &TermPattern| match p {
+            TermPattern::Term(_) => true,
+            TermPattern::Var(v) => bound.contains(v.as_str()),
+        };
+        let mut discount = 0u32;
+        if is_bound(&patterns[i].subject) {
+            discount += 4;
+        }
+        // A type pattern's constant concept is already priced into its
+        // estimate (the concept's type count) — no extra discount.
+        let obj_in_estimate =
+            patterns[i].is_type_pattern() && matches!(patterns[i].object, TermPattern::Term(_));
+        if !obj_in_estimate && is_bound(&patterns[i].object) {
+            discount += 4;
+        }
+        base[i] >> discount
+    };
+
+    let empty = HashSet::new();
+    let start = (0..n)
+        .min_by_key(|&i| (cost(i, &empty), base[i], i))
+        .expect("n >= 1");
+    let mut order = vec![start];
+    let mut used = vec![false; n];
+    used[start] = true;
+    let mut bound: HashSet<&str> = patterns[start].variables().into_iter().collect();
+
+    while order.len() < n {
+        let connected: Vec<usize> = (0..n)
+            .filter(|&i| {
+                !used[i]
+                    && order
+                        .iter()
+                        .any(|&j| join_type(&patterns[i], &patterns[j]).is_some())
+            })
+            .collect();
+        let candidates: Vec<usize> = if connected.is_empty() {
+            (0..n).filter(|&i| !used[i]).collect()
+        } else {
+            connected
+        };
+        let best_join = |i: usize| {
+            order
+                .iter()
+                .filter_map(|&j| join_type(&patterns[i], &patterns[j]))
+                .map(JoinType::priority)
+                .min()
+                .unwrap_or(4)
+        };
+        let next = candidates
+            .into_iter()
+            .min_by_key(|&i| (cost(i, &bound), best_join(i), base[i], i))
             .expect("candidates nonempty while TPs remain");
         used[next] = true;
         order.push(next);
@@ -346,6 +434,57 @@ mod tests {
         let mut sorted = order.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1]);
+    }
+
+    #[test]
+    fn cardinality_order_starts_with_selective_predicate() {
+        let store = toy_store();
+        // The selective predicate (p: 1 triple) is textually last; the
+        // structural heuristic starts with the type TP regardless, the
+        // cardinality-driven order must scan the narrow predicate first.
+        let tps = tp("PREFIX e: <http://x/> SELECT * WHERE { ?x a e:C3 . ?x e:q ?y . ?x e:p ?z }");
+        let heuristic = order_patterns(&tps, &store, false);
+        assert_eq!(heuristic[0], 0, "Heuristic 1 starts with the type TP");
+        let by_card = order_patterns_by_cardinality(&tps, &store, false);
+        assert_eq!(by_card[0], 2, "cardinality order starts with e:p");
+        let mut sorted = by_card.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cardinality_order_discounts_bound_positions() {
+        let store = toy_store();
+        // After e:p binds ?x, the wide e:q probe is per-row and its
+        // discounted cost drops below the unbound patterns' scans.
+        let tps = tp(
+            "PREFIX e: <http://x/> SELECT * WHERE { ?a e:q ?b . ?x e:q ?y . ?x e:p ?z . ?y e:q ?w }",
+        );
+        let order = order_patterns_by_cardinality(&tps, &store, false);
+        assert_eq!(order[0], 2, "starts with the narrow predicate");
+        assert_eq!(order[1], 1, "SS-joined probe on bound ?x runs next");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cardinality_order_is_connected_when_possible() {
+        let store = toy_store();
+        let tps = tp("PREFIX e: <http://x/> SELECT * WHERE {
+                ?x a e:C2 . ?x e:p ?y . ?y e:q ?z . ?z a e:C3 . ?z e:p ?w }");
+        let order = order_patterns_by_cardinality(&tps, &store, false);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        for (k, &i) in order.iter().enumerate().skip(1) {
+            assert!(
+                order[..k]
+                    .iter()
+                    .any(|&j| join_type(&tps[i], &tps[j]).is_some()),
+                "TP {i} at position {k} is not connected to the prefix"
+            );
+        }
     }
 
     #[test]

@@ -24,7 +24,8 @@ use se_core::TripleSource;
 use se_rdf::Graph;
 use se_sparql::ast::Query;
 use se_sparql::error::{QueryError, SparqlParseError};
-use se_sparql::{parse_query, QueryOptions, ResultSet};
+use se_sparql::{parse_query, PlanCache, QueryOptions, ResultSet};
+use std::sync::Arc;
 
 /// An updatable [`TripleSource`]: the seam [`StreamSession`] drives.
 pub trait StreamStore: TripleSource {
@@ -175,6 +176,11 @@ enum EvalMode<'rt> {
 pub struct ContinuousQueryRegistry {
     queries: Vec<ContinuousQuery>,
     emit_full: bool,
+    /// Shared compiled-plan cache: seeding and full-fallback evaluations
+    /// go through it (shape-level reuse across queries and with the
+    /// server's QUERY path), so a re-registered or same-shape query
+    /// skips optimize entirely. `None` keeps the plain interpreted path.
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl Default for ContinuousQueryRegistry {
@@ -182,6 +188,7 @@ impl Default for ContinuousQueryRegistry {
         Self {
             queries: Vec::new(),
             emit_full: true,
+            plan_cache: None,
         }
     }
 }
@@ -281,6 +288,18 @@ impl ContinuousQueryRegistry {
         self.emit_full = on;
     }
 
+    /// Routes seeding and full-fallback evaluations through `cache`
+    /// (shared with other consumers — e.g. the server's QUERY path).
+    /// The delta path is unaffected: it never re-plans.
+    pub fn set_plan_cache(&mut self, cache: Arc<PlanCache>) {
+        self.plan_cache = Some(cache);
+    }
+
+    /// The shared plan cache, if one is installed.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plan_cache.as_ref()
+    }
+
     /// Evaluates every registered query against `source`, sequentially.
     /// Without a captured delta every query (re-)seeds from the store —
     /// results are always the query's exact answers over `source`.
@@ -330,8 +349,10 @@ impl ContinuousQueryRegistry {
         mode: EvalMode<'_>,
     ) -> Result<Vec<ContinuousResult>, QueryError> {
         let emit_full = self.emit_full;
-        let eval =
-            |q: &mut ContinuousQuery| incremental::evaluate_query(q, source, delta, emit_full);
+        let cache = self.plan_cache.clone();
+        let eval = |q: &mut ContinuousQuery| {
+            incremental::evaluate_query(q, source, delta, emit_full, cache.as_deref())
+        };
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         let answers: Vec<Result<ContinuousResult, QueryError>> = match mode {
             EvalMode::Pooled(runtime) if self.queries.len() > 1 => {
@@ -410,6 +431,19 @@ pub struct StreamStats {
     pub last_delta_added: u64,
     /// See [`StreamStats::last_delta_added`].
     pub last_delta_removed: u64,
+    /// Plan-cache executions that reused a cached plan with zero
+    /// parsing (zero when no [`PlanCache`] is installed — likewise for
+    /// the four counters below).
+    pub plan_hits: u64,
+    /// Plan-cache executions that parsed and/or compiled.
+    pub plan_misses: u64,
+    /// Fresh plan compilations (excludes re-costs).
+    pub plan_compiles: u64,
+    /// Plan/text entries dropped by the cache's LRU caps.
+    pub plan_evictions: u64,
+    /// Stale plans re-ordered after the store epoch advanced past the
+    /// staleness threshold.
+    pub plan_recosts: u64,
 }
 
 impl StreamStats {
@@ -491,9 +525,20 @@ impl<S: StreamStore> StreamSession<S> {
         (&self.store, &mut self.registry)
     }
 
-    /// Session counters (delta sizes, incremental-vs-full evaluations).
+    /// Session counters (delta sizes, incremental-vs-full evaluations,
+    /// and — when a [`PlanCache`] is installed on the registry — its
+    /// cumulative plan-cache counters).
     pub fn stream_stats(&self) -> StreamStats {
-        self.stats
+        let mut stats = self.stats;
+        if let Some(cache) = self.registry.plan_cache() {
+            let ps = cache.stats();
+            stats.plan_hits = ps.hits;
+            stats.plan_misses = ps.misses;
+            stats.plan_compiles = ps.compiles;
+            stats.plan_evictions = ps.evictions;
+            stats.plan_recosts = ps.recosts;
+        }
+        stats
     }
 
     /// Ingests one batch (deletes, then inserts), compacts if the policy
@@ -510,6 +555,11 @@ impl<S: StreamStore> StreamSession<S> {
     ) -> Result<BatchOutcome, StreamError> {
         self.store.set_delta_capture(self.registry.wants_delta());
         let report = self.store.apply_batch(inserts, deletes)?;
+        // Publish the post-batch epoch so cached plans compiled against
+        // much older cardinalities re-cost on their next use.
+        if let Some(cache) = self.registry.plan_cache() {
+            cache.set_epoch(self.stats.batches + 1);
+        }
         let results = match self.store.shared_runtime() {
             Some(runtime) => self.registry.evaluate_with(
                 &self.store,
@@ -870,5 +920,49 @@ mod tests {
             3,
             "every batch re-evaluates"
         );
+    }
+
+    /// With a shared plan cache installed, seeding and fallback
+    /// evaluations produce identical answers to the interpreted path,
+    /// and the session's stream stats surface the cache counters.
+    #[test]
+    fn plan_cache_on_registry_agrees_and_is_counted() {
+        let q = "PREFIX e: <http://x/> SELECT ?s WHERE { ?s e:knows ?o FILTER(?o = e:hub) }";
+        let triples = [t("a", "knows", iri("hub")), t("b", "knows", iri("hub"))];
+        let mut plain = StreamSession::new(store_with(triples.clone()));
+        let mut cached = StreamSession::new(store_with(triples));
+        let cache = Arc::new(PlanCache::new());
+        cached.registry_mut().set_plan_cache(cache.clone());
+        for session in [&mut plain, &mut cached] {
+            session
+                .register_query("q", q, QueryOptions::default())
+                .unwrap();
+        }
+        for round in 0..3 {
+            let inserts = Graph::from_triples([t(&format!("n{round}"), "knows", iri("hub"))]);
+            let a = plain.apply_batch(&inserts, &Graph::new()).unwrap();
+            let b = cached.apply_batch(&inserts, &Graph::new()).unwrap();
+            let rows = |r: &BatchOutcome| {
+                let mut v: Vec<String> = r.results[0]
+                    .results
+                    .rows
+                    .iter()
+                    .map(|row| format!("{row:?}"))
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(rows(&a), rows(&b), "round {round}");
+        }
+        let stats = cached.stream_stats();
+        // This FILTER query re-evaluates fully every batch: one compile,
+        // then shape-level hits with zero parsing.
+        assert_eq!(stats.plan_compiles, 1);
+        assert_eq!(stats.plan_misses, 1);
+        assert_eq!(stats.plan_hits, 2);
+        assert_eq!(cache.stats().hits, 2, "session mirrors the cache");
+        let plain_stats = plain.stream_stats();
+        assert_eq!(plain_stats.plan_hits, 0, "no cache, zero counters");
+        assert_eq!(plain_stats.plan_compiles, 0);
     }
 }

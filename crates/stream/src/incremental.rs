@@ -61,7 +61,7 @@ use se_sparql::exec::{
     concept_spec, eval_pattern, execute, group_var_index, predicate_spec, slot_to_term, PSpec, Row,
     Slot,
 };
-use se_sparql::{QueryError, QueryOptions, ResultSet};
+use se_sparql::{PlanCache, QueryError, QueryOptions, ResultSet};
 use std::collections::HashMap;
 
 /// How a registered continuous query is evaluated each batch.
@@ -462,16 +462,34 @@ fn group_updates<S: TripleSource + ?Sized>(
     Ok(())
 }
 
+/// [`se_sparql::exec::execute`], routed through the registry's shared
+/// compiled-plan cache when one is installed: seeding and fallback
+/// evaluations then reuse (or seed) the shape-level plan instead of
+/// re-running the optimizer per batch.
+fn execute_maybe_cached<S: TripleSource + ?Sized>(
+    store: &S,
+    query: &Query,
+    options: &QueryOptions,
+    cache: Option<&PlanCache>,
+) -> Result<ResultSet, QueryError> {
+    match cache {
+        Some(cache) => cache.execute_ast(store, query, options),
+        None => execute(store, query, options),
+    }
+}
+
 /// Builds the per-batch answer for one registered query, maintaining
 /// its materialized state. `delta` is the batch's captured net change
 /// (`None` forces a full evaluation — used for seeding and fallback).
 /// `emit_full` controls whether the (potentially large) full answer set
-/// is materialized on the incremental path.
+/// is materialized on the incremental path. `cache` is the registry's
+/// shared plan cache for the full-evaluation paths, if installed.
 pub(crate) fn evaluate_query<S: TripleSource + ?Sized>(
     q: &mut ContinuousQuery,
     store: &S,
     delta: Option<&BatchDelta>,
     emit_full: bool,
+    cache: Option<&PlanCache>,
 ) -> Result<ContinuousResult, QueryError> {
     let out_vars = q.query.output_variables();
     let distinct = q.query.distinct;
@@ -499,7 +517,7 @@ pub(crate) fn evaluate_query<S: TripleSource + ?Sized>(
         // derivations; the support set is recovered from the counts.
         let mut bag = q.query.clone();
         bag.distinct = false;
-        let rs = execute(store, &bag, &q.options)?;
+        let rs = execute_maybe_cached(store, &bag, &q.options, cache)?;
         let mut counts: HashMap<Vec<Option<Term>>, i64> = HashMap::new();
         for row in rs.rows {
             *counts.entry(row).or_insert(0) += 1;
@@ -509,7 +527,7 @@ pub(crate) fn evaluate_query<S: TripleSource + ?Sized>(
     } else {
         // Full fallback: counts mirror the final output rows so the
         // diff (and unchanged-tick detection) still works.
-        let rs = execute(store, &q.query, &q.options)?;
+        let rs = execute_maybe_cached(store, &q.query, &q.options, cache)?;
         let mut counts: HashMap<Vec<Option<Term>>, i64> = HashMap::new();
         for row in &rs.rows {
             *counts.entry(row.clone()).or_insert(0) += 1;

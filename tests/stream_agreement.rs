@@ -655,6 +655,115 @@ fn save_load_mid_stream_preserves_agreement() {
     let _ = std::fs::remove_dir_all(&sharded_dir);
 }
 
+/// Compiled-IR execution (through a shared [`se_sparql::PlanCache`])
+/// agrees with the interpreted executor for every query shape, with
+/// reasoning on and off, against the live hybrid store, the sharded
+/// store, and a pinned MVCC snapshot — on both the cold (parse +
+/// compile) and the hot (cached plan, zero parsing) path.
+#[test]
+fn compiled_plans_agree_with_interpreter_on_every_shape() {
+    let onto = water_ontology();
+    let cfg = WaterConfig {
+        stations: 2,
+        rounds: 1,
+        anomaly_rate: 0.3,
+        seed: 97,
+    };
+    let batches = generate_stream(&cfg, 8, 3);
+    let mut hybrid = HybridStore::build(&onto, &Graph::new()).unwrap();
+    let mut sharded = ShardedHybridStore::build(&onto, &Graph::new(), 3).unwrap();
+    for batch in &batches {
+        hybrid.apply(&batch.inserts, &batch.deletes).unwrap();
+        sharded.apply(&batch.inserts, &batch.deletes).unwrap();
+    }
+    let snapshot = sharded.snapshot();
+
+    let shapes = shape_queries();
+    assert_eq!(shapes.len(), 13, "the harness covers all 13 shapes");
+    // One cache across all three stores: plans hold term-level pattern
+    // templates (encoding happens at execution), so a plan compiled
+    // against one store's cardinalities stays correct on another.
+    let cache = se_sparql::PlanCache::new();
+    let stores: [(&str, &dyn TripleSource); 3] = [
+        ("hybrid", &hybrid),
+        ("sharded", &sharded),
+        ("snapshot", &snapshot),
+    ];
+    // Distinct (text, options) combinations = expected text-level misses
+    // ("type-reasoned"/"type-exact" share their text); every other
+    // execution must be a zero-parse hit.
+    let mut combos = BTreeSet::new();
+    let mut runs = 0u64;
+    for (store_name, store) in stores {
+        for (id, text, _) in &shapes {
+            for opts in [QueryOptions::default(), QueryOptions::without_reasoning()] {
+                combos.insert((text.clone(), opts.reasoning));
+                runs += 2;
+                let want = normalize(&se_sparql::execute_query(store, text, &opts).unwrap());
+                let cold = se_sparql::execute_query_cached(store, text, &opts, &cache).unwrap();
+                assert_eq!(
+                    normalize(&cold),
+                    want,
+                    "'{id}' on {store_name} (reasoning={}): cold compiled run",
+                    opts.reasoning
+                );
+                let hot = se_sparql::execute_query_cached(store, text, &opts, &cache).unwrap();
+                assert_eq!(
+                    normalize(&hot),
+                    want,
+                    "'{id}' on {store_name} (reasoning={}): cached compiled run",
+                    opts.reasoning
+                );
+            }
+        }
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses, combos.len() as u64);
+    assert_eq!(stats.hits, runs - combos.len() as u64);
+    assert!(
+        stats.compiles <= stats.misses,
+        "shape sharing can only help"
+    );
+}
+
+/// Two same-shape queries that differ only in their constants share one
+/// compiled plan, and each still gets its own constant-correct answers.
+#[test]
+fn shared_shape_plan_binds_constants_correctly() {
+    let onto = water_ontology();
+    let cfg = WaterConfig {
+        stations: 2,
+        rounds: 1,
+        anomaly_rate: 0.3,
+        seed: 97,
+    };
+    let batches = generate_stream(&cfg, 6, 3);
+    let mut hybrid = HybridStore::build(&onto, &Graph::new()).unwrap();
+    for batch in &batches {
+        hybrid.apply(&batch.inserts, &batch.deletes).unwrap();
+    }
+    let q = |station: usize| {
+        format!(
+            "PREFIX sosa: <http://www.w3.org/ns/sosa/> \
+             SELECT ?o WHERE {{ <http://engie.example/station/{station}> sosa:hosts ?o }}"
+        )
+    };
+    let opts = QueryOptions::default();
+    let cache = se_sparql::PlanCache::new();
+    for station in [1, 2] {
+        let text = q(station);
+        let want = normalize(&se_sparql::execute_query(&hybrid, &text, &opts).unwrap());
+        assert!(!want.is_empty(), "station {station} hosts sensors");
+        let got = se_sparql::execute_query_cached(&hybrid, &text, &opts, &cache).unwrap();
+        assert_eq!(normalize(&got), want, "station {station}");
+    }
+    // Distinct texts, one shape: both miss at the text level, but the
+    // second bound its constants into the first's compiled plan.
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 2);
+    assert_eq!(stats.compiles, 1, "one plan serves both constants");
+}
+
 #[test]
 fn hybrid_matches_rebuild_pattern_accesses_directly() {
     // Below the SPARQL layer: raw TripleSource accesses agree too (guards
