@@ -15,11 +15,14 @@
 //! {small,heavy} store, differential delta evaluation vs forced full
 //! re-evaluation over the same small-batch stream, and the se-server
 //! trajectory: group-commit ingest for 16 concurrent TCP writers vs
-//! per-client serial applies, plus snapshot-read QPS at 1/4/16 readers)
-//! so the perf trajectory can be tracked across commits — CI gates on
-//! the `sharded_background_compaction`,
-//! `continuous_incremental_16q_heavy_store` and
-//! `server_group_commit_16_writers` entries.
+//! per-client serial applies, plus snapshot-read QPS at 1/4/16 readers,
+//! and the replication trajectory: WAL-tail catch-up for a fresh
+//! follower vs the same records replayed in-process, plus live
+//! commit-to-visible staleness percentiles) so the perf trajectory can
+//! be tracked across commits — CI gates on the
+//! `sharded_background_compaction`,
+//! `continuous_incremental_16q_heavy_store`,
+//! `server_group_commit_16_writers` and `replication_catchup` entries.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use se_core::SuccinctEdgeStore;
@@ -796,6 +799,173 @@ fn server_runs(onto: &Ontology) -> Vec<LatencyRun> {
     runs
 }
 
+/// Replication section: epochs in the leader's WAL when a fresh
+/// follower attaches (all served as records — the leader checkpoints at
+/// epoch 0, before the first apply, so the log covers the full history).
+const REPL_EPOCHS: usize = 256;
+/// Fresh catch-ups per cell; each `per_batch` sample is one full
+/// bootstrap-to-caught-up wall time over `REPL_EPOCHS` records.
+const REPL_TRIALS: usize = 3;
+/// Live ticks measured for the staleness cell.
+const REPL_LIVE_ROUNDS: usize = 120;
+
+/// The replication trajectory: a fresh follower replaying the leader's
+/// full WAL tail over TCP (`replication_catchup` — records/s is
+/// `pooled_batches / per-trial time`), against the same records applied
+/// straight into a local session (`replication_local_replay`, the
+/// comparator that cancels machine speed), plus `replication_staleness`:
+/// commit-to-visible lag per leader tick, measured from the leader's
+/// ingest ack until a STATS poll sees the follower at that epoch.
+fn replication_runs(onto: &Ontology) -> Vec<LatencyRun> {
+    use se_server::{Client, Replica, ReplicaConfig, Server, ServerConfig};
+
+    let dir = std::env::temp_dir().join(format!("se_bench_repl_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let batches: Vec<Graph> = (0..REPL_EPOCHS)
+        .map(|e| server_batch(e % SRV_WRITERS, e / SRV_WRITERS))
+        .collect();
+
+    // ---- comparator: the same records applied in-process — what
+    // catch-up would cost with the frame shipping removed.
+    let mut local_trials = Vec::with_capacity(REPL_TRIALS);
+    let mut local_len = 0;
+    for _ in 0..REPL_TRIALS {
+        let store = ShardedHybridStore::build(onto, &Graph::new(), 2).unwrap();
+        let mut session = StreamSession::new(store);
+        let t = Instant::now();
+        for b in &batches {
+            session.apply_batch(b, &Graph::new()).unwrap();
+        }
+        local_trials.push(t.elapsed());
+        local_len = se_core::TripleSource::len(session.store());
+    }
+
+    // ---- leader: WAL attached at epoch 0 (checkpointing the empty
+    // store), then every epoch applied before the server starts — the
+    // log covers the full history, so catch-up is pure record replay,
+    // never a snapshot bootstrap.
+    let mut store = ShardedHybridStore::build(onto, &Graph::new(), SHARDS).unwrap();
+    store.attach_wal(&dir, WalConfig::default()).unwrap();
+    for b in &batches {
+        store.apply(b, &Graph::new()).unwrap();
+    }
+    let server = Server::start(
+        store,
+        "127.0.0.1:0",
+        ServerConfig {
+            tick: Duration::from_millis(1),
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let mut leader = Client::connect(addr).unwrap();
+    let target = leader.stats().unwrap().epoch;
+    assert_eq!(target, REPL_EPOCHS as u64);
+
+    // ---- catch-up: fresh followers, each bootstrapping from epoch 0.
+    // The last one stays attached and feeds the staleness cell.
+    let mut catchup_trials = Vec::with_capacity(REPL_TRIALS);
+    let mut follower_len = 0u64;
+    let mut live: Option<(Replica, Client)> = None;
+    for trial in 0..REPL_TRIALS {
+        let t = Instant::now();
+        let replica = Replica::start(
+            onto.clone(),
+            addr,
+            "127.0.0.1:0",
+            ReplicaConfig {
+                shards: 2,
+                reconnect: Duration::from_millis(50),
+            },
+        )
+        .unwrap();
+        let mut follower = Client::connect(replica.addr()).unwrap();
+        while follower.stats().unwrap().epoch < target {
+            std::thread::yield_now();
+        }
+        catchup_trials.push(t.elapsed());
+        follower_len = follower.stats().unwrap().triples;
+        if trial + 1 == REPL_TRIALS {
+            live = Some((replica, follower));
+        } else {
+            follower.shutdown().unwrap();
+            replica.join();
+        }
+    }
+    assert_eq!(
+        follower_len as usize, local_len,
+        "caught-up follower must converge on the local replay"
+    );
+    let ls = leader.stats().unwrap();
+    assert_eq!(
+        ls.repl_snapshots_served, 0,
+        "a WAL covering epoch 0 must serve catch-up as records, not snapshots"
+    );
+
+    // ---- live staleness: one batch per round; the lag clock starts at
+    // the leader's durable ack and stops when the follower's published
+    // epoch covers it (each poll is a full STATS round trip, so the
+    // samples include the cost a real monitor would pay to observe it).
+    let (replica, mut follower) = live.expect("last catch-up trial keeps its follower");
+    let mut lags = Vec::with_capacity(REPL_LIVE_ROUNDS);
+    let t0 = Instant::now();
+    for r in 0..REPL_LIVE_ROUNDS {
+        let ack = leader
+            .ingest(
+                &server_batch(r % SRV_WRITERS, 100 + r / SRV_WRITERS),
+                &Graph::new(),
+            )
+            .unwrap();
+        let t = Instant::now();
+        while follower.stats().unwrap().epoch < ack.epoch {
+            std::thread::yield_now();
+        }
+        lags.push(t.elapsed());
+    }
+    let live_total = t0.elapsed();
+
+    follower.shutdown().unwrap();
+    replica.join();
+    leader.shutdown().unwrap();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    vec![
+        LatencyRun {
+            label: "replication_local_replay".to_string(),
+            per_batch: local_trials.clone(),
+            total: local_trials.iter().sum(),
+            compactions: 0,
+            final_len: local_len,
+            pooled_batches: REPL_EPOCHS,
+            inline_batches: 0,
+            scoped_batches: 0,
+        },
+        LatencyRun {
+            label: "replication_catchup".to_string(),
+            per_batch: catchup_trials.clone(),
+            total: catchup_trials.iter().sum(),
+            compactions: 0,
+            final_len: follower_len as usize,
+            pooled_batches: REPL_EPOCHS,
+            inline_batches: 0,
+            scoped_batches: 0,
+        },
+        LatencyRun {
+            label: "replication_staleness".to_string(),
+            per_batch: lags,
+            total: live_total,
+            compactions: 0,
+            final_len: 0,
+            pooled_batches: REPL_LIVE_ROUNDS,
+            inline_batches: 0,
+            scoped_batches: 0,
+        },
+    ]
+}
+
 /// Iterations per plan-cache cell: enough that the per-iteration µs
 /// costs average cleanly, short enough to stay a footnote in the run.
 const PLAN_ITERS: usize = 2000;
@@ -934,6 +1104,7 @@ fn emit_latency_report(heavy: &[StreamBatch]) {
     runs.extend(persistence_runs(&onto));
     runs.extend(wal_runs(&sweep_onto));
     runs.extend(server_runs(&onto));
+    runs.extend(replication_runs(&onto));
     runs.extend(plan_cache_runs(&onto));
 
     let entries: Vec<String> = runs.iter().map(LatencyRun::json).collect();

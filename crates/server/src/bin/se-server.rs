@@ -20,8 +20,8 @@
 //! Without `--ontology` the server starts on the built-in water-network
 //! demo ontology, matching `examples/stream_server.rs`.
 
-use se_ontology::Ontology;
 use se_rdf::Graph;
+use se_server::ontology_text::load_ontology;
 use se_server::{Server, ServerConfig};
 use se_stream::ShardedHybridStore;
 use std::time::Duration;
@@ -59,21 +59,12 @@ fn main() {
         }
     }
 
-    let ontology = match &ontology_file {
-        Some(path) => match std::fs::read_to_string(path) {
-            Ok(text) => match parse_ontology(&text) {
-                Ok(o) => o,
-                Err(e) => {
-                    eprintln!("{path}: {e}");
-                    std::process::exit(2);
-                }
-            },
-            Err(e) => {
-                eprintln!("{path}: {e}");
-                std::process::exit(2);
-            }
-        },
-        None => se_ontology::water_ontology(),
+    let ontology = match load_ontology(ontology_file.as_deref()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     };
 
     let store = match ShardedHybridStore::build(&ontology, &Graph::new(), shards) {
@@ -109,49 +100,4 @@ fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
         eprintln!("invalid value '{s}' for {flag}");
         std::process::exit(2);
     })
-}
-
-fn parse_ontology(text: &str) -> Result<Ontology, String> {
-    let mut o = Ontology::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let mut parts = line.split_whitespace();
-        let kind = parts.next().unwrap_or("");
-        let a = parts.next();
-        let b = parts.next();
-        match kind {
-            "class" => {
-                o.add_class(need(a, kind, lineno)?, b.unwrap_or(""));
-            }
-            "property" => {
-                o.add_property(need(a, kind, lineno)?, b.unwrap_or(""));
-            }
-            "oprop" => {
-                o.add_object_property(need(a, kind, lineno)?);
-            }
-            "dprop" => {
-                o.add_datatype_property(need(a, kind, lineno)?);
-            }
-            "domain" => {
-                o.add_domain(need(a, kind, lineno)?, need(b, kind, lineno)?);
-            }
-            "range" => {
-                o.add_range(need(a, kind, lineno)?, need(b, kind, lineno)?);
-            }
-            other => {
-                return Err(format!(
-                    "line {}: unknown declaration '{other}'",
-                    lineno + 1
-                ))
-            }
-        }
-    }
-    Ok(o)
-}
-
-fn need<'a>(field: Option<&'a str>, kind: &str, lineno: usize) -> Result<&'a str, String> {
-    field.ok_or_else(|| format!("line {}: '{kind}' needs an IRI", lineno + 1))
 }

@@ -119,6 +119,19 @@ pub struct ServerStats {
     /// Stale plans re-ordered after the store epoch advanced past the
     /// staleness threshold.
     pub plan_recosts: u64,
+    /// 1 if the WAL refused appends after an earlier failure (reads keep
+    /// working; writes err until a checkpoint heals the log).
+    pub wal_poisoned: u64,
+    /// WAL append attempts that failed, refused-while-poisoned included.
+    pub wal_appends_failed: u64,
+    /// Replication feeds currently attached (leader only).
+    pub replicas: u64,
+    /// WAL records shipped to replication feeds, catch-up + live.
+    pub repl_records_shipped: u64,
+    /// Full-snapshot bootstraps served to lagging followers.
+    pub repl_snapshots_served: u64,
+    /// Feed drops this node recovered from by re-syncing (replica only).
+    pub repl_resyncs: u64,
 }
 
 /// The client-side materialized view of one subscription: row → count
@@ -323,6 +336,12 @@ impl Client {
             plan_compiles: r.read_u64()?,
             plan_evictions: r.read_u64()?,
             plan_recosts: r.read_u64()?,
+            wal_poisoned: r.read_u64()?,
+            wal_appends_failed: r.read_u64()?,
+            replicas: r.read_u64()?,
+            repl_records_shipped: r.read_u64()?,
+            repl_snapshots_served: r.read_u64()?,
+            repl_resyncs: r.read_u64()?,
         })
     }
 

@@ -25,8 +25,11 @@
 //! whole crate is `std`-only — no new dependencies.
 
 pub mod client;
+pub mod ontology_text;
 pub mod protocol;
+pub mod replica;
 pub mod server;
 
 pub use client::{Client, IngestAck, PreparedQuery, Push, ReadTimedOut, Rows, ServerStats};
+pub use replica::{Replica, ReplicaConfig};
 pub use server::{Server, ServerConfig, StatsReport, TickReport};

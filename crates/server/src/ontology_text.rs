@@ -1,0 +1,72 @@
+//! The plain line format both binaries accept for `--ontology` (offline
+//! — no RDF parser dependency): one declaration per line, `#` comments
+//! allowed.
+//!
+//! ```text
+//! class    <iri> [<super-iri>]
+//! property <iri> [<super-iri>]
+//! oprop    <iri>        # object property
+//! dprop    <iri>        # datatype property
+//! domain   <prop> <class>
+//! range    <prop> <class>
+//! ```
+
+use se_ontology::Ontology;
+
+/// Parses the line format above. Errors carry the 1-based line number.
+pub fn parse_ontology(text: &str) -> Result<Ontology, String> {
+    let mut o = Ontology::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().unwrap_or("");
+        let a = parts.next();
+        let b = parts.next();
+        match kind {
+            "class" => {
+                o.add_class(need(a, kind, lineno)?, b.unwrap_or(""));
+            }
+            "property" => {
+                o.add_property(need(a, kind, lineno)?, b.unwrap_or(""));
+            }
+            "oprop" => {
+                o.add_object_property(need(a, kind, lineno)?);
+            }
+            "dprop" => {
+                o.add_datatype_property(need(a, kind, lineno)?);
+            }
+            "domain" => {
+                o.add_domain(need(a, kind, lineno)?, need(b, kind, lineno)?);
+            }
+            "range" => {
+                o.add_range(need(a, kind, lineno)?, need(b, kind, lineno)?);
+            }
+            other => {
+                return Err(format!(
+                    "line {}: unknown declaration '{other}'",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    Ok(o)
+}
+
+fn need<'a>(field: Option<&'a str>, kind: &str, lineno: usize) -> Result<&'a str, String> {
+    field.ok_or_else(|| format!("line {}: '{kind}' needs an IRI", lineno + 1))
+}
+
+/// Reads and parses an `--ontology` file; `None` falls back to the
+/// built-in water-network demo ontology.
+pub fn load_ontology(path: Option<&str>) -> Result<Ontology, String> {
+    match path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_ontology(&text).map_err(|e| format!("{path}: {e}"))
+        }
+        None => Ok(se_ontology::water_ontology()),
+    }
+}

@@ -36,6 +36,16 @@ pub mod req {
     /// Empty payload; stops the server after acking with
     /// [`resp::OK`](super::resp::OK).
     pub const SHUTDOWN: u8 = 0x05;
+    /// Payload: `from_epoch: u64` — the follower's current epoch.
+    /// Catch-up: the server replies with either one
+    /// [`resp::REPL_RECORD`](super::resp::REPL_RECORD) per batch in
+    /// `(from_epoch, leader_epoch]` (when its WAL tail still covers
+    /// them) or one [`resp::REPL_SNAPSHOT`](super::resp::REPL_SNAPSHOT)
+    /// at the leader's epoch; afterwards the connection receives one
+    /// `REPL_RECORD` per group-commit tick, live. The connection becomes
+    /// a dedicated replication feed — the client must not send further
+    /// requests on it.
+    pub const REPLICATE: u8 = 0x06;
 }
 
 /// Response frame kinds (server → client).
@@ -60,10 +70,22 @@ pub mod resp {
     /// `u64`, full evals `u64`, delta triples added `u64`, delta
     /// triples removed `u64`, plan-cache hits `u64`, plan-cache misses
     /// `u64`, plan compiles `u64`, plan evictions `u64`, plan re-costs
-    /// `u64`.
+    /// `u64`, WAL poisoned `u64`, WAL appends failed `u64`, replicas
+    /// `u64`, replication records shipped `u64`, replication snapshots
+    /// served `u64`, replication re-syncs `u64`.
     pub const STATS: u8 = 0x83;
     /// Bare success (subscribe / shutdown ack). Empty payload.
     pub const OK: u8 = 0x84;
+    /// Replication bootstrap: epoch `u64` + full [`Graph`]. Sent when
+    /// the leader's WAL tail no longer covers the follower's epoch; the
+    /// follower rebuilds its store from the graph and aligns to the
+    /// carried epoch before consuming further records.
+    pub const REPL_SNAPSHOT: u8 = 0x85;
+    /// One group-commit tick's WAL record: epoch `u64` + added triples +
+    /// removed triples, in the [`se_stream::encode_record_payload`]
+    /// layout. Epochs arrive strictly consecutive; a follower seeing a
+    /// gap must drop the connection and re-sync.
+    pub const REPL_RECORD: u8 = 0x86;
     /// Failure: message `str`. The connection stays usable.
     pub const ERR: u8 = 0xFF;
 }
@@ -100,8 +122,21 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<(u8, Vec<u8>)> {
         ));
     }
     let kind = r.read_u8()?;
-    let mut payload = vec![0u8; (len - 1) as usize];
-    r.read_exact(&mut payload)?;
+    // The declared length is untrusted until the bytes actually arrive:
+    // cap the pre-allocation and read through `take`, so a 12-byte
+    // hostile prelude cannot commit MAX_FRAME of memory per connection.
+    let want = (len - 1) as usize;
+    let mut payload = Vec::with_capacity(want.min(1 << 16));
+    r.take(want as u64).read_to_end(&mut payload)?;
+    if payload.len() != want {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!(
+                "frame truncated: declared {want} payload bytes, got {}",
+                payload.len()
+            ),
+        ));
+    }
     Ok((kind, payload))
 }
 
@@ -354,6 +389,24 @@ mod tests {
         let mut buf = Vec::new();
         buf.write_u32(u32::MAX).unwrap();
         assert!(read_result_set(&mut buf.as_slice()).is_err());
+    }
+
+    /// A frame whose length prefix declares (just under) MAX_FRAME but
+    /// whose body is a handful of bytes must error out without first
+    /// committing the declared size: 12 hostile bytes used to cost the
+    /// server a 64 MiB zeroed allocation per connection.
+    #[test]
+    fn hostile_frame_length_errors_without_allocating() {
+        let mut buf = Vec::new();
+        buf.write_u32(MAX_FRAME).unwrap();
+        buf.write_u8(req::QUERY).unwrap();
+        buf.extend_from_slice(b"tiny");
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(
+            err.to_string().contains("truncated"),
+            "want the truncation diagnostic, got: {err}"
+        );
     }
 
     #[test]

@@ -42,20 +42,20 @@ use std::time::{Duration, Instant};
 
 /// A client's write half, shared between its connection thread
 /// (request replies) and the writer thread (subscription pushes).
-type ClientSink = Arc<Mutex<TcpStream>>;
+pub(crate) type ClientSink = Arc<Mutex<TcpStream>>;
 
 /// How often an idle connection thread wakes to check the stop flag.
 /// Bounded so `SHUTDOWN` never hangs on a quiet subscriber whose
 /// connection thread would otherwise block in a read forever.
-const CONN_POLL: Duration = Duration::from_millis(50);
+pub(crate) const CONN_POLL: Duration = Duration::from_millis(50);
 
 /// One active subscription as the writer sees it.
-struct Sub {
-    sink: ClientSink,
+pub(crate) struct Sub {
+    pub(crate) sink: ClientSink,
     /// Whether the subscriber has received its initial full frame.
     /// Until then every tick pushes the whole answer set; afterwards
     /// only changed ticks push, and they push just the changes.
-    primed: bool,
+    pub(crate) primed: bool,
 }
 
 /// Server tuning knobs.
@@ -93,8 +93,9 @@ pub struct TickReport {
     pub compacted: bool,
 }
 
-/// Commands the connection threads hand to the writer.
-enum Cmd {
+/// Commands the connection threads hand to the writer (and, on a
+/// [`Replica`](crate::replica::Replica), to the feed thread).
+pub(crate) enum Cmd {
     Ingest {
         inserts: se_rdf::Graph,
         deletes: se_rdf::Graph,
@@ -110,7 +111,28 @@ enum Cmd {
     Stats {
         done: mpsc::Sender<StatsReport>,
     },
+    Replicate {
+        from_epoch: u64,
+        sink: ClientSink,
+        done: mpsc::Sender<Result<(), String>>,
+    },
     Shutdown,
+}
+
+/// Replication-side counters, kept by whichever thread owns the store
+/// (the leader's writer, or a replica's feed thread).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ReplCounters {
+    /// Attached replication feeds (always 0 on a replica).
+    pub(crate) replicas: u64,
+    /// WAL records shipped to feeds, catch-up and live combined.
+    pub(crate) records_shipped: u64,
+    /// Full-snapshot bootstraps served because the WAL tail no longer
+    /// covered a follower's epoch.
+    pub(crate) snapshots_served: u64,
+    /// Times this node, as a follower, dropped its feed and re-synced
+    /// (always 0 on a leader).
+    pub(crate) resyncs: u64,
 }
 
 /// Snapshot of the server's counters, answered by the writer thread.
@@ -149,6 +171,20 @@ pub struct StatsReport {
     /// Stale plans re-ordered after the store epoch advanced past the
     /// staleness threshold.
     pub plan_recosts: u64,
+    /// 1 if the WAL refused appends after an earlier failure (the store
+    /// serves reads but acks no writes until a checkpoint heals it).
+    pub wal_poisoned: u64,
+    /// WAL append attempts that failed (including those refused while
+    /// poisoned).
+    pub wal_appends_failed: u64,
+    /// Replication feeds currently attached (leader only).
+    pub replicas: u64,
+    /// WAL records shipped to replication feeds, catch-up + live.
+    pub repl_records_shipped: u64,
+    /// Full-snapshot bootstraps served to lagging followers.
+    pub repl_snapshots_served: u64,
+    /// Feed drops this node recovered from by re-syncing (replica only).
+    pub repl_resyncs: u64,
 }
 
 /// A running server: its bound address plus the threads to join.
@@ -259,6 +295,9 @@ fn writer_loop(
 ) {
     // Active subscriptions: registry id → sink + primed flag.
     let mut subs: HashMap<String, Sub> = HashMap::new();
+    // Attached replication feeds: every tick's WAL record goes to each.
+    let mut replicas: Vec<ClientSink> = Vec::new();
+    let mut repl = ReplCounters::default();
     // Initial frames always come from a seeding (or fallback) evaluation,
     // which carries the full answer set regardless of this flag — so the
     // steady-state delta path never has to materialize full sets.
@@ -279,7 +318,23 @@ fn writer_loop(
                 continue;
             }
             Cmd::Stats { done } => {
-                let _ = done.send(stats(&session, subs.len()));
+                repl.replicas = replicas.len() as u64;
+                let _ = done.send(stats(&session, subs.len(), repl));
+                continue;
+            }
+            Cmd::Replicate {
+                from_epoch,
+                sink,
+                done,
+            } => {
+                attach_replica(
+                    &mut session,
+                    &mut replicas,
+                    &mut repl,
+                    from_epoch,
+                    sink,
+                    done,
+                );
                 continue;
             }
             Cmd::Ingest {
@@ -310,8 +365,21 @@ fn writer_loop(
                     done,
                 }) => subscribe(&mut session, &mut subs, id, text, options, sink, done),
                 Ok(Cmd::Stats { done }) => {
-                    let _ = done.send(stats(&session, subs.len()));
+                    repl.replicas = replicas.len() as u64;
+                    let _ = done.send(stats(&session, subs.len(), repl));
                 }
+                Ok(Cmd::Replicate {
+                    from_epoch,
+                    sink,
+                    done,
+                }) => attach_replica(
+                    &mut session,
+                    &mut replicas,
+                    &mut repl,
+                    from_epoch,
+                    sink,
+                    done,
+                ),
                 Ok(Cmd::Shutdown) => {
                     shutdown = true;
                     break;
@@ -351,41 +419,22 @@ fn writer_loop(
                 for (_, _, done) in &pending {
                     let _ = done.send(Ok(report));
                 }
-                // Push each continuous answer to its subscriber: the
-                // whole set once (the initial frame), then only the
-                // per-tick changes — and nothing at all on ticks that
-                // left the answer set untouched. A dead sink retires
-                // the subscription.
-                for result in outcome.results {
-                    let Some(sub) = subs.get_mut(&result.id) else {
-                        continue;
-                    };
-                    if sub.primed && result.unchanged() {
-                        continue;
-                    }
-                    let mut payload = Vec::new();
-                    let encoded = se_sds::WriteBin::write_str(&mut payload, &result.id)
-                        .and_then(|()| se_sds::WriteBin::write_u64(&mut payload, report.epoch))
-                        .and_then(|()| {
-                            if sub.primed {
-                                se_sds::WriteBin::write_u8(&mut payload, proto::PUSH_CHANGES)?;
-                                proto::write_result_set(&mut payload, &result.added)?;
-                                proto::write_result_set(&mut payload, &result.removed)
-                            } else {
-                                se_sds::WriteBin::write_u8(&mut payload, proto::PUSH_FULL)?;
-                                proto::write_result_set(&mut payload, &result.results)
-                            }
-                        })
-                        .is_ok();
-                    let ok = encoded && {
-                        let mut sink = sub.sink.lock().expect("client sink poisoned");
-                        write_frame(&mut *sink, proto::resp::PUSH, &payload).is_ok()
-                    };
-                    if ok {
-                        sub.primed = true;
-                    } else {
-                        subs.remove(&result.id);
-                        session.registry_mut().deregister(&result.id);
+                push_results(&mut session, &mut subs, outcome.results, report.epoch);
+                // Ship this tick's WAL record to every attached feed.
+                // Even an all-noop tick ships: the epoch advanced, and a
+                // follower's consecutive-epoch invariant needs the gap
+                // filled. A dead feed is dropped; when the last one goes
+                // the forced delta capture is released.
+                if !replicas.is_empty() {
+                    let delta = outcome.report.delta.unwrap_or_default();
+                    let payload = se_stream::encode_record_payload(report.epoch, &delta);
+                    replicas.retain(|sink| {
+                        let mut sink = sink.lock().expect("replica sink poisoned");
+                        write_frame(&mut *sink, proto::resp::REPL_RECORD, &payload).is_ok()
+                    });
+                    repl.records_shipped += replicas.len() as u64;
+                    if replicas.is_empty() {
+                        session.set_force_delta_capture(false);
                     }
                 }
             }
@@ -413,7 +462,7 @@ fn writer_loop(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn subscribe(
+pub(crate) fn subscribe(
     session: &mut StreamSession<ShardedHybridStore>,
     subs: &mut HashMap<String, Sub>,
     id: String,
@@ -441,7 +490,114 @@ fn subscribe(
     }
 }
 
-fn stats(session: &StreamSession<ShardedHybridStore>, subscriptions: usize) -> StatsReport {
+/// Catches a follower up to the current epoch — WAL-tail records when
+/// the log still covers `(from_epoch, current]`, a full snapshot
+/// otherwise — then registers its sink for live per-tick records.
+fn attach_replica(
+    session: &mut StreamSession<ShardedHybridStore>,
+    replicas: &mut Vec<ClientSink>,
+    repl: &mut ReplCounters,
+    from_epoch: u64,
+    sink: ClientSink,
+    done: mpsc::Sender<Result<(), String>>,
+) {
+    let current = session.store().epoch();
+    if from_epoch > current {
+        let _ = done.send(Err(format!(
+            "follower epoch {from_epoch} is ahead of leader epoch {current}"
+        )));
+        return;
+    }
+    if from_epoch < current {
+        // Drain buffered appends first so the tail scan sees everything
+        // this store has acked, then prefer shipping records: a follower
+        // replays them in O(delta) instead of rebuilding from scratch.
+        // The writer thread is the sole appender and it is parked here,
+        // so the read-only scan cannot race an in-flight append.
+        let tail = session
+            .store()
+            .wal_flush()
+            .ok()
+            .and_then(|()| session.store().wal_dir())
+            .and_then(|dir| se_stream::read_tail(&dir, from_epoch).ok().flatten())
+            .filter(|recs| recs.last().map(|r| r.epoch) == Some(current));
+        let sent = match tail {
+            Some(records) => {
+                repl.records_shipped += records.len() as u64;
+                records.iter().try_for_each(|rec| {
+                    let payload = se_stream::encode_record_payload(rec.epoch, &rec.delta);
+                    reply(&sink, proto::resp::REPL_RECORD, &payload)
+                })
+            }
+            None => {
+                repl.snapshots_served += 1;
+                let graph = session.store().materialize();
+                let mut payload = Vec::new();
+                se_sds::WriteBin::write_u64(&mut payload, current)
+                    .and_then(|()| proto::write_graph(&mut payload, &graph))
+                    .and_then(|()| reply(&sink, proto::resp::REPL_SNAPSHOT, &payload))
+            }
+        };
+        if sent.is_err() {
+            let _ = done.send(Err("replication feed write failed during catch-up".into()));
+            return;
+        }
+    }
+    replicas.push(sink);
+    session.set_force_delta_capture(true);
+    let _ = done.send(Ok(()));
+}
+
+/// Pushes each continuous answer to its subscriber: the whole set once
+/// (the initial frame), then only the per-tick changes — and nothing at
+/// all on ticks that left the answer set untouched. A dead sink retires
+/// the subscription. Shared by the leader's writer and a replica's feed
+/// thread.
+pub(crate) fn push_results(
+    session: &mut StreamSession<ShardedHybridStore>,
+    subs: &mut HashMap<String, Sub>,
+    results: Vec<se_stream::ContinuousResult>,
+    epoch: u64,
+) {
+    for result in results {
+        let Some(sub) = subs.get_mut(&result.id) else {
+            continue;
+        };
+        if sub.primed && result.unchanged() {
+            continue;
+        }
+        let mut payload = Vec::new();
+        let encoded = se_sds::WriteBin::write_str(&mut payload, &result.id)
+            .and_then(|()| se_sds::WriteBin::write_u64(&mut payload, epoch))
+            .and_then(|()| {
+                if sub.primed {
+                    se_sds::WriteBin::write_u8(&mut payload, proto::PUSH_CHANGES)?;
+                    proto::write_result_set(&mut payload, &result.added)?;
+                    proto::write_result_set(&mut payload, &result.removed)
+                } else {
+                    se_sds::WriteBin::write_u8(&mut payload, proto::PUSH_FULL)?;
+                    proto::write_result_set(&mut payload, &result.results)
+                }
+            })
+            .is_ok();
+        let ok = encoded && {
+            let mut sink = sub.sink.lock().expect("client sink poisoned");
+            write_frame(&mut *sink, proto::resp::PUSH, &payload).is_ok()
+        };
+        if ok {
+            sub.primed = true;
+        } else {
+            subs.remove(&result.id);
+            session.registry_mut().deregister(&result.id);
+        }
+    }
+}
+
+pub(crate) fn stats(
+    session: &StreamSession<ShardedHybridStore>,
+    subscriptions: usize,
+    repl: ReplCounters,
+) -> StatsReport {
     let s = session.store().stats();
     let cq = session.stream_stats();
     StatsReport {
@@ -460,12 +616,18 @@ fn stats(session: &StreamSession<ShardedHybridStore>, subscriptions: usize) -> S
         plan_compiles: cq.plan_compiles,
         plan_evictions: cq.plan_evictions,
         plan_recosts: cq.plan_recosts,
+        wal_poisoned: cq.wal_poisoned,
+        wal_appends_failed: cq.wal_appends_failed,
+        replicas: repl.replicas,
+        repl_records_shipped: repl.records_shipped,
+        repl_snapshots_served: repl.snapshots_served,
+        repl_resyncs: repl.resyncs,
     }
 }
 
 // ---------------------------------------------------------- connections
 
-fn serve_connection(
+pub(crate) fn serve_connection(
     stream: TcpStream,
     tx: mpsc::Sender<Cmd>,
     slot: Arc<Mutex<StoreSnapshot>>,
@@ -616,9 +778,39 @@ fn serve_connection(
                         se_sds::WriteBin::write_u64(&mut out, s.plan_compiles)?;
                         se_sds::WriteBin::write_u64(&mut out, s.plan_evictions)?;
                         se_sds::WriteBin::write_u64(&mut out, s.plan_recosts)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.wal_poisoned)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.wal_appends_failed)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.replicas)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.repl_records_shipped)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.repl_snapshots_served)?;
+                        se_sds::WriteBin::write_u64(&mut out, s.repl_resyncs)?;
                         reply(&sink, proto::resp::STATS, &out)?;
                     }
                     _ => reply_err(&sink, "server is shutting down")?,
+                }
+            }
+            proto::req::REPLICATE => {
+                match se_sds::ReadBin::read_u64(&mut p) {
+                    Ok(from_epoch) => {
+                        let (done, ack) = mpsc::channel();
+                        let sent = tx
+                            .send(Cmd::Replicate {
+                                from_epoch,
+                                sink: Arc::clone(&sink),
+                                done,
+                            })
+                            .is_ok();
+                        // On success the catch-up frames (and every later
+                        // live record) already flow from the writer; the
+                        // connection is a feed now, and the client sends
+                        // nothing further. Only failures get a reply.
+                        match (sent, sent.then(|| ack.recv()).and_then(Result::ok)) {
+                            (true, Some(Ok(()))) => {}
+                            (true, Some(Err(msg))) => reply_err(&sink, &msg)?,
+                            _ => reply_err(&sink, "server is shutting down")?,
+                        }
+                    }
+                    Err(e) => reply_err(&sink, &e.to_string())?,
                 }
             }
             proto::req::SHUTDOWN => {
@@ -634,12 +826,12 @@ fn serve_connection(
     }
 }
 
-fn reply(sink: &ClientSink, kind: u8, payload: &[u8]) -> io::Result<()> {
+pub(crate) fn reply(sink: &ClientSink, kind: u8, payload: &[u8]) -> io::Result<()> {
     let mut sink = sink.lock().expect("client sink poisoned");
     write_frame(&mut *sink, kind, payload)
 }
 
-fn reply_err(sink: &ClientSink, msg: &str) -> io::Result<()> {
+pub(crate) fn reply_err(sink: &ClientSink, msg: &str) -> io::Result<()> {
     let mut payload = Vec::new();
     se_sds::WriteBin::write_str(&mut payload, msg)?;
     reply(sink, proto::resp::ERR, &payload)

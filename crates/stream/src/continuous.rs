@@ -20,6 +20,7 @@ use crate::hybrid::{BatchDelta, HybridStore, IngestReport};
 use crate::incremental::{self, choose_strategy, EvalStrategy, MaterializedState};
 use crate::runtime::ShardRuntime;
 use crate::shard::ShardedHybridStore;
+use crate::wal::{WalHealth, WalRecord};
 use se_core::TripleSource;
 use se_rdf::Graph;
 use se_sparql::ast::Query;
@@ -57,6 +58,50 @@ pub trait StreamStore: TripleSource {
     fn wal_flush(&self) -> Result<(), StreamError> {
         Ok(())
     }
+
+    /// The store's current epoch: the count of successfully applied
+    /// batches (plus any epoch alignment — see
+    /// [`StreamStore::align_epoch`]). Replication and the plan cache's
+    /// staleness clock both key off this.
+    fn epoch(&self) -> u64;
+
+    /// Forces the store's epoch to `epoch` without applying anything —
+    /// the replication bootstrap: a follower that just rebuilt its state
+    /// from a leader snapshot aligns to the leader's epoch so subsequent
+    /// WAL records replay under the consecutive-epoch invariant. Not for
+    /// general use; misaligning a store with an attached WAL corrupts
+    /// its log's epoch sequence.
+    fn align_epoch(&mut self, epoch: u64);
+
+    /// Operator-visible WAL durability state. The default covers stores
+    /// without WAL support (nothing attached, nothing failed).
+    fn wal_health(&self) -> WalHealth {
+        WalHealth::default()
+    }
+}
+
+/// Replays one shipped WAL record into a store under the
+/// consecutive-epoch invariant: the record must carry exactly
+/// `store.epoch() + 1` (anything else is a gap or a replayed duplicate —
+/// the caller re-syncs instead of guessing), and the delta's removals
+/// apply before its additions, exactly like crash recovery's
+/// `replay_wal`.
+pub fn replay_record<S: StreamStore>(
+    store: &mut S,
+    rec: &WalRecord,
+) -> Result<IngestReport, StreamError> {
+    let expected = store.epoch() + 1;
+    if rec.epoch != expected {
+        return Err(StreamError::Corrupt(format!(
+            "replication gap: expected epoch {expected}, record carries {}",
+            rec.epoch
+        )));
+    }
+    let inserts = Graph::from_triples(rec.delta.added.iter().cloned());
+    let deletes = Graph::from_triples(rec.delta.removed.iter().cloned());
+    let report = store.apply_batch(&inserts, &deletes)?;
+    debug_assert_eq!(store.epoch(), rec.epoch, "apply advances exactly one epoch");
+    Ok(report)
 }
 
 impl StreamStore for HybridStore {
@@ -74,6 +119,18 @@ impl StreamStore for HybridStore {
 
     fn wal_flush(&self) -> Result<(), StreamError> {
         HybridStore::wal_flush(self)
+    }
+
+    fn epoch(&self) -> u64 {
+        HybridStore::epoch(self)
+    }
+
+    fn align_epoch(&mut self, epoch: u64) {
+        HybridStore::align_epoch(self, epoch);
+    }
+
+    fn wal_health(&self) -> WalHealth {
+        HybridStore::wal_health(self)
     }
 }
 
@@ -96,6 +153,18 @@ impl StreamStore for ShardedHybridStore {
 
     fn wal_flush(&self) -> Result<(), StreamError> {
         ShardedHybridStore::wal_flush(self)
+    }
+
+    fn epoch(&self) -> u64 {
+        ShardedHybridStore::epoch(self)
+    }
+
+    fn align_epoch(&mut self, epoch: u64) {
+        ShardedHybridStore::align_epoch(self, epoch);
+    }
+
+    fn wal_health(&self) -> WalHealth {
+        ShardedHybridStore::wal_health(self)
     }
 }
 
@@ -444,6 +513,13 @@ pub struct StreamStats {
     /// Stale plans re-ordered after the store epoch advanced past the
     /// staleness threshold.
     pub plan_recosts: u64,
+    /// 1 when the store's WAL is poisoned (a failed append rejects all
+    /// later appends until a checkpoint heals it) — applied batches are
+    /// no longer durable. 0 when healthy or no WAL is attached.
+    pub wal_poisoned: u64,
+    /// WAL appends that returned an error (initial failures and
+    /// poisoned rejections alike) — climbs while degradation persists.
+    pub wal_appends_failed: u64,
 }
 
 impl StreamStats {
@@ -475,6 +551,10 @@ pub struct StreamSession<S: StreamStore = HybridStore> {
     store: S,
     registry: ContinuousQueryRegistry,
     stats: StreamStats,
+    /// Keep per-batch delta capture on even with no incremental query
+    /// registered — a leader shipping WAL records to replicas needs
+    /// every tick's net delta regardless of its own subscriptions.
+    force_delta_capture: bool,
 }
 
 impl<S: StreamStore> StreamSession<S> {
@@ -484,7 +564,16 @@ impl<S: StreamStore> StreamSession<S> {
             store,
             registry: ContinuousQueryRegistry::new(),
             stats: StreamStats::default(),
+            force_delta_capture: false,
         }
+    }
+
+    /// Forces per-batch delta capture on (or releases the force),
+    /// independent of whether any registered query wants deltas. The
+    /// server turns this on while replicas are attached so every tick's
+    /// net delta is available to ship.
+    pub fn set_force_delta_capture(&mut self, on: bool) {
+        self.force_delta_capture = on;
     }
 
     /// Parses and registers a continuous query. The next batch (or
@@ -538,6 +627,9 @@ impl<S: StreamStore> StreamSession<S> {
             stats.plan_evictions = ps.evictions;
             stats.plan_recosts = ps.recosts;
         }
+        let health = self.store.wal_health();
+        stats.wal_poisoned = health.poisoned as u64;
+        stats.wal_appends_failed = health.appends_failed;
         stats
     }
 
@@ -553,12 +645,17 @@ impl<S: StreamStore> StreamSession<S> {
         inserts: &Graph,
         deletes: &Graph,
     ) -> Result<BatchOutcome, StreamError> {
-        self.store.set_delta_capture(self.registry.wants_delta());
+        self.store
+            .set_delta_capture(self.force_delta_capture || self.registry.wants_delta());
         let report = self.store.apply_batch(inserts, deletes)?;
         // Publish the post-batch epoch so cached plans compiled against
-        // much older cardinalities re-cost on their next use.
+        // much older cardinalities re-cost on their next use. The
+        // store's epoch, not the session's batch count: a store loaded
+        // from disk (or applied outside this session) is already past
+        // batch 0, and the plan cache's staleness clock must follow the
+        // store's true age.
         if let Some(cache) = self.registry.plan_cache() {
-            cache.set_epoch(self.stats.batches + 1);
+            cache.set_epoch(self.store.epoch());
         }
         let results = match self.store.shared_runtime() {
             Some(runtime) => self.registry.evaluate_with(
@@ -964,5 +1061,108 @@ mod tests {
         let plain_stats = plain.stream_stats();
         assert_eq!(plain_stats.plan_hits, 0, "no cache, zero counters");
         assert_eq!(plain_stats.plan_compiles, 0);
+    }
+
+    /// Regression: embedded callers that apply batches straight to the
+    /// engine (no `StreamSession`) must still advance the plan cache's
+    /// staleness clock — the epoch used to be published only from
+    /// `StreamSession::apply_batch`, so direct applies never re-costed.
+    #[test]
+    fn direct_engine_apply_publishes_plan_cache_epoch() {
+        use se_sparql::{PlanCache, PlanCacheConfig};
+        let config = || PlanCacheConfig {
+            recost_epochs: 2,
+            ..PlanCacheConfig::default()
+        };
+        let q = "PREFIX e: <http://x/> SELECT ?o WHERE { e:a e:knows ?o }";
+        let opts = QueryOptions::default();
+
+        let mut store = store_with([t("a", "knows", iri("b"))]);
+        let cache = Arc::new(PlanCache::with_config(config()));
+        store.set_plan_cache(Arc::clone(&cache));
+        cache.execute_text(&store, q, &opts).unwrap();
+        assert_eq!(cache.stats().recosts, 0);
+        for i in 0..3 {
+            let g = Graph::from_triples([t("a", "knows", iri(&format!("n{i}")))]);
+            store.apply(&g, &Graph::new()).unwrap();
+        }
+        cache.execute_text(&store, q, &opts).unwrap();
+        assert_eq!(
+            cache.stats().recosts,
+            1,
+            "hybrid: the plan compiled at epoch 0 re-costs after 3 direct applies"
+        );
+
+        let mut sharded = ShardedHybridStore::build(
+            &ontology(),
+            &Graph::from_triples([t("a", "knows", iri("b"))]),
+            2,
+        )
+        .unwrap();
+        let cache = Arc::new(PlanCache::with_config(config()));
+        sharded.set_plan_cache(Arc::clone(&cache));
+        cache.execute_text(&sharded, q, &opts).unwrap();
+        for i in 0..3 {
+            let g = Graph::from_triples([t("a", "knows", iri(&format!("n{i}")))]);
+            sharded.apply(&g, &Graph::new()).unwrap();
+        }
+        cache.execute_text(&sharded, q, &opts).unwrap();
+        assert_eq!(cache.stats().recosts, 1, "sharded: same staleness clock");
+    }
+
+    /// The session's stats surface WAL durability degradation instead of
+    /// letting a poisoned log fail writes silently behind read traffic.
+    #[test]
+    fn stream_stats_surface_wal_health() {
+        let dir = std::env::temp_dir().join(format!("se-cq-walhealth-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut store = store_with([t("a", "knows", iri("b"))]);
+        store
+            .attach_wal(&dir, crate::wal::WalConfig::default())
+            .unwrap();
+        let mut session = StreamSession::new(store);
+        let stats = session.stream_stats();
+        assert_eq!((stats.wal_poisoned, stats.wal_appends_failed), (0, 0));
+
+        crate::fault::arm(&dir, 0, crate::fault::FaultMode::Fail);
+        let g = Graph::from_triples([t("a", "knows", iri("c"))]);
+        assert!(session.apply_batch(&g, &Graph::new()).is_err());
+        crate::fault::disarm(&dir);
+        assert!(session.apply_batch(&g, &Graph::new()).is_err());
+
+        let stats = session.stream_stats();
+        assert_eq!(stats.wal_poisoned, 1);
+        assert_eq!(stats.wal_appends_failed, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `replay_record` is the follower's sole ingest path: it must apply
+    /// exactly-once in order and reject anything else.
+    #[test]
+    fn replay_record_enforces_the_consecutive_epoch_invariant() {
+        let mut store = store_with([]);
+        let rec = |epoch: u64, n: u64| WalRecord {
+            epoch,
+            delta: BatchDelta {
+                added: vec![t(&format!("s{n}"), "knows", iri("o"))],
+                removed: vec![],
+            },
+        };
+        replay_record(&mut store, &rec(1, 1)).unwrap();
+        replay_record(&mut store, &rec(2, 2)).unwrap();
+        assert_eq!(store.epoch(), 2);
+        assert_eq!(store.len(), 2);
+        // A gap or a replayed duplicate would silently fork history.
+        assert!(replay_record(&mut store, &rec(4, 3)).is_err());
+        assert!(replay_record(&mut store, &rec(2, 2)).is_err());
+        assert_eq!(store.epoch(), 2, "rejected records change nothing");
+        // Deletions replay too.
+        let mut del = rec(3, 9);
+        del.delta.removed = vec![t("s1", "knows", iri("o"))];
+        let report = replay_record(&mut store, &del).unwrap();
+        assert_eq!((report.inserted, report.deleted), (1, 1));
+        assert_eq!(store.epoch(), 3);
     }
 }

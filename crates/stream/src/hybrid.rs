@@ -323,6 +323,12 @@ pub struct HybridStore {
     /// must truncate covered segments after its manifest rename.
     /// [`attach_wal`]: HybridStore::attach_wal
     pub(crate) wal: std::sync::Mutex<Option<crate::wal::Wal>>,
+    /// Shared compiled-plan cache, when installed
+    /// ([`set_plan_cache`](HybridStore::set_plan_cache)): every
+    /// successful [`apply`](HybridStore::apply) publishes the post-batch
+    /// epoch so cached plans re-cost as the store ages — embedded
+    /// callers applying directly (no `StreamSession`) included.
+    plan_cache: Option<Arc<se_sparql::PlanCache>>,
 }
 
 impl Clone for HybridStore {
@@ -355,6 +361,7 @@ impl Clone for HybridStore {
             // A log is an exclusive append stream over one directory: the
             // clone starts without one and attaches its own if needed.
             wal: std::sync::Mutex::new(None),
+            plan_cache: self.plan_cache.clone(),
         }
     }
 }
@@ -382,6 +389,7 @@ impl HybridStore {
             snapshots_taken: AtomicUsize::new(0),
             capture_delta: false,
             wal: std::sync::Mutex::new(None),
+            plan_cache: None,
         }
     }
 
@@ -417,6 +425,7 @@ impl HybridStore {
             snapshots_taken: AtomicUsize::new(0),
             capture_delta: false,
             wal: std::sync::Mutex::new(None),
+            plan_cache: None,
         }
     }
 
@@ -460,6 +469,45 @@ impl HybridStore {
     /// batches so far.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Forces the epoch to `epoch` without applying anything — the
+    /// replication bootstrap (see [`crate::replay_record`]): a follower
+    /// that rebuilt its state from a leader snapshot aligns to the
+    /// leader's epoch before replaying shipped records. Must not be used
+    /// on a store with an attached WAL (it would corrupt the log's epoch
+    /// sequence).
+    pub fn align_epoch(&mut self, epoch: u64) {
+        debug_assert!(
+            !self.wal_attached(),
+            "align_epoch on a WAL-attached store corrupts the log"
+        );
+        self.epoch = epoch;
+    }
+
+    /// Installs a shared compiled-plan cache: every successful
+    /// [`apply`](HybridStore::apply) publishes the post-batch epoch to
+    /// it, so cached join orders re-cost as the store ages even when the
+    /// caller applies batches directly rather than through a
+    /// [`StreamSession`](crate::StreamSession).
+    pub fn set_plan_cache(&mut self, cache: Arc<se_sparql::PlanCache>) {
+        cache.set_epoch(self.epoch);
+        self.plan_cache = Some(cache);
+    }
+
+    /// Operator-visible WAL durability state (see
+    /// [`crate::wal::WalHealth`]).
+    pub fn wal_health(&self) -> crate::wal::WalHealth {
+        lock_wal(&self.wal)
+            .as_ref()
+            .map(|w| w.health())
+            .unwrap_or_default()
+    }
+
+    /// The directory the attached WAL appends into, if any — replication
+    /// catch-up reads the tail from here.
+    pub fn wal_dir(&self) -> Option<std::path::PathBuf> {
+        lock_wal(&self.wal).as_ref().map(|w| w.dir().to_path_buf())
     }
 
     /// Snapshots currently pinning this store's resources.
@@ -666,6 +714,9 @@ impl HybridStore {
             report.compaction = t1.elapsed();
         }
         self.epoch += 1;
+        if let Some(cache) = &self.plan_cache {
+            cache.set_epoch(self.epoch);
+        }
         if wal_on {
             let d = delta.as_ref().expect("wal_on forces event capture");
             if let Some(wal) = lock_wal(&self.wal).as_mut() {

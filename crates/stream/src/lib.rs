@@ -122,8 +122,8 @@ pub mod snapshot;
 pub mod wal;
 
 pub use continuous::{
-    BatchOutcome, ContinuousQuery, ContinuousQueryRegistry, ContinuousResult, StreamSession,
-    StreamStats, StreamStore,
+    replay_record, BatchOutcome, ContinuousQuery, ContinuousQueryRegistry, ContinuousResult,
+    StreamSession, StreamStats, StreamStore,
 };
 pub use delta::{DeltaObj, DeltaState, DeltaStore};
 pub use error::StreamError;
@@ -139,7 +139,10 @@ pub use shard::{
     PIPELINE_CHUNK, POOL_MIN_OPS,
 };
 pub use snapshot::StoreSnapshot;
-pub use wal::{SyncPolicy, WalConfig, WalRecord};
+pub use wal::{
+    decode_record_payload, encode_record_payload, read_tail, SyncPolicy, WalConfig, WalHealth,
+    WalRecord,
+};
 
 #[cfg(test)]
 mod tests {

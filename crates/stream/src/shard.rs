@@ -571,6 +571,12 @@ pub struct ShardedHybridStore {
     /// because `save` takes `&self` and must truncate covered segments
     /// after its manifest rename.
     pub(crate) wal: std::sync::Mutex<Option<crate::wal::Wal>>,
+    /// Shared compiled-plan cache, when installed
+    /// ([`set_plan_cache`](ShardedHybridStore::set_plan_cache)): every
+    /// successful `apply` publishes the post-batch epoch so cached plans
+    /// re-cost as the store ages — embedded callers applying directly
+    /// (no `StreamSession`) included.
+    plan_cache: Option<Arc<se_sparql::PlanCache>>,
 }
 
 impl ShardedHybridStore {
@@ -681,6 +687,7 @@ impl ShardedHybridStore {
             snapshots_taken: AtomicUsize::new(0),
             capture_delta: false,
             wal: std::sync::Mutex::new(None),
+            plan_cache: None,
         })
     }
 
@@ -723,6 +730,7 @@ impl ShardedHybridStore {
             snapshots_taken: AtomicUsize::new(0),
             capture_delta: false,
             wal: std::sync::Mutex::new(None),
+            plan_cache: None,
         }
     }
 
@@ -787,6 +795,47 @@ impl ShardedHybridStore {
     /// [`apply`](ShardedHybridStore::apply) batches so far.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Forces the epoch to `epoch` without applying anything — the
+    /// replication bootstrap (see [`crate::replay_record`]): a follower
+    /// that rebuilt its state from a leader snapshot aligns to the
+    /// leader's epoch before replaying shipped records. Must not be used
+    /// on a store with an attached WAL (it would corrupt the log's epoch
+    /// sequence).
+    pub fn align_epoch(&mut self, epoch: u64) {
+        debug_assert!(
+            !self.wal_attached(),
+            "align_epoch on a WAL-attached store corrupts the log"
+        );
+        self.epoch = epoch;
+    }
+
+    /// Installs a shared compiled-plan cache: every successful
+    /// [`apply`](ShardedHybridStore::apply) publishes the post-batch
+    /// epoch to it, so cached join orders re-cost as the store ages even
+    /// when the caller applies batches directly rather than through a
+    /// [`StreamSession`](crate::StreamSession).
+    pub fn set_plan_cache(&mut self, cache: Arc<se_sparql::PlanCache>) {
+        cache.set_epoch(self.epoch);
+        self.plan_cache = Some(cache);
+    }
+
+    /// Operator-visible WAL durability state (see
+    /// [`crate::wal::WalHealth`]).
+    pub fn wal_health(&self) -> crate::wal::WalHealth {
+        crate::hybrid::lock_wal(&self.wal)
+            .as_ref()
+            .map(|w| w.health())
+            .unwrap_or_default()
+    }
+
+    /// The directory the attached WAL appends into, if any — replication
+    /// catch-up reads the tail from here.
+    pub fn wal_dir(&self) -> Option<std::path::PathBuf> {
+        crate::hybrid::lock_wal(&self.wal)
+            .as_ref()
+            .map(|w| w.dir().to_path_buf())
     }
 
     /// Snapshots currently pinning this store's resources.
@@ -855,6 +904,7 @@ impl ShardedHybridStore {
             snapshots_taken: AtomicUsize::new(0),
             capture_delta: false,
             wal: std::sync::Mutex::new(None),
+            plan_cache: None,
         }
     }
 
@@ -971,6 +1021,9 @@ impl ShardedHybridStore {
         report.compaction = compaction_time;
         self.gc_literals();
         self.epoch += 1;
+        if let Some(cache) = &self.plan_cache {
+            cache.set_epoch(self.epoch);
+        }
         if wal_on {
             let d = delta.as_ref().expect("wal_on forces effect capture");
             if let Some(wal) = crate::hybrid::lock_wal(&self.wal).as_mut() {

@@ -123,6 +123,23 @@ pub struct WalRecord {
     pub delta: BatchDelta,
 }
 
+/// Operator-visible durability state of a store's WAL (surfaced through
+/// `StreamStats` and the server STATS payload): whether a log is
+/// attached, whether it is poisoned (a failed append rejects all later
+/// appends until a checkpoint heals it), and how many appends have
+/// failed since attach — including rejections by an already-poisoned
+/// log, so the counter keeps climbing while degradation persists.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalHealth {
+    /// A WAL is attached to the store.
+    pub attached: bool,
+    /// The log rejects appends until a successful checkpoint.
+    pub poisoned: bool,
+    /// Appends that returned an error (initial failures and poisoned
+    /// rejections alike).
+    pub appends_failed: u64,
+}
+
 #[derive(Debug)]
 struct ActiveSegment {
     file: fs::File,
@@ -155,6 +172,8 @@ pub struct Wal {
     /// batch, including the ones the broken tail missed) discards the
     /// segments and heals it.
     poisoned: bool,
+    /// Appends that returned an error since attach (see [`WalHealth`]).
+    appends_failed: u64,
 }
 
 impl Wal {
@@ -174,6 +193,7 @@ impl Wal {
             sealed: Vec::new(),
             unsynced: 0,
             poisoned: false,
+            appends_failed: 0,
         })
     }
 
@@ -194,13 +214,24 @@ impl Wal {
     /// error instead of acking.
     pub(crate) fn append(&mut self, epoch: u64, delta: &BatchDelta) -> Result<(), StreamError> {
         if self.poisoned {
+            self.appends_failed += 1;
             return Err(poisoned_error());
         }
         let result = self.try_append(epoch, delta);
         if result.is_err() {
             self.poisoned = true;
+            self.appends_failed += 1;
         }
         result
+    }
+
+    /// Operator-visible durability state (see [`WalHealth`]).
+    pub fn health(&self) -> WalHealth {
+        WalHealth {
+            attached: true,
+            poisoned: self.poisoned,
+            appends_failed: self.appends_failed,
+        }
     }
 
     fn try_append(&mut self, epoch: u64, delta: &BatchDelta) -> Result<(), StreamError> {
@@ -441,6 +472,57 @@ pub fn recover(dir: &Path, manifest_epoch: u64) -> Result<Vec<WalRecord>, Stream
     Ok(records)
 }
 
+/// Read-only tail scan for replication catch-up: returns the records
+/// with epochs past `from_epoch`, verified consecutive from
+/// `from_epoch + 1` — **without** the physical truncation side effects
+/// of [`recover`], so it is safe to run against a live store's WAL
+/// directory (the appender must be quiescent while the scan runs; the
+/// server calls this from the writer thread between ticks, which is
+/// exactly that).
+///
+/// Returns `Ok(None)` whenever the log cannot serve the request — no
+/// segments, the requested epoch was checkpointed away (the first
+/// uncovered record is past `from_epoch + 1`), a gap, damage, or a torn
+/// tail cutting the run short. The caller falls back to shipping a full
+/// snapshot; a read-side problem here never needs to be fatal.
+pub fn read_tail(dir: &Path, from_epoch: u64) -> Result<Option<Vec<WalRecord>>, StreamError> {
+    let paths = segment_paths(dir)?;
+    let mut records = Vec::new();
+    let mut expected = from_epoch + 1;
+    for path in &paths {
+        let buf = fs::read(path)?;
+        if buf.len() < 12 || &buf[..8] != WAL_MAGIC {
+            return Ok(None);
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        if version == 0 || version > WAL_VERSION {
+            return Ok(None);
+        }
+        let mut pos = 12usize;
+        while pos < buf.len() {
+            let (tag, payload, used) = match read_section_from(&buf[pos..]) {
+                Ok(parts) => parts,
+                Err(_) => return Ok(None),
+            };
+            if &tag != REC_TAG {
+                return Ok(None);
+            }
+            let Ok(rec) = decode_record(payload) else {
+                return Ok(None);
+            };
+            if rec.epoch > from_epoch {
+                if rec.epoch != expected {
+                    return Ok(None);
+                }
+                expected += 1;
+                records.push(rec);
+            }
+            pos += used;
+        }
+    }
+    Ok(Some(records))
+}
+
 // ------------------------------------------------------- record codec
 
 fn write_term(w: &mut Vec<u8>, term: &Term) {
@@ -499,11 +581,27 @@ fn read_triples(r: &mut &[u8]) -> io::Result<Vec<Triple>> {
     Ok(triples)
 }
 
-fn encode_record(epoch: u64, delta: &BatchDelta) -> Vec<u8> {
+/// Encodes one record's payload — the exact bytes a `WREC` section
+/// carries on disk, reused verbatim as the replication wire format
+/// (se-server's `REPL_RECORD` frames), so leader and follower share one
+/// codec with the crash-recovery path.
+pub fn encode_record_payload(epoch: u64, delta: &BatchDelta) -> Vec<u8> {
     let mut payload = Vec::with_capacity(16 + 32 * delta.len());
     payload.write_u64(epoch).unwrap();
     write_triples(&mut payload, &delta.added);
     write_triples(&mut payload, &delta.removed);
+    payload
+}
+
+/// Decodes a record payload produced by [`encode_record_payload`] (or
+/// lifted out of a `WREC` section). The input is untrusted wire data:
+/// pre-allocations are capped and trailing bytes are an error.
+pub fn decode_record_payload(payload: &[u8]) -> io::Result<WalRecord> {
+    decode_record(payload)
+}
+
+fn encode_record(epoch: u64, delta: &BatchDelta) -> Vec<u8> {
+    let payload = encode_record_payload(epoch, delta);
     let mut frame = Vec::with_capacity(payload.len() + 20);
     write_section(&mut frame, REC_TAG, &payload).expect("writing to Vec cannot fail");
     frame
@@ -712,6 +810,85 @@ mod tests {
                 .map(|r| r.epoch)
                 .collect::<Vec<_>>(),
             [4]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn health_counts_failed_and_refused_appends() {
+        let dir = scratch("health");
+        let mut wal = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(
+            wal.health(),
+            WalHealth {
+                attached: true,
+                poisoned: false,
+                appends_failed: 0
+            }
+        );
+        wal.append(1, &delta(1)).unwrap();
+        fault::arm(&dir, 0, fault::FaultMode::Fail);
+        assert!(wal.append(2, &delta(2)).is_err());
+        fault::disarm(&dir);
+        // Refusals while poisoned count too: operators watching the
+        // counter see write loss accumulating, not a single blip.
+        assert!(wal.append(3, &delta(3)).is_err());
+        let h = wal.health();
+        assert!(h.attached && h.poisoned);
+        assert_eq!(h.appends_failed, 2);
+        // Healing resets the poison flag; the failure history stays.
+        wal.checkpoint(3).unwrap();
+        wal.append(4, &delta(4)).unwrap();
+        let h = wal.health();
+        assert!(!h.poisoned);
+        assert_eq!(h.appends_failed, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_tail_serves_covering_records_without_truncating() {
+        let dir = scratch("tail");
+        let mut wal = Wal::open(
+            &dir,
+            WalConfig {
+                sync: SyncPolicy::EveryBatch,
+                segment_bytes: 1, // force one segment per record
+            },
+        )
+        .unwrap();
+        for epoch in 1..=5 {
+            wal.append(epoch, &delta(epoch)).unwrap();
+        }
+
+        let tail = read_tail(&dir, 2).unwrap().unwrap();
+        assert_eq!(tail.iter().map(|r| r.epoch).collect::<Vec<_>>(), [3, 4, 5]);
+        // A caught-up follower needs nothing; that is still a covered
+        // request, distinct from an uncoverable one.
+        assert_eq!(read_tail(&dir, 5).unwrap().unwrap().len(), 0);
+
+        // Torn tail: the scan reports "cannot serve" (the snapshot path
+        // takes over) and must NOT truncate — the live appender owns the
+        // file, and `recover` after a real crash still sees the tear.
+        let seg = segment_paths(&dir).unwrap().pop().unwrap();
+        let full = fs::read(&seg).unwrap();
+        fs::write(&seg, &full[..full.len() - 3]).unwrap();
+        assert!(read_tail(&dir, 2).unwrap().is_none());
+        assert_eq!(fs::read(&seg).unwrap().len(), full.len() - 3);
+
+        // A gap (middle segment gone) is equally unservable.
+        fs::write(&seg, &full).unwrap();
+        let seg3 = segment_paths(&dir).unwrap().remove(2);
+        fs::remove_file(&seg3).unwrap();
+        assert!(read_tail(&dir, 2).unwrap().is_none());
+        // ... but epochs wholly past the gap still are servable.
+        assert_eq!(
+            read_tail(&dir, 3)
+                .unwrap()
+                .unwrap()
+                .iter()
+                .map(|r| r.epoch)
+                .collect::<Vec<_>>(),
+            [4, 5]
         );
         let _ = fs::remove_dir_all(&dir);
     }
